@@ -1,0 +1,55 @@
+//! Wire-codec throughput for the Dynamic River network path: encode and
+//! decode rates for production-sized audio records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynamic_river::codec::{decode_frame, encode_frame};
+use dynamic_river::{Payload, Record};
+use std::hint::black_box;
+
+fn audio_record(samples: usize) -> Record {
+    Record::data(
+        1,
+        Payload::F64((0..samples).map(|i| (i as f64 * 0.1).sin()).collect()),
+    )
+    .with_seq(42)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/encode");
+    for &n in &[84usize, 840, 8_400] {
+        let rec = audio_record(n);
+        group.throughput(Throughput::Bytes((n * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rec, |b, rec| {
+            b.iter(|| black_box(encode_frame(rec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/decode");
+    for &n in &[84usize, 840, 8_400] {
+        let frame = encode_frame(&audio_record(n));
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &frame, |b, frame| {
+            b.iter(|| black_box(decode_frame(frame).unwrap().unwrap().0.seq))
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/round_trip");
+    let rec = audio_record(840);
+    group.throughput(Throughput::Bytes((840 * 8) as u64));
+    group.bench_function("840_samples", |b| {
+        b.iter(|| {
+            let frame = encode_frame(&rec);
+            black_box(decode_frame(&frame).unwrap().unwrap().0.subtype)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! MESO training/query cost vs pattern count and feature width — the
+//! timing columns of Table 2 (1050-dim raw vs 105-dim PAA patterns),
+//! plus the removal-vs-retrain leave-one-out ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ensemble_core::classify::paper_meso_config;
+use meso::crossval::{leave_one_out, CrossValConfig, LooMode};
+use meso::{Dataset, Meso};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn patterns(n: usize, dim: usize, classes: usize, seed: u64) -> Vec<(Vec<f64>, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let label = i % classes;
+            let center = label as f64 * 3.0;
+            let f: Vec<f64> = (0..dim)
+                .map(|_| center + rng.random_range(-1.0..1.0))
+                .collect();
+            (f, label)
+        })
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meso/train");
+    group.sample_size(10);
+    for &(n, dim) in &[(500usize, 105usize), (500, 1_050), (2_000, 105)] {
+        let data = patterns(n, dim, 10, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{dim}")),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut m = Meso::new(dim, paper_meso_config());
+                    for (f, l) in data {
+                        m.train(f, *l);
+                    }
+                    black_box(m.sphere_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meso/query");
+    group.sample_size(20);
+    for &dim in &[105usize, 1_050] {
+        let data = patterns(1_000, dim, 10, 7);
+        let mut m = Meso::new(dim, paper_meso_config());
+        for (f, l) in &data {
+            m.train(f, *l);
+        }
+        let queries = patterns(100, dim, 10, 99);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("linear", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (f, l) in &queries {
+                    if m.classify(f) == Some(*l) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        let index = m.build_index();
+        group.bench_with_input(BenchmarkId::new("ball_tree", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (f, l) in &queries {
+                    if m.classify_indexed(&index, f) == Some(*l) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_loo_removal_vs_retrain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meso/loo");
+    group.sample_size(10);
+    let data = patterns(200, 105, 10, 3);
+    let mut ds = Dataset::new(105);
+    for (f, l) in data {
+        ds.push_ungrouped(f, l);
+    }
+    for (name, mode) in [("removal", LooMode::Removal), ("retrain", LooMode::Retrain)] {
+        let cv = CrossValConfig {
+            iterations: 1,
+            seed: 0,
+            loo_mode: mode,
+            meso: paper_meso_config(),
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(leave_one_out(&ds, &cv).mean_accuracy()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train, bench_query, bench_loo_removal_vs_retrain);
+criterion_main!(benches);

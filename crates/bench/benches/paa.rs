@@ -1,0 +1,34 @@
+//! PAA reduction-factor sweep: cost of reducing one 350-bin spectral
+//! record at the factors around the paper's choice of 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use river_sax::paa::{paa, paa_by_factor};
+use std::hint::black_box;
+
+fn bench_factor_sweep(c: &mut Criterion) {
+    let record: Vec<f64> = (0..350).map(|i| (i as f64 * 0.3).sin().abs()).collect();
+    let mut group = c.benchmark_group("paa/factor");
+    group.throughput(Throughput::Elements(record.len() as u64));
+    for factor in [2usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            b.iter(|| black_box(paa_by_factor(&record, f)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fractional_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paa/boundaries");
+    let exact: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+    group.bench_function("exact_division", |b| {
+        b.iter(|| black_box(paa(&exact, 10)))
+    });
+    let fractional: Vec<f64> = (0..1_003).map(|i| i as f64).collect();
+    group.bench_function("fractional_division", |b| {
+        b.iter(|| black_box(paa(&fractional, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factor_sweep, bench_fractional_vs_exact);
+criterion_main!(benches);

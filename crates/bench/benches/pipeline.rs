@@ -1,0 +1,87 @@
+//! End-to-end pipeline throughput: ensemble extraction over a 30 s
+//! clip, featurization of the cut ensembles, and the full Figure 5
+//! graph — in samples per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ensemble_core::ops::clip_to_records;
+use ensemble_core::pipeline::{extraction_segment, featurize_ensemble, full_pipeline};
+use ensemble_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_direct_extraction(c: &mut Criterion) {
+    let synth = ClipSynthesizer::new(SynthConfig::paper());
+    let clip = synth.clip(SpeciesCode::Noca, 5);
+    let extractor = EnsembleExtractor::new(ExtractorConfig::paper());
+    let mut group = c.benchmark_group("pipeline/extract");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(clip.samples.len() as u64));
+    group.bench_function("direct_30s_clip", |b| {
+        b.iter(|| black_box(extractor.extract(&clip.samples).len()))
+    });
+    group.finish();
+}
+
+fn bench_record_pipeline(c: &mut Criterion) {
+    let cfg = ExtractorConfig::paper();
+    let synth = ClipSynthesizer::new(SynthConfig::paper());
+    let clip = synth.clip(SpeciesCode::Noca, 5);
+    let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+    let records = clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
+
+    let mut group = c.benchmark_group("pipeline/records");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(usable as u64));
+    group.bench_function("extraction_segment", |b| {
+        b.iter(|| {
+            let mut p = extraction_segment(cfg);
+            black_box(p.run(records.clone()).unwrap().len())
+        })
+    });
+    group.bench_function("full_figure5", |b| {
+        b.iter(|| {
+            let mut p = full_pipeline(cfg, true);
+            black_box(p.run(records.clone()).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_featurization(c: &mut Criterion) {
+    let cfg = ExtractorConfig::paper();
+    let samples: Vec<f64> = (0..cfg.record_len * 24)
+        .map(|i| (i as f64 * 0.21).sin() * 0.3)
+        .collect();
+    let mut group = c.benchmark_group("pipeline/featurize");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("raw_1050", |b| {
+        b.iter(|| black_box(featurize_ensemble(&samples, &cfg, false).len()))
+    });
+    group.bench_function("paa_105", |b| {
+        b.iter(|| black_box(featurize_ensemble(&samples, &cfg, true).len()))
+    });
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let synth = ClipSynthesizer::new(SynthConfig::paper());
+    let mut group = c.benchmark_group("pipeline/synthesis");
+    group.sample_size(10);
+    group.bench_function("clip_30s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(synth.clip(SpeciesCode::Hofi, seed).samples.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_extraction,
+    bench_record_pipeline,
+    bench_featurization,
+    bench_synthesis
+);
+criterion_main!(benches);

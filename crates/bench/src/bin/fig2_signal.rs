@@ -1,0 +1,46 @@
+//! Regenerates **Figure 2** of the paper: the oscillogram (top) and
+//! spectrogram (bottom) of an acoustic clip.
+//!
+//! ```text
+//! cargo run -p ensemble-bench --release --bin fig2_signal [-- --seed N]
+//! ```
+//!
+//! Also writes `fig2_spectrogram.pgm` (grayscale image) to the current
+//! directory for viewing with any image tool.
+
+use ensemble_bench::{header, Scale};
+use ensemble_core::prelude::*;
+use ensemble_core::render::{ascii_oscillogram, seconds_ruler};
+use river_dsp::spectrogram::{render_pgm, Spectrogram, SpectrogramConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let synth = ClipSynthesizer::new(SynthConfig::paper());
+    let clip = synth.clip(SpeciesCode::Wbnu, scale.seed);
+
+    header("Figure 2: oscillogram (top) and spectrogram (bottom) of an acoustic signal");
+    println!(
+        "clip: {:.0} s of {} with {} song bout(s), {:.1} kHz",
+        clip.duration(),
+        SpeciesCode::Wbnu.common_name(),
+        clip.events.len(),
+        clip.sample_rate / 1e3
+    );
+
+    println!("\nAmplitude (normalized)");
+    print!("{}", ascii_oscillogram(&clip.samples, 96, 13));
+    println!("{}", seconds_ruler(clip.duration(), 96, 5.0));
+
+    let spec = Spectrogram::compute(&clip.samples, SpectrogramConfig::production());
+    println!("\nkHz (0 at bottom, {:.1} at top)", clip.sample_rate / 2e3);
+    print!("{}", spec.render_ascii(20));
+    println!("{}", seconds_ruler(clip.duration(), spec.columns().min(96), 5.0));
+
+    let pgm = render_pgm(&spec.clone().into_inner());
+    std::fs::write("fig2_spectrogram.pgm", &pgm).expect("write pgm");
+    println!(
+        "\nwrote fig2_spectrogram.pgm ({} x {} px)",
+        spec.columns(),
+        spec.bins()
+    );
+}

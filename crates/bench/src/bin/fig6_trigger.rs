@@ -1,0 +1,56 @@
+//! Regenerates **Figure 6** of the paper: the trigger signal (top) and
+//! the ensembles extracted from the acoustic signal (bottom).
+//!
+//! ```text
+//! cargo run -p ensemble-bench --release --bin fig6_trigger [-- --seed N]
+//! ```
+
+use ensemble_bench::{header, Scale};
+use ensemble_core::prelude::*;
+use ensemble_core::render::{ascii_oscillogram, ascii_spans, ascii_trigger, seconds_ruler};
+
+fn main() {
+    let scale = Scale::from_args();
+    let synth = ClipSynthesizer::new(SynthConfig::paper());
+    let clip = synth.clip(SpeciesCode::Wbnu, scale.seed);
+    let extractor = EnsembleExtractor::new(ExtractorConfig::paper());
+    let trace = extractor.extract_with_trace(&clip.samples);
+
+    header("Figure 6: trigger signal and ensembles extracted from the acoustic signal");
+    println!(
+        "clip: {:.0} s, {} ground-truth bout(s), {} ensemble(s) extracted\n",
+        clip.duration(),
+        clip.events.len(),
+        trace.ensembles.len()
+    );
+
+    let width = 96;
+    println!("Trigger value (1 = ^, 0 = _)");
+    println!("{}", ascii_trigger(&trace.trigger, width));
+
+    println!("\nEnsembles extracted (marked =):");
+    let spans: Vec<(usize, usize)> = trace.ensembles.iter().map(|e| (e.start, e.end)).collect();
+    println!("{}", ascii_spans(clip.samples.len(), &spans, width));
+
+    println!("\nGround-truth song bouts (marked =):");
+    let truth: Vec<(usize, usize)> = clip.events.iter().map(|e| (e.start, e.end)).collect();
+    println!("{}", ascii_spans(clip.samples.len(), &truth, width));
+
+    println!("\nAmplitude");
+    print!("{}", ascii_oscillogram(&clip.samples, width, 11));
+    println!("{}", seconds_ruler(clip.duration(), width, 5.0));
+
+    for (i, e) in trace.ensembles.iter().enumerate() {
+        let label = clip
+            .label_for_range(e.start, e.end)
+            .map(|s| s.code())
+            .unwrap_or("(no bird)");
+        println!(
+            "ensemble {}: {:.2}s..{:.2}s ({} samples) -> {label}",
+            i + 1,
+            e.start as f64 / clip.sample_rate,
+            e.end as f64 / clip.sample_rate,
+            e.len()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's §4 data-reduction claim: "extraction of
+//! ensembles from acoustic clips reduced the amount of data that
+//! required further processing by 80.6 %".
+//!
+//! ```text
+//! cargo run -p ensemble-bench --release --bin reduction [-- --full]
+//! ```
+
+use ensemble_bench::{header, Scale};
+use ensemble_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = Corpus::build(scale.corpus_config());
+
+    header("Data reduction through ensemble extraction (paper: 80.6%)");
+    println!("{}", corpus.reduction);
+    println!(
+        "validated ensembles: {} | rejected (non-bird): {}",
+        corpus.ensembles.len(),
+        corpus.rejected
+    );
+    println!(
+        "\nmeasured reduction: {:.1}%   paper: 80.6%",
+        corpus.reduction.reduction_percent()
+    );
+    let bytes_in = corpus.reduction.input_samples * 2; // 16-bit samples
+    let bytes_kept = corpus.reduction.kept_samples * 2;
+    println!(
+        "equivalent PCM16 volume: {:.1} MB scanned -> {:.1} MB retained",
+        bytes_in as f64 / 1e6,
+        bytes_kept as f64 / 1e6
+    );
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Table 1** of the paper: species codes, common names,
+//! pattern counts and ensemble counts.
+//!
+//! ```text
+//! cargo run -p ensemble-bench --release --bin table1 [-- --full]
+//! ```
+
+use ensemble_bench::{build_corpus_and_datasets, header, Scale};
+use ensemble_core::dataset::table1;
+use ensemble_core::SpeciesCode;
+
+/// The paper's Table 1 (patterns, ensembles) per species, for
+/// side-by-side comparison.
+const PAPER: [(usize, usize); 10] = [
+    (229, 42),
+    (672, 68),
+    (318, 51),
+    (272, 50),
+    (223, 26),
+    (338, 24),
+    (395, 42),
+    (211, 27),
+    (339, 59),
+    (676, 84),
+];
+
+fn main() {
+    let scale = Scale::from_args();
+    let (corpus, bundle) = build_corpus_and_datasets(&scale);
+    let rows = table1(&corpus, &bundle);
+
+    header("Table 1: Bird species codes, names and counts");
+    println!(
+        "{:<6} {:<26} {:>9} {:>10}   {:>12} {:>13}",
+        "Code", "Common name", "Patterns", "Ensembles", "Paper patt.", "Paper ens."
+    );
+    let mut total_p = 0usize;
+    let mut total_e = 0usize;
+    for (row, paper) in rows.iter().zip(PAPER) {
+        println!(
+            "{:<6} {:<26} {:>9} {:>10}   {:>12} {:>13}",
+            row.species.code(),
+            row.species.common_name(),
+            row.patterns,
+            row.ensembles,
+            paper.0,
+            paper.1
+        );
+        total_p += row.patterns;
+        total_e += row.ensembles;
+    }
+    println!(
+        "{:<6} {:<26} {:>9} {:>10}   {:>12} {:>13}",
+        "TOTAL",
+        "",
+        total_p,
+        total_e,
+        PAPER.iter().map(|p| p.0).sum::<usize>(),
+        PAPER.iter().map(|p| p.1).sum::<usize>()
+    );
+    println!(
+        "\nnote: synthetic corpus ({} clips/species, seed {}); counts scale with",
+        scale.clips_per_species, scale.seed
+    );
+    println!("--clips; the paper column is the published field-recording corpus.");
+    let _ = SpeciesCode::ALL;
+}

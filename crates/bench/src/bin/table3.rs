@@ -1,0 +1,45 @@
+//! Regenerates **Table 3** of the paper: the 10×10 confusion matrix for
+//! PAA-ensemble leave-one-out classification.
+//!
+//! ```text
+//! cargo run -p ensemble-bench --release --bin table3 [-- --full]
+//! ```
+
+use ensemble_bench::{build_corpus_and_datasets, header, Scale};
+use ensemble_core::classify::paper_meso_config;
+use ensemble_core::SpeciesCode;
+use meso::crossval::{leave_one_out, CrossValConfig, LooMode};
+
+/// The paper's Table 3 main diagonal (percent correct per species).
+const PAPER_DIAGONAL: [f64; 10] = [
+    70.3, 69.2, 86.0, 90.5, 79.3, 67.0, 90.8, 94.7, 90.5, 86.1,
+];
+
+fn main() {
+    let scale = Scale::from_args();
+    let (_corpus, bundle) = build_corpus_and_datasets(&scale);
+
+    let cv = CrossValConfig {
+        iterations: scale.loo_iters,
+        seed: scale.seed,
+        loo_mode: LooMode::Removal,
+        meso: paper_meso_config(),
+    };
+    let stats = leave_one_out(&bundle.paa_ensemble, &cv);
+
+    header("Table 3: Confusion matrix using PAA ensembles (row %, actual x predicted)");
+    let names: Vec<&str> = SpeciesCode::ALL.iter().map(|s| s.code()).collect();
+    println!("{}", stats.confusion.render(&names));
+    println!("overall accuracy: {:.1}%", 100.0 * stats.confusion.accuracy());
+
+    println!("\ndiagonal vs paper:");
+    println!("{:<6} {:>10} {:>10}", "Code", "This run", "Paper");
+    for (i, species) in SpeciesCode::ALL.iter().enumerate() {
+        println!(
+            "{:<6} {:>9.1}% {:>9.1}%",
+            species.code(),
+            stats.confusion.percent(i, i),
+            PAPER_DIAGONAL[i]
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Corpus generation and the four experimental datasets of the paper's
+//! §4: *Pattern*, *Ensemble*, *PAA Pattern* and *PAA Ensemble*.
+//!
+//! A corpus is built by synthesizing clips per species, extracting
+//! ensembles, and labeling each ensemble from the synthesizer's ground
+//! truth — the stand-in for the paper's "ensembles produced by the
+//! `cutter` operator were validated by a human listener as being a bird
+//! vocalization". Ensembles overlapping no song bout are rejected, like
+//! the listener rejecting wind/human noise.
+
+use crate::config::ExtractorConfig;
+use crate::extract::{Ensemble, EnsembleExtractor};
+use crate::pipeline::featurize_ensemble;
+use crate::reduction::ReductionStats;
+use crate::species::SpeciesCode;
+use crate::synth::{ClipSynthesizer, SynthConfig};
+use meso::Dataset;
+
+/// Parameters for corpus construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Clips synthesized per species.
+    pub clips_per_species: usize,
+    /// Base RNG seed; clip `c` of species `s` uses a seed derived from
+    /// it deterministically.
+    pub seed: u64,
+    /// Clip synthesis parameters.
+    pub synth: SynthConfig,
+    /// Extraction parameters.
+    pub extractor: ExtractorConfig,
+}
+
+impl CorpusConfig {
+    /// Paper-magnitude corpus: enough 30 s clips that ensemble counts
+    /// land in the range of the paper's Table 1 (tens per species).
+    pub fn paper_scale() -> Self {
+        CorpusConfig {
+            clips_per_species: 30,
+            seed: 2007,
+            synth: SynthConfig::paper(),
+            extractor: ExtractorConfig::paper(),
+        }
+    }
+
+    /// Small, fast corpus for tests and quick runs: short clips, few per
+    /// species.
+    pub fn test_scale() -> Self {
+        CorpusConfig {
+            clips_per_species: 2,
+            seed: 7,
+            synth: SynthConfig {
+                clip_seconds: 10.0,
+                ..SynthConfig::paper()
+            },
+            extractor: ExtractorConfig::paper(),
+        }
+    }
+}
+
+/// One validated (species-labeled) ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledEnsemble {
+    /// Ground-truth species.
+    pub species: SpeciesCode,
+    /// Which clip (0-based, within the species) it came from.
+    pub clip_index: usize,
+    /// The extracted ensemble.
+    pub ensemble: Ensemble,
+}
+
+/// A fully built corpus: validated ensembles plus extraction
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The validated ensembles, grouped by construction order.
+    pub ensembles: Vec<LabeledEnsemble>,
+    /// Data-reduction accounting over every clip scanned.
+    pub reduction: ReductionStats,
+    /// Ensembles rejected by validation (no ground-truth overlap — the
+    /// "not a bird" pile).
+    pub rejected: usize,
+    config: CorpusConfig,
+}
+
+impl Corpus {
+    /// Synthesizes, extracts and validates a corpus. Deterministic for
+    /// a given configuration.
+    pub fn build(config: CorpusConfig) -> Corpus {
+        let synth = ClipSynthesizer::new(config.synth);
+        let extractor = EnsembleExtractor::new(config.extractor);
+        let mut ensembles = Vec::new();
+        let mut reduction = ReductionStats::default();
+        let mut rejected = 0usize;
+        for &species in &SpeciesCode::ALL {
+            for clip_index in 0..config.clips_per_species {
+                let seed = config
+                    .seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(clip_index as u64);
+                let clip = synth.clip(species, seed);
+                let extracted = extractor.extract(&clip.samples);
+                let kept: usize = extracted.iter().map(Ensemble::len).sum();
+                reduction.record_clip(clip.samples.len(), kept);
+                for ensemble in extracted {
+                    match clip.label_for_range(ensemble.start, ensemble.end) {
+                        Some(label) if label == species => {
+                            ensembles.push(LabeledEnsemble {
+                                species,
+                                clip_index,
+                                ensemble,
+                            });
+                        }
+                        _ => rejected += 1,
+                    }
+                }
+            }
+        }
+        reduction.record_ensembles(ensembles.len() + rejected);
+        Corpus {
+            ensembles,
+            reduction,
+            rejected,
+            config,
+        }
+    }
+
+    /// The configuration the corpus was built with.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Number of validated ensembles per species (Table 1's "Ensembles"
+    /// column), in [`SpeciesCode::ALL`] order.
+    pub fn ensembles_per_species(&self) -> [usize; 10] {
+        let mut counts = [0usize; 10];
+        for e in &self.ensembles {
+            counts[e.species.label()] += 1;
+        }
+        counts
+    }
+}
+
+/// The four datasets of the paper's Table 2. Groups correspond to
+/// ensembles; the pattern datasets discard grouping ("ensemble grouping
+/// is not retained", §4).
+#[derive(Debug, Clone)]
+pub struct DatasetBundle {
+    /// Ensemble data set (grouped patterns, 1050 features).
+    pub ensemble: Dataset,
+    /// Pattern data set (ungrouped, 1050 features).
+    pub pattern: Dataset,
+    /// PAA ensemble data set (grouped, 105 features).
+    pub paa_ensemble: Dataset,
+    /// PAA pattern data set (ungrouped, 105 features).
+    pub paa_pattern: Dataset,
+    /// Ensembles that produced no complete pattern (shorter than
+    /// `pattern_records` records) and were skipped.
+    pub skipped_short: usize,
+}
+
+impl DatasetBundle {
+    /// Featurizes every corpus ensemble into the four datasets.
+    pub fn build(corpus: &Corpus) -> DatasetBundle {
+        let cfg = &corpus.config().extractor;
+        let mut ensemble_ds = Dataset::new(cfg.pattern_features());
+        let mut paa_ds = Dataset::new(cfg.paa_pattern_features());
+        let mut skipped = 0usize;
+        for le in &corpus.ensembles {
+            let raw = featurize_ensemble(&le.ensemble.samples, cfg, false);
+            if raw.is_empty() {
+                skipped += 1;
+                continue;
+            }
+            let paa = featurize_ensemble(&le.ensemble.samples, cfg, true);
+            debug_assert_eq!(raw.len(), paa.len());
+            let label = le.species.label();
+            let g_raw = ensemble_ds.push_group();
+            let g_paa = paa_ds.push_group();
+            for features in raw {
+                ensemble_ds.push(features, label, g_raw);
+            }
+            for features in paa {
+                paa_ds.push(features, label, g_paa);
+            }
+        }
+        DatasetBundle {
+            pattern: ensemble_ds.ungrouped(),
+            paa_pattern: paa_ds.ungrouped(),
+            ensemble: ensemble_ds,
+            paa_ensemble: paa_ds,
+            skipped_short: skipped,
+        }
+    }
+
+    /// Pattern count per species (Table 1's "Patterns" column), in
+    /// [`SpeciesCode::ALL`] order.
+    pub fn patterns_per_species(&self) -> [usize; 10] {
+        let mut counts = [0usize; 10];
+        for i in 0..self.ensemble.len() {
+            counts[self.ensemble.label(i)] += 1;
+        }
+        counts
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Species code.
+    pub species: SpeciesCode,
+    /// Pattern count.
+    pub patterns: usize,
+    /// Ensemble count.
+    pub ensembles: usize,
+}
+
+/// Assembles Table 1 from a corpus and its dataset bundle.
+pub fn table1(corpus: &Corpus, bundle: &DatasetBundle) -> Vec<Table1Row> {
+    let patterns = bundle.patterns_per_species();
+    // Count only ensembles that contributed at least one pattern, to
+    // match the paper's "each ensemble comprises one or more patterns".
+    let mut ensembles = [0usize; 10];
+    for g in 0..bundle.ensemble.group_count() {
+        if let Some(label) = bundle.ensemble.group_label(g) {
+            ensembles[label] += 1;
+        }
+    }
+    let _ = corpus;
+    SpeciesCode::ALL
+        .iter()
+        .map(|&species| Table1Row {
+            species,
+            patterns: patterns[species.label()],
+            ensembles: ensembles[species.label()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        Corpus::build(CorpusConfig::test_scale())
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = small_corpus();
+        let b = small_corpus();
+        assert_eq!(a.ensembles.len(), b.ensembles.len());
+        assert_eq!(a.rejected, b.rejected);
+        for (x, y) in a.ensembles.iter().zip(&b.ensembles) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn corpus_extracts_labeled_ensembles() {
+        let corpus = small_corpus();
+        assert!(
+            corpus.ensembles.len() >= 10,
+            "only {} ensembles",
+            corpus.ensembles.len()
+        );
+        // Most species should be represented even in the tiny corpus.
+        let covered = corpus
+            .ensembles_per_species()
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
+        assert!(covered >= 6, "only {covered} species covered");
+    }
+
+    #[test]
+    fn reduction_in_paper_ballpark() {
+        let corpus = small_corpus();
+        let r = corpus.reduction.reduction_percent();
+        // Paper: 80.6 %. The synthetic corpus should be within a broad
+        // band of that.
+        assert!((55.0..99.5).contains(&r), "reduction {r}%");
+    }
+
+    #[test]
+    fn bundle_has_paper_feature_geometry() {
+        let corpus = small_corpus();
+        let bundle = DatasetBundle::build(&corpus);
+        assert_eq!(bundle.ensemble.dim(), 1_050);
+        assert_eq!(bundle.paa_ensemble.dim(), 105);
+        assert_eq!(bundle.pattern.dim(), 1_050);
+        assert!(bundle.ensemble.len() > 0);
+        // The PAA and raw bundles describe the same patterns.
+        assert_eq!(bundle.ensemble.len(), bundle.paa_ensemble.len());
+        assert_eq!(bundle.pattern.len(), bundle.ensemble.len());
+    }
+
+    #[test]
+    fn pattern_dataset_is_ungrouped_version() {
+        let corpus = small_corpus();
+        let bundle = DatasetBundle::build(&corpus);
+        assert_eq!(bundle.pattern.group_count(), bundle.pattern.len());
+        assert!(bundle.ensemble.group_count() <= bundle.ensemble.len());
+        for i in 0..bundle.pattern.len() {
+            assert_eq!(bundle.pattern.label(i), bundle.ensemble.label(i));
+        }
+    }
+
+    #[test]
+    fn table1_totals_match_bundle() {
+        let corpus = small_corpus();
+        let bundle = DatasetBundle::build(&corpus);
+        let rows = table1(&corpus, &bundle);
+        assert_eq!(rows.len(), 10);
+        let total_patterns: usize = rows.iter().map(|r| r.patterns).sum();
+        let total_ensembles: usize = rows.iter().map(|r| r.ensembles).sum();
+        assert_eq!(total_patterns, bundle.ensemble.len());
+        assert_eq!(total_ensembles, bundle.ensemble.group_count());
+        for r in &rows {
+            assert!(
+                r.patterns >= r.ensembles,
+                "{}: {} patterns < {} ensembles",
+                r.species,
+                r.patterns,
+                r.ensembles
+            );
+        }
+    }
+
+    #[test]
+    fn every_group_is_single_species() {
+        let corpus = small_corpus();
+        let bundle = DatasetBundle::build(&corpus);
+        let members = bundle.ensemble.group_members();
+        for group in members {
+            let labels: std::collections::HashSet<usize> = group
+                .iter()
+                .map(|&i| bundle.ensemble.label(i))
+                .collect();
+            assert!(labels.len() <= 1);
+        }
+    }
+}

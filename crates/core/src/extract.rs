@@ -1,0 +1,389 @@
+//! High-level ensemble extraction: the `saxanomaly` → `trigger` →
+//! `cutter` chain as one convenient call over raw samples.
+//!
+//! "The moving average of the SAX anomaly score … is output by
+//! `saxanomaly` … The `trigger` operator transforms the anomaly score
+//! into a trigger signal that has the discrete values of either 0 or 1.
+//! The `trigger` operator is adaptive in that it incrementally computes
+//! an estimate of the mean anomaly score, μ₀, for values when the
+//! trigger value is 0. `Trigger` emits a value of 1 when the anomaly
+//! score is more than 5 standard deviations from μ₀ … When the trigger
+//! signal transitions from 0 to 1, `cutter` emits an `OpenScope` record
+//! … Each ensemble comprises values from the original acoustic signal
+//! that correspond to when the trigger value is 1" (paper §3).
+
+use crate::config::ExtractorConfig;
+use river_dsp::stats::{MovingAverage, Welford};
+use river_sax::anomaly::BitmapAnomaly;
+
+/// One extracted ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ensemble {
+    /// Index of the first sample (within the source clip).
+    pub start: usize,
+    /// One past the last sample.
+    pub end: usize,
+    /// The ensemble's samples (copied out of the clip).
+    pub samples: Vec<f64>,
+}
+
+impl Ensemble {
+    /// Ensemble length in samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the ensemble holds no samples (never produced by the
+    /// extractor).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration in seconds at `sample_rate`.
+    pub fn duration(&self, sample_rate: f64) -> f64 {
+        self.samples.len() as f64 / sample_rate
+    }
+}
+
+/// Per-sample traces from an extraction run — the data behind the
+/// paper's Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionTrace {
+    /// Smoothed anomaly score per sample.
+    pub scores: Vec<f64>,
+    /// Trigger value (0 or 1) per sample.
+    pub trigger: Vec<u8>,
+    /// The extracted ensembles.
+    pub ensembles: Vec<Ensemble>,
+}
+
+/// The adaptive trigger: estimates μ₀/σ₀ of the smoothed anomaly score
+/// *while the trigger is 0* and fires when the score is "more than 5
+/// standard deviations **from** μ₀" (paper §3) — a two-sided test.
+///
+/// Two-sidedness matters: at the SAX-bitmap level, broadband noise has a
+/// stable, *positive* baseline (multinomial sampling noise between the
+/// lag/lead matrices), song onsets push the score above it, and
+/// sustained tonal vocalizations *concentrate* the symbol distribution
+/// and pull the score below it.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTrigger {
+    sigmas: f64,
+    quiet: Welford,
+    state: bool,
+    warmup: u64,
+    seen: u64,
+    hold: u64,
+    calm: u64,
+}
+
+impl AdaptiveTrigger {
+    /// Creates a trigger with threshold `sigmas` standard deviations;
+    /// `warmup` initial samples never fire (lets the anomaly detector
+    /// and smoother settle).
+    pub fn new(sigmas: f64, warmup: u64) -> Self {
+        Self::with_hold(sigmas, warmup, 0)
+    }
+
+    /// Like [`new`](Self::new), but once fired the trigger stays high
+    /// until the score remains inside the band for `hold` consecutive
+    /// samples — bridging the quiet gaps between a song bout's
+    /// syllables so one bout yields one ensemble rather than fragments.
+    pub fn with_hold(sigmas: f64, warmup: u64, hold: u64) -> Self {
+        AdaptiveTrigger {
+            sigmas,
+            quiet: Welford::new(),
+            state: false,
+            warmup,
+            seen: 0,
+            hold,
+            calm: 0,
+        }
+    }
+
+    /// Current trigger value.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// The quiet-score mean μ₀ estimated so far.
+    pub fn mu0(&self) -> f64 {
+        self.quiet.mean()
+    }
+
+    /// The half-width of the firing band around μ₀.
+    pub fn band(&self) -> f64 {
+        let sigma = self
+            .quiet
+            .population_std_dev()
+            // σ floor: on extremely flat noise the 5σ band collapses to
+            // nothing and quantization dust would fire the trigger.
+            .max(0.02 * self.quiet.mean());
+        self.sigmas * sigma
+    }
+
+    /// Consumes one smoothed score, returning the new trigger value.
+    pub fn push(&mut self, score: f64) -> bool {
+        self.seen += 1;
+        if self.seen <= self.warmup {
+            self.quiet.push(score);
+            self.state = false;
+            return false;
+        }
+        let deviation = (score - self.quiet.mean()).abs();
+        if self.state {
+            // Falls back to 0 when the score stays inside the band for
+            // `hold` consecutive samples.
+            if deviation <= self.band() {
+                self.calm += 1;
+                if self.calm > self.hold {
+                    self.state = false;
+                    self.calm = 0;
+                    self.quiet.push(score);
+                }
+            } else {
+                self.calm = 0;
+            }
+        } else if deviation > self.band() && self.quiet.count() > 0 {
+            self.state = true;
+            self.calm = 0;
+        } else {
+            // Only quiet samples update μ₀/σ₀ (paper §3).
+            self.quiet.push(score);
+        }
+        self.state
+    }
+}
+
+/// Runs the extraction chain over raw audio.
+///
+/// # Example
+///
+/// ```
+/// use ensemble_core::prelude::*;
+///
+/// let clip = ClipSynthesizer::new(SynthConfig::short_test()).clip(SpeciesCode::Rwbl, 3);
+/// let ensembles = EnsembleExtractor::new(ExtractorConfig::default()).extract(&clip.samples);
+/// for e in &ensembles {
+///     assert!(e.len() >= 840); // min_ensemble_samples default
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnsembleExtractor {
+    config: ExtractorConfig,
+}
+
+impl EnsembleExtractor {
+    /// Creates an extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// ([`ExtractorConfig::validate`]).
+    pub fn new(config: ExtractorConfig) -> Self {
+        config.validate();
+        EnsembleExtractor { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// Extracts ensembles from `samples`.
+    pub fn extract(&self, samples: &[f64]) -> Vec<Ensemble> {
+        self.extract_with_trace(samples).ensembles
+    }
+
+    /// Extracts ensembles and returns the full per-sample traces
+    /// (Figure 6).
+    pub fn extract_with_trace(&self, samples: &[f64]) -> ExtractionTrace {
+        let c = &self.config;
+        let mut detector = BitmapAnomaly::new(c.anomaly_config());
+        let mut smoother = MovingAverage::new(c.ma_window);
+        // Let the detector windows fill and the smoother settle before
+        // the trigger may fire.
+        let warmup = (2 * c.anomaly_window + c.ma_window) as u64;
+        let mut trigger =
+            AdaptiveTrigger::with_hold(c.trigger_sigmas, warmup, c.trigger_hold as u64);
+
+        let mut scores = Vec::with_capacity(samples.len());
+        let mut trig = Vec::with_capacity(samples.len());
+        let mut ensembles = Vec::new();
+        let mut open_start: Option<usize> = None;
+
+        for (i, &x) in samples.iter().enumerate() {
+            let raw = detector.push(x);
+            let smoothed = smoother.push(raw);
+            scores.push(smoothed);
+            let state = trigger.push(smoothed);
+            trig.push(state as u8);
+            match (open_start, state) {
+                (None, true) => open_start = Some(i),
+                (Some(start), false) => {
+                    self.finish(&mut ensembles, samples, start, i);
+                    open_start = None;
+                }
+                _ => {}
+            }
+        }
+        // Trigger still high at end of clip: close the dangling ensemble
+        // (the record pipeline emits CloseScope at clip close).
+        if let Some(start) = open_start {
+            self.finish(&mut ensembles, samples, start, samples.len());
+        }
+        ExtractionTrace {
+            scores,
+            trigger: trig,
+            ensembles,
+        }
+    }
+
+    fn finish(&self, out: &mut Vec<Ensemble>, samples: &[f64], start: usize, end: usize) {
+        if end - start < self.config.min_ensemble_samples {
+            return; // too short to be a vocalization
+        }
+        out.push(Ensemble {
+            start,
+            end,
+            samples: samples[start..end].to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::SpeciesCode;
+    use crate::synth::{ClipSynthesizer, SynthConfig};
+
+    fn extractor() -> EnsembleExtractor {
+        EnsembleExtractor::new(ExtractorConfig::default())
+    }
+
+    #[test]
+    fn adaptive_trigger_fires_on_outliers_only() {
+        let mut t = AdaptiveTrigger::new(5.0, 10);
+        // Quiet phase: scores near 0.1 with small jitter.
+        for i in 0..500 {
+            let s = 0.1 + 0.001 * ((i % 7) as f64 - 3.0);
+            assert!(!t.push(s), "fired during quiet at {i}");
+        }
+        // Outlier fires.
+        assert!(t.push(0.5));
+        // Recedes.
+        assert!(!t.push(0.1));
+    }
+
+    #[test]
+    fn trigger_does_not_adapt_while_high() {
+        let mut t = AdaptiveTrigger::new(5.0, 5);
+        for _ in 0..100 {
+            t.push(0.1);
+        }
+        let mu_before = t.mu0();
+        t.push(0.9); // fire
+        for _ in 0..50 {
+            t.push(0.9); // stays high, must not pollute mu0
+        }
+        assert!((t.mu0() - mu_before).abs() < 1e-9);
+        assert!(t.state());
+    }
+
+    #[test]
+    fn trigger_warmup_suppresses_firing() {
+        let mut t = AdaptiveTrigger::new(5.0, 100);
+        for i in 0..100 {
+            assert!(!t.push(10.0 + i as f64), "fired during warmup");
+        }
+    }
+
+    #[test]
+    fn clip_with_songs_yields_ensembles_overlapping_events() {
+        let synth = ClipSynthesizer::new(SynthConfig::paper());
+        let clip = synth.clip(SpeciesCode::Noca, 42);
+        let trace = extractor().extract_with_trace(&clip.samples);
+        assert!(
+            !trace.ensembles.is_empty(),
+            "no ensembles extracted from a clip with {} song bouts",
+            clip.events.len()
+        );
+        // Most extracted ensembles should overlap a ground-truth bout.
+        let overlapping = trace
+            .ensembles
+            .iter()
+            .filter(|e| clip.label_for_range(e.start, e.end).is_some())
+            .count();
+        assert!(
+            overlapping * 2 >= trace.ensembles.len(),
+            "{overlapping}/{} ensembles overlap ground truth",
+            trace.ensembles.len()
+        );
+    }
+
+    #[test]
+    fn ambience_only_clip_yields_few_or_no_ensembles() {
+        let synth = ClipSynthesizer::new(SynthConfig::paper());
+        let clip = synth.silence_clip(9);
+        let ensembles = extractor().extract(&clip.samples);
+        let extracted: usize = ensembles.iter().map(Ensemble::len).sum();
+        // The ambience may trip the trigger occasionally (human-activity
+        // bursts), but the bulk of the clip must not be extracted.
+        assert!(
+            extracted < clip.samples.len() / 4,
+            "{extracted} of {} samples extracted from silence",
+            clip.samples.len()
+        );
+    }
+
+    #[test]
+    fn ensembles_are_ordered_and_disjoint() {
+        let synth = ClipSynthesizer::new(SynthConfig::paper());
+        let clip = synth.clip(SpeciesCode::Hofi, 7);
+        let ensembles = extractor().extract(&clip.samples);
+        for w in ensembles.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        for e in &ensembles {
+            assert_eq!(e.samples.len(), e.end - e.start);
+            assert!(e.len() >= ExtractorConfig::default().min_ensemble_samples);
+        }
+    }
+
+    #[test]
+    fn trace_lengths_match_input() {
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(SpeciesCode::Bcch, 1);
+        let trace = extractor().extract_with_trace(&clip.samples);
+        assert_eq!(trace.scores.len(), clip.samples.len());
+        assert_eq!(trace.trigger.len(), clip.samples.len());
+    }
+
+    #[test]
+    fn trigger_trace_is_binary_and_matches_ensembles() {
+        let synth = ClipSynthesizer::new(SynthConfig::paper());
+        let clip = synth.clip(SpeciesCode::Wbnu, 3);
+        let trace = extractor().extract_with_trace(&clip.samples);
+        assert!(trace.trigger.iter().all(|&t| t <= 1));
+        // Inside every reported ensemble, the trigger is 1 throughout.
+        for e in &trace.ensembles {
+            assert!(trace.trigger[e.start..e.end].iter().all(|&t| t == 1));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let trace = extractor().extract_with_trace(&[]);
+        assert!(trace.ensembles.is_empty());
+        assert!(trace.scores.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(SpeciesCode::Dowo, 5);
+        let a = extractor().extract(&clip.samples);
+        let b = extractor().extract(&clip.samples);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! `cabs`: complex absolute value — converts the DFT output to a real
+//! power-spectrum record (paper §3).
+
+use crate::subtype;
+use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
+
+/// The `cabs` operator: interleaved complex payloads become `F64`
+/// magnitude payloads with subtype [`crate::subtype::POWER`].
+#[derive(Debug, Default)]
+pub struct Cabs;
+
+impl Cabs {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Operator for Cabs {
+    fn name(&self) -> &str {
+        "cabs"
+    }
+
+    fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if record.kind == RecordKind::Data && record.subtype == subtype::SPECTRUM {
+            if let Payload::Complex(v) = &record.payload {
+                let mags: Vec<f64> = v
+                    .chunks_exact(2)
+                    .map(|c| c[0].hypot(c[1]))
+                    .collect();
+                record.payload = Payload::F64(mags);
+                record.subtype = subtype::POWER;
+            }
+        }
+        out.push(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamic_river::Pipeline;
+
+    #[test]
+    fn magnitudes_computed() {
+        let mut p = Pipeline::new();
+        p.add(Cabs::new());
+        let out = p
+            .run(vec![Record::data(
+                subtype::SPECTRUM,
+                Payload::Complex(vec![3.0, 4.0, 0.0, -2.0]),
+            )])
+            .unwrap();
+        assert_eq!(out[0].subtype, subtype::POWER);
+        assert_eq!(out[0].payload.as_f64().unwrap(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn other_records_pass() {
+        let mut p = Pipeline::new();
+        p.add(Cabs::new());
+        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![1.0]))];
+        assert_eq!(p.run(input.clone()).unwrap(), input);
+    }
+}

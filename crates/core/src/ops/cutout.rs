@@ -1,0 +1,147 @@
+//! `cutout`: selects the analysis frequency band from each spectral
+//! record.
+//!
+//! "The `cutout` operator selects specific frequency ranges from each
+//! record and emits records comprising only these ranges. Data outside
+//! of the selected range is discarded. For our classification
+//! experiments, the frequency range ≈[1.2 kHz, 9.6 kHz] was cut out.
+//! … data below this range typically comprises low frequency noise,
+//! including the sound of wind and sounds produced by human activity"
+//! (paper §3).
+
+use crate::{context_key, scope_type, subtype};
+use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
+
+/// The `cutout` operator. The sample rate is taken from the enclosing
+/// clip scope's context (falling back to the configured default), and
+/// bin indices are derived per record length, so the operator works for
+/// any record geometry.
+#[derive(Debug)]
+pub struct Cutout {
+    low_hz: f64,
+    high_hz: f64,
+    default_rate: f64,
+    current_rate: f64,
+}
+
+impl Cutout {
+    /// Creates the operator for the band `[low_hz, high_hz)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is inverted or not positive.
+    pub fn new(low_hz: f64, high_hz: f64, default_rate: f64) -> Self {
+        assert!(low_hz >= 0.0 && low_hz < high_hz, "invalid cutout band");
+        assert!(default_rate > 0.0, "default rate must be positive");
+        Cutout {
+            low_hz,
+            high_hz,
+            default_rate,
+            current_rate: default_rate,
+        }
+    }
+
+    /// Bin range kept for a record of `n` DFT bins at the current rate.
+    fn bin_range(&self, n: usize) -> (usize, usize) {
+        let bin_hz = self.current_rate / n as f64;
+        let lo = (self.low_hz / bin_hz).round() as usize;
+        let hi = ((self.high_hz / bin_hz).round() as usize).min(n);
+        (lo.min(n), hi)
+    }
+}
+
+impl Operator for Cutout {
+    fn name(&self) -> &str {
+        "cutout"
+    }
+
+    fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        match record.kind {
+            RecordKind::OpenScope if record.scope_type == scope_type::CLIP => {
+                self.current_rate = record
+                    .payload
+                    .context(context_key::SAMPLE_RATE)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(self.default_rate);
+                out.push(record)
+            }
+            RecordKind::Data if record.subtype == subtype::POWER => {
+                if let Payload::F64(v) = &record.payload {
+                    let (lo, hi) = self.bin_range(v.len());
+                    record.payload = Payload::F64(v[lo..hi].to_vec());
+                }
+                out.push(record)
+            }
+            _ => out.push(record),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamic_river::Pipeline;
+
+    #[test]
+    fn production_geometry_keeps_350_bins() {
+        let mut p = Pipeline::new();
+        p.add(Cutout::new(1_200.0, 9_600.0, 20_160.0));
+        let out = p
+            .run(vec![Record::data(
+                subtype::POWER,
+                Payload::F64((0..840).map(|i| i as f64).collect()),
+            )])
+            .unwrap();
+        let kept = out[0].payload.as_f64().unwrap();
+        assert_eq!(kept.len(), 350);
+        // First kept bin is bin 50 (1.2 kHz at 24 Hz bins).
+        assert_eq!(kept[0], 50.0);
+        assert_eq!(kept[349], 399.0);
+    }
+
+    #[test]
+    fn rate_from_scope_context_overrides_default() {
+        let mut p = Pipeline::new();
+        p.add(Cutout::new(1_200.0, 9_600.0, 20_160.0));
+        let out = p
+            .run(vec![
+                Record::open_scope(
+                    scope_type::CLIP,
+                    vec![(context_key::SAMPLE_RATE.into(), "40320".into())],
+                ),
+                Record::data(subtype::POWER, Payload::F64(vec![0.0; 840])),
+                Record::close_scope(scope_type::CLIP),
+            ])
+            .unwrap();
+        // Doubled rate halves the kept bin count: 48 Hz bins -> 25..200.
+        assert_eq!(out[1].payload.as_f64().unwrap().len(), 175);
+    }
+
+    #[test]
+    fn band_clamps_to_record() {
+        let mut p = Pipeline::new();
+        p.add(Cutout::new(1_200.0, 9_600.0, 4_000.0));
+        // At a 4 kHz rate the upper band edge exceeds the spectrum; the
+        // kept range is clamped.
+        let out = p
+            .run(vec![Record::data(subtype::POWER, Payload::F64(vec![1.0; 100]))])
+            .unwrap();
+        let kept = out[0].payload.as_f64().unwrap();
+        assert!(kept.len() <= 100);
+        assert!(!kept.is_empty());
+    }
+
+    #[test]
+    fn non_power_records_pass() {
+        let mut p = Pipeline::new();
+        p.add(Cutout::new(1_200.0, 9_600.0, 20_160.0));
+        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 16]))];
+        assert_eq!(p.run(input.clone()).unwrap(), input);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cutout band")]
+    fn rejects_inverted_band() {
+        Cutout::new(9_600.0, 1_200.0, 20_160.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! `dft`: the discrete Fourier transform stage (paper §3).
+
+use crate::subtype;
+use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
+use river_dsp::{Complex64, Fft};
+use std::collections::HashMap;
+
+/// The `dft` operator: transforms interleaved-complex records in place.
+/// FFT plans are cached per record length (Bluestein handles the
+/// non-power-of-two production length).
+#[derive(Debug, Default)]
+pub struct Dft {
+    plans: HashMap<usize, Fft>,
+}
+
+impl Dft {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Operator for Dft {
+    fn name(&self) -> &str {
+        "dft"
+    }
+
+    fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if record.kind == RecordKind::Data && record.subtype == subtype::SPECTRUM {
+            if let Payload::Complex(v) = &record.payload {
+                if v.len() % 2 != 0 {
+                    return Err(PipelineError::operator(
+                        "dft",
+                        "complex payload with odd length",
+                    ));
+                }
+                let n = v.len() / 2;
+                let plan = self.plans.entry(n).or_insert_with(|| Fft::new(n));
+                let mut buf: Vec<Complex64> = v
+                    .chunks_exact(2)
+                    .map(|c| Complex64::new(c[0], c[1]))
+                    .collect();
+                plan.forward_in_place(&mut buf);
+                let mut interleaved = Vec::with_capacity(v.len());
+                for z in buf {
+                    interleaved.push(z.re);
+                    interleaved.push(z.im);
+                }
+                record.payload = Payload::Complex(interleaved);
+            }
+        }
+        out.push(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamic_river::Pipeline;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn transforms_tone_to_bin() {
+        let n = 64;
+        let k0 = 4;
+        let mut interleaved = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            interleaved.push((2.0 * PI * k0 as f64 * i as f64 / n as f64).cos());
+            interleaved.push(0.0);
+        }
+        let mut p = Pipeline::new();
+        p.add(Dft::new());
+        let out = p
+            .run(vec![Record::data(
+                subtype::SPECTRUM,
+                Payload::Complex(interleaved),
+            )])
+            .unwrap();
+        let spec = out[0].payload.as_complex().unwrap();
+        let mag = |k: usize| (spec[2 * k].powi(2) + spec[2 * k + 1].powi(2)).sqrt();
+        assert!((mag(k0) - n as f64 / 2.0).abs() < 1e-6);
+        assert!(mag(k0 + 1) < 1e-6);
+    }
+
+    #[test]
+    fn plan_cache_handles_multiple_lengths() {
+        let mut op = Dft::new();
+        let mut sink: Vec<Record> = Vec::new();
+        for n in [8usize, 840, 8] {
+            op.on_record(
+                Record::data(subtype::SPECTRUM, Payload::Complex(vec![0.0; n * 2])),
+                &mut sink,
+            )
+            .unwrap();
+        }
+        assert_eq!(op.plans.len(), 2);
+    }
+
+    #[test]
+    fn odd_complex_payload_is_error() {
+        let mut p = Pipeline::new();
+        p.add(Dft::new());
+        let err = p
+            .run(vec![Record::data(
+                subtype::SPECTRUM,
+                Payload::Complex(vec![0.0; 3]),
+            )])
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Operator { .. }));
+    }
+
+    #[test]
+    fn non_spectrum_records_pass() {
+        let mut p = Pipeline::new();
+        p.add(Dft::new());
+        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 4]))];
+        assert_eq!(p.run(input.clone()).unwrap(), input);
+    }
+}

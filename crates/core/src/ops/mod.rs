@@ -1,0 +1,44 @@
+//! The pipeline operators of the paper's Figure 5.
+//!
+//! Acquisition: [`wav2rec::Wav2Rec`] (and [`readout::Readout`] for
+//! archival). Ensemble extraction: [`saxanomaly::SaxAnomaly`] →
+//! [`trigger_op::TriggerOp`] → [`cutter::Cutter`]. Spectral
+//! featurization: [`reslice::Reslice`] → [`welchwindow::WelchWindow`] →
+//! [`float2cplx::Float2Cplx`] → [`dft::Dft`] → [`cabs::Cabs`] →
+//! [`cutout::Cutout`] → optional [`paa_op::PaaOp`] →
+//! [`rec2vect::Rec2Vect`].
+//!
+//! All operators preserve scope discipline: clip scopes pass through
+//! `saxanomaly`/`trigger`, `cutter` nests ensemble scopes inside clip
+//! scopes, and the spectral stages transform data records in place
+//! without touching scope records.
+
+pub mod cabs;
+pub mod cutout;
+pub mod cutter;
+pub mod dft;
+pub mod float2cplx;
+pub mod logscale;
+pub mod paa_op;
+pub mod readout;
+pub mod rec2vect;
+pub mod reslice;
+pub mod saxanomaly;
+pub mod trigger_op;
+pub mod wav2rec;
+pub mod welchwindow;
+
+pub use cabs::Cabs;
+pub use cutout::Cutout;
+pub use cutter::Cutter;
+pub use dft::Dft;
+pub use float2cplx::Float2Cplx;
+pub use logscale::LogScale;
+pub use paa_op::PaaOp;
+pub use readout::Readout;
+pub use rec2vect::Rec2Vect;
+pub use reslice::Reslice;
+pub use saxanomaly::SaxAnomaly;
+pub use trigger_op::TriggerOp;
+pub use wav2rec::{clip_to_records, Wav2Rec};
+pub use welchwindow::WelchWindow;

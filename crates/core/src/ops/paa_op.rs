@@ -1,0 +1,66 @@
+//! `paa`: optional PAA reduction of each spectral record (paper §3:
+//! "reduced by a factor of 10 using PAA").
+
+use crate::subtype;
+use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
+use river_sax::paa::paa_by_factor;
+
+/// The optional `paa` operator: reduces `F64` power records by an
+/// integer factor.
+#[derive(Debug)]
+pub struct PaaOp {
+    factor: usize,
+}
+
+impl PaaOp {
+    /// Creates the operator with the given reduction factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize) -> Self {
+        assert!(factor > 0, "factor must be non-zero");
+        PaaOp { factor }
+    }
+}
+
+impl Operator for PaaOp {
+    fn name(&self) -> &str {
+        "paa"
+    }
+
+    fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if record.kind == RecordKind::Data && record.subtype == subtype::POWER {
+            if let Payload::F64(v) = &record.payload {
+                record.payload = Payload::F64(paa_by_factor(v, self.factor));
+            }
+        }
+        out.push(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamic_river::Pipeline;
+
+    #[test]
+    fn reduces_350_bins_to_35() {
+        let mut p = Pipeline::new();
+        p.add(PaaOp::new(10));
+        let out = p
+            .run(vec![Record::data(subtype::POWER, Payload::F64(vec![2.0; 350]))])
+            .unwrap();
+        let v = out[0].payload.as_f64().unwrap();
+        assert_eq!(v.len(), 35);
+        assert!(v.iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn audio_records_pass() {
+        let mut p = Pipeline::new();
+        p.add(PaaOp::new(10));
+        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![1.0; 20]))];
+        assert_eq!(p.run(input.clone()).unwrap(), input);
+    }
+}

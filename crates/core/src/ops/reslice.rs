@@ -1,0 +1,171 @@
+//! `reslice`: 50 % overlap records for Welch-style spectral analysis.
+//!
+//! "For each pair of ensemble records, the `reslice` operator constructs
+//! a new record comprising the last half of the first record and the
+//! second half of the second original record. This new record is then
+//! inserted into the record stream between the two original records"
+//! (paper §3).
+
+use crate::{scope_type, subtype};
+use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
+
+/// The `reslice` operator (operates on audio records inside ensemble
+/// scopes; everything else passes through).
+#[derive(Debug, Default)]
+pub struct Reslice {
+    /// Previous audio record within the current ensemble.
+    held: Option<Record>,
+    in_ensemble: bool,
+}
+
+impl Reslice {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn flush_held(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if let Some(r) = self.held.take() {
+            out.push(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl Operator for Reslice {
+    fn name(&self) -> &str {
+        "reslice"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        match record.kind {
+            RecordKind::OpenScope if record.scope_type == scope_type::ENSEMBLE => {
+                self.flush_held(out)?;
+                self.in_ensemble = true;
+                out.push(record)
+            }
+            k if k.closes_scope() && record.scope_type == scope_type::ENSEMBLE => {
+                self.flush_held(out)?;
+                self.in_ensemble = false;
+                out.push(record)
+            }
+            RecordKind::Data if self.in_ensemble && record.subtype == subtype::AUDIO => {
+                let Some(cur) = record.payload.as_f64() else {
+                    return Err(PipelineError::operator(
+                        "reslice",
+                        "audio record without F64 payload",
+                    ));
+                };
+                if let Some(prev_rec) = self.held.take() {
+                    let prev = prev_rec.payload.as_f64().expect("held record is F64");
+                    if prev.len() != cur.len() {
+                        return Err(PipelineError::operator(
+                            "reslice",
+                            format!("record length change {} -> {}", prev.len(), cur.len()),
+                        ));
+                    }
+                    let half = prev.len() / 2;
+                    let mut overlap = Vec::with_capacity(prev.len());
+                    overlap.extend_from_slice(&prev[prev.len() - half..]);
+                    overlap.extend_from_slice(&cur[..prev.len() - half]);
+                    let overlap_rec = Record::data(subtype::AUDIO, Payload::F64(overlap))
+                        .with_seq(prev_rec.seq)
+                        .with_depth(prev_rec.scope_depth);
+                    out.push(prev_rec)?;
+                    out.push(overlap_rec)?;
+                }
+                self.held = Some(record);
+                Ok(())
+            }
+            _ => {
+                // Leaving any non-data context flushes the held record.
+                if record.is_scope_marker() {
+                    self.flush_held(out)?;
+                }
+                out.push(record)
+            }
+        }
+    }
+
+    fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        self.flush_held(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamic_river::scope::validate_scopes;
+    use dynamic_river::Pipeline;
+
+    fn ensemble_stream(records: &[Vec<f64>]) -> Vec<Record> {
+        let mut v = vec![Record::open_scope(scope_type::ENSEMBLE, vec![])];
+        for (i, r) in records.iter().enumerate() {
+            v.push(Record::data(subtype::AUDIO, Payload::F64(r.clone())).with_seq(i as u64));
+        }
+        v.push(Record::close_scope(scope_type::ENSEMBLE));
+        v
+    }
+
+    #[test]
+    fn inserts_overlap_between_pairs() {
+        let a: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let b: Vec<f64> = (8..16).map(|i| i as f64).collect();
+        let mut p = Pipeline::new();
+        p.add(Reslice::new());
+        let out = p.run(ensemble_stream(&[a, b])).unwrap();
+        validate_scopes(&out).unwrap();
+        // open, a, overlap, b, close
+        assert_eq!(out.len(), 5);
+        let overlap = out[2].payload.as_f64().unwrap();
+        assert_eq!(overlap, &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn three_records_produce_two_overlaps() {
+        let recs: Vec<Vec<f64>> = (0..3).map(|k| vec![k as f64; 6]).collect();
+        let mut p = Pipeline::new();
+        p.add(Reslice::new());
+        let out = p.run(ensemble_stream(&recs)).unwrap();
+        // open + 3 originals + 2 overlaps + close
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn single_record_ensemble_unchanged() {
+        let mut p = Pipeline::new();
+        p.add(Reslice::new());
+        let out = p.run(ensemble_stream(&[vec![1.0; 4]])).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn does_not_cross_ensemble_boundaries() {
+        let mut input = ensemble_stream(&[vec![1.0; 4]]);
+        input.extend(ensemble_stream(&[vec![2.0; 4]]));
+        let mut p = Pipeline::new();
+        p.add(Reslice::new());
+        let out = p.run(input).unwrap();
+        // Two ensembles of one record each: no overlaps created.
+        assert_eq!(out.len(), 6);
+        validate_scopes(&out).unwrap();
+    }
+
+    #[test]
+    fn records_outside_ensembles_pass_through() {
+        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 4]))];
+        let mut p = Pipeline::new();
+        p.add(Reslice::new());
+        assert_eq!(p.run(input.clone()).unwrap(), input);
+    }
+
+    #[test]
+    fn length_change_is_error() {
+        let mut p = Pipeline::new();
+        p.add(Reslice::new());
+        let err = p
+            .run(ensemble_stream(&[vec![0.0; 4], vec![0.0; 8]]))
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Operator { .. }));
+    }
+}

@@ -1,0 +1,138 @@
+//! `trigger`: converts smoothed anomaly scores into a 0/1 trigger
+//! signal (paper §3, Figure 6 top).
+//!
+//! Score records (subtype [`crate::subtype::SCORE`]) become trigger
+//! records (subtype [`crate::subtype::TRIGGER`], values 0.0/1.0); audio
+//! and scope records pass through. Trigger state resets per clip.
+
+use crate::config::ExtractorConfig;
+use crate::extract::AdaptiveTrigger;
+use crate::{scope_type, subtype};
+use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
+
+/// The `trigger` operator.
+pub struct TriggerOp {
+    config: ExtractorConfig,
+    trigger: AdaptiveTrigger,
+}
+
+impl TriggerOp {
+    /// Creates the operator from the pipeline configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: ExtractorConfig) -> Self {
+        config.validate();
+        TriggerOp {
+            trigger: Self::fresh_trigger(&config),
+            config,
+        }
+    }
+
+    fn fresh_trigger(config: &ExtractorConfig) -> AdaptiveTrigger {
+        let warmup = (2 * config.anomaly_window + config.ma_window) as u64;
+        AdaptiveTrigger::with_hold(config.trigger_sigmas, warmup, config.trigger_hold as u64)
+    }
+}
+
+impl Operator for TriggerOp {
+    fn name(&self) -> &str {
+        "trigger"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        match record.kind {
+            RecordKind::OpenScope if record.scope_type == scope_type::CLIP => {
+                self.trigger = Self::fresh_trigger(&self.config);
+                out.push(record)
+            }
+            RecordKind::Data if record.subtype == subtype::SCORE => {
+                let Some(scores) = record.payload.as_f64() else {
+                    return Err(PipelineError::operator(
+                        "trigger",
+                        "score record without F64 payload",
+                    ));
+                };
+                let values: Vec<f64> = scores
+                    .iter()
+                    .map(|&s| if self.trigger.push(s) { 1.0 } else { 0.0 })
+                    .collect();
+                out.push(
+                    Record::data(subtype::TRIGGER, Payload::F64(values))
+                        .with_seq(record.seq)
+                        .with_depth(record.scope_depth),
+                )
+            }
+            _ => out.push(record),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::saxanomaly::SaxAnomaly;
+    use crate::ops::wav2rec::clip_to_records;
+    use crate::prelude::*;
+    use dynamic_river::Pipeline;
+
+    fn run_chain(samples: &[f64]) -> Vec<Record> {
+        let cfg = ExtractorConfig::default();
+        let mut p = Pipeline::new();
+        p.add(SaxAnomaly::new(cfg));
+        p.add(TriggerOp::new(cfg));
+        p.run(clip_to_records(samples, cfg.sample_rate, cfg.record_len, &[]))
+            .unwrap()
+    }
+
+    #[test]
+    fn scores_replaced_by_triggers() {
+        let out = run_chain(&vec![0.01; 840 * 3]);
+        assert!(out.iter().all(|r| r.subtype != subtype::SCORE));
+        let triggers = out
+            .iter()
+            .filter(|r| r.kind == RecordKind::Data && r.subtype == subtype::TRIGGER)
+            .count();
+        assert_eq!(triggers, 3);
+    }
+
+    #[test]
+    fn trigger_values_are_binary() {
+        let out = run_chain(&vec![0.01; 840 * 3]);
+        for r in out.iter().filter(|r| r.subtype == subtype::TRIGGER) {
+            for &v in r.payload.as_f64().unwrap() {
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_extraction_trigger() {
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(SpeciesCode::Rwbl, 11);
+        let cfg = ExtractorConfig::default();
+        let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+        let out = run_chain(&clip.samples[..usable]);
+        let record_trigger: Vec<u8> = out
+            .iter()
+            .filter(|r| r.subtype == subtype::TRIGGER && r.kind == RecordKind::Data)
+            .flat_map(|r| r.payload.as_f64().unwrap().iter().map(|&v| v as u8).collect::<Vec<u8>>())
+            .collect();
+        let trace =
+            crate::extract::EnsembleExtractor::new(cfg).extract_with_trace(&clip.samples[..usable]);
+        assert_eq!(record_trigger, trace.trigger);
+    }
+
+    #[test]
+    fn audio_passes_through_unmodified() {
+        let samples: Vec<f64> = (0..840 * 2).map(|i| (i as f64 * 0.3).sin() * 0.01).collect();
+        let out = run_chain(&samples);
+        let audio: Vec<f64> = out
+            .iter()
+            .filter(|r| r.subtype == subtype::AUDIO && r.kind == RecordKind::Data)
+            .flat_map(|r| r.payload.as_f64().unwrap().to_vec())
+            .collect();
+        assert_eq!(audio, samples[..840 * 2].to_vec());
+    }
+}

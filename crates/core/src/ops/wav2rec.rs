@@ -1,0 +1,173 @@
+//! `wav2rec`: encapsulates acoustic data in pipeline records.
+//!
+//! "During analysis, a data feed is invoked to read clips from storage
+//! and write them to `wav2rec` to encapsulate acoustic data (WAV format
+//! in this case) in pipeline records" (paper §3). Incoming records carry
+//! whole WAV files as bytes; each becomes a clip scope containing
+//! fixed-length audio records.
+
+use crate::{context_key, scope_type, subtype};
+use dynamic_river::{Operator, Payload, PipelineError, Record, Sink};
+use river_dsp::wav::WavReader;
+
+/// Splits raw clip samples into a scoped record stream: an `OpenScope`
+/// (type `CLIP`, carrying the sample rate), `record_len`-sample audio
+/// records, and a `CloseScope`. Trailing samples that do not fill a
+/// record are dropped (the sensor platform sends whole records).
+///
+/// # Panics
+///
+/// Panics if `record_len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ensemble_core::ops::clip_to_records;
+///
+/// let records = clip_to_records(&[0.0; 2_000], 20_160.0, 840, &[]);
+/// // open + 2 full audio records (1680 samples) + close
+/// assert_eq!(records.len(), 4);
+/// ```
+pub fn clip_to_records(
+    samples: &[f64],
+    sample_rate: f64,
+    record_len: usize,
+    extra_context: &[(String, String)],
+) -> Vec<Record> {
+    assert!(record_len > 0, "record_len must be non-zero");
+    let mut context = vec![(
+        context_key::SAMPLE_RATE.to_string(),
+        format!("{sample_rate}"),
+    )];
+    context.extend_from_slice(extra_context);
+    let mut out = Vec::with_capacity(samples.len() / record_len + 2);
+    out.push(Record::open_scope(scope_type::CLIP, context).with_depth(0));
+    for (i, chunk) in samples.chunks_exact(record_len).enumerate() {
+        out.push(
+            Record::data(subtype::AUDIO, Payload::F64(chunk.to_vec()))
+                .with_seq(i as u64)
+                .with_depth(1),
+        );
+    }
+    out.push(Record::close_scope(scope_type::CLIP).with_depth(0));
+    out
+}
+
+/// The `wav2rec` operator: each incoming `Bytes` data record is parsed
+/// as a WAV file and expanded into a clip scope of audio records
+/// (multichannel input is mixed down to mono). Non-bytes records pass
+/// through untouched.
+#[derive(Debug)]
+pub struct Wav2Rec {
+    record_len: usize,
+}
+
+impl Wav2Rec {
+    /// Creates the operator with the pipeline record length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_len == 0`.
+    pub fn new(record_len: usize) -> Self {
+        assert!(record_len > 0, "record_len must be non-zero");
+        Wav2Rec { record_len }
+    }
+}
+
+impl Operator for Wav2Rec {
+    fn name(&self) -> &str {
+        "wav2rec"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        let Some(bytes) = record.payload.as_bytes() else {
+            return out.push(record);
+        };
+        let wav = WavReader::read(bytes)
+            .map_err(|e| PipelineError::operator("wav2rec", format!("bad wav payload: {e}")))?;
+        let mono = wav.to_mono();
+        for r in clip_to_records(&mono, wav.spec.sample_rate as f64, self.record_len, &[]) {
+            out.push(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dynamic_river::scope::validate_scopes;
+    use dynamic_river::{Pipeline, RecordKind};
+    use river_dsp::wav::{WavSpec, WavWriter};
+
+    #[test]
+    fn clip_to_records_shapes() {
+        let records = clip_to_records(&[0.5; 2_100], 20_160.0, 840, &[]);
+        assert_eq!(records.len(), 4); // open + 2 records (1680) + close
+        assert_eq!(records[0].kind, RecordKind::OpenScope);
+        assert_eq!(
+            records[0].payload.context(context_key::SAMPLE_RATE),
+            Some("20160")
+        );
+        assert_eq!(records[1].subtype, subtype::AUDIO);
+        assert_eq!(records[1].payload.as_f64().unwrap().len(), 840);
+        assert_eq!(records[1].seq, 0);
+        assert_eq!(records[2].seq, 1);
+        validate_scopes(&records).unwrap();
+    }
+
+    #[test]
+    fn extra_context_is_carried() {
+        let records = clip_to_records(
+            &[0.0; 840],
+            20_160.0,
+            840,
+            &[("species".to_string(), "NOCA".to_string())],
+        );
+        assert_eq!(records[0].payload.context("species"), Some("NOCA"));
+    }
+
+    #[test]
+    fn wav_bytes_expand_to_clip_scope() {
+        let spec = WavSpec::mono_pcm16(20_160);
+        let samples: Vec<f64> = (0..1_680).map(|i| (i as f64 * 0.01).sin() * 0.5).collect();
+        let mut wav = Vec::new();
+        WavWriter::write(&mut wav, spec, &samples).unwrap();
+
+        let mut p = Pipeline::new();
+        p.add(Wav2Rec::new(840));
+        let out = p
+            .run(vec![Record::data(0, Payload::Bytes(Bytes::from(wav)))])
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        validate_scopes(&out).unwrap();
+        // Samples survive the PCM16 round trip to within quantization.
+        let decoded = out[1].payload.as_f64().unwrap();
+        for (a, b) in samples[..840].iter().zip(decoded) {
+            assert!((a - b).abs() < 2.0 / 32768.0);
+        }
+    }
+
+    #[test]
+    fn non_bytes_records_pass_through() {
+        let mut p = Pipeline::new();
+        p.add(Wav2Rec::new(840));
+        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 4]))];
+        let out = p.run(input.clone()).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn malformed_wav_is_an_operator_error() {
+        let mut p = Pipeline::new();
+        p.add(Wav2Rec::new(840));
+        let err = p
+            .run(vec![Record::data(
+                0,
+                Payload::Bytes(Bytes::from_static(b"not a wav")),
+            )])
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Operator { .. }));
+    }
+}

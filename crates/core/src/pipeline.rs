@@ -1,0 +1,290 @@
+//! Assembly of the paper's Figure 5 operator graph, plus a fast direct
+//! featurization path used by dataset construction.
+
+use crate::config::ExtractorConfig;
+use crate::ops::{
+    Cabs, Cutout, Cutter, Dft, Float2Cplx, LogScale, PaaOp, Rec2Vect, Reslice, SaxAnomaly,
+    TriggerOp, WelchWindow,
+};
+use dynamic_river::Pipeline;
+use river_dsp::window::WindowKind;
+use river_dsp::{Complex64, Fft};
+use river_sax::paa::paa_by_factor;
+
+/// Builds the ensemble-extraction segment (`saxanomaly` → `trigger` →
+/// `cutter`), the first half of Figure 5.
+pub fn extraction_segment(config: ExtractorConfig) -> Pipeline {
+    let mut p = Pipeline::new();
+    p.add(SaxAnomaly::new(config));
+    p.add(TriggerOp::new(config));
+    p.add(Cutter::new(config));
+    p
+}
+
+/// Builds the spectral featurization segment (`[reslice]` →
+/// `welchwindow` → `float2cplx` → `dft` → `cabs` → `cutout` → `[paa]`
+/// → `rec2vect`), the second half of Figure 5.
+pub fn featurization_segment(config: ExtractorConfig, with_paa: bool) -> Pipeline {
+    let mut p = Pipeline::new();
+    if config.reslice {
+        p.add(Reslice::new());
+    }
+    p.add(WelchWindow::new());
+    p.add(Float2Cplx::new());
+    p.add(Dft::new());
+    p.add(Cabs::new());
+    p.add(Cutout::new(
+        config.cutout_low_hz,
+        config.cutout_high_hz,
+        config.sample_rate,
+    ));
+    if with_paa {
+        p.add(PaaOp::new(config.paa_factor));
+    }
+    if config.log_scale {
+        p.add(LogScale::new());
+    }
+    p.add(Rec2Vect::new(config.pattern_records));
+    p
+}
+
+/// Builds the complete Figure 5 pipeline: extraction followed by
+/// featurization.
+///
+/// # Example
+///
+/// ```
+/// use ensemble_core::pipeline::full_pipeline;
+/// use ensemble_core::ExtractorConfig;
+///
+/// let p = full_pipeline(ExtractorConfig::default(), false);
+/// assert_eq!(
+///     p.names(),
+///     ["saxanomaly", "trigger", "cutter", "welchwindow", "float2cplx",
+///      "dft", "cabs", "cutout", "logscale", "rec2vect"]
+/// );
+/// ```
+pub fn full_pipeline(config: ExtractorConfig, with_paa: bool) -> Pipeline {
+    let mut p = Pipeline::new();
+    p.add(SaxAnomaly::new(config));
+    p.add(TriggerOp::new(config));
+    p.add(Cutter::new(config));
+    if config.reslice {
+        p.add(Reslice::new());
+    }
+    p.add(WelchWindow::new());
+    p.add(Float2Cplx::new());
+    p.add(Dft::new());
+    p.add(Cabs::new());
+    p.add(Cutout::new(
+        config.cutout_low_hz,
+        config.cutout_high_hz,
+        config.sample_rate,
+    ));
+    if with_paa {
+        p.add(PaaOp::new(config.paa_factor));
+    }
+    if config.log_scale {
+        p.add(LogScale::new());
+    }
+    p.add(Rec2Vect::new(config.pattern_records));
+    p
+}
+
+/// Direct featurization of one ensemble's samples (no record plumbing):
+/// chunk into records, Welch window, DFT, magnitude, cutout, optional
+/// PAA, merge `pattern_records` per pattern. This is the fast path used
+/// by dataset construction; `tests` assert it agrees with the operator
+/// pipeline bit-for-bit.
+pub fn featurize_ensemble(
+    samples: &[f64],
+    config: &ExtractorConfig,
+    with_paa: bool,
+) -> Vec<Vec<f64>> {
+    let n = config.record_len;
+    let fft = Fft::new(n);
+    let window = WindowKind::Welch.coefficients(n);
+    let lo = config.cutout_low_bin();
+    let hi = config.cutout_high_bin();
+
+    // Re-chunk exactly like `cutter`: full records; final partial padded
+    // when at least half full.
+    let mut records: Vec<Vec<f64>> = samples.chunks(n).map(|c| c.to_vec()).collect();
+    if let Some(last) = records.last_mut() {
+        if last.len() < n {
+            if last.len() >= n / 2 {
+                last.resize(n, 0.0);
+            } else {
+                records.pop();
+            }
+        }
+    }
+
+    let mut spectra: Vec<Vec<f64>> = Vec::with_capacity(records.len());
+    for rec in &records {
+        let windowed: Vec<Complex64> = rec
+            .iter()
+            .zip(&window)
+            .map(|(&x, &w)| Complex64::from_real(x * w))
+            .collect();
+        let mut buf = windowed;
+        fft.forward_in_place(&mut buf);
+        let mags: Vec<f64> = buf[lo..hi].iter().map(|z| z.abs()).collect();
+        let mut reduced = if with_paa {
+            paa_by_factor(&mags, config.paa_factor)
+        } else {
+            mags
+        };
+        if config.log_scale {
+            for x in reduced.iter_mut() {
+                *x = crate::ops::logscale::log_scale_value(*x);
+            }
+        }
+        spectra.push(reduced);
+    }
+
+    spectra
+        .chunks_exact(config.pattern_records)
+        .map(|group| group.concat())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::wav2rec::clip_to_records;
+    use crate::prelude::*;
+    use crate::{scope_type, subtype};
+    use dynamic_river::{Record, RecordKind};
+
+    #[test]
+    fn segment_operator_names_match_figure5() {
+        let cfg = ExtractorConfig::default();
+        assert_eq!(
+            extraction_segment(cfg).names(),
+            ["saxanomaly", "trigger", "cutter"]
+        );
+        assert_eq!(
+            featurization_segment(cfg, true).names(),
+            ["welchwindow", "float2cplx", "dft", "cabs", "cutout", "paa", "logscale", "rec2vect"]
+        );
+        let resliced = ExtractorConfig {
+            reslice: true,
+            ..cfg
+        };
+        assert_eq!(
+            featurization_segment(resliced, false).names()[0],
+            "reslice"
+        );
+    }
+
+    #[test]
+    fn direct_featurization_produces_paper_geometry() {
+        let cfg = ExtractorConfig::default();
+        let samples = vec![0.5; cfg.record_len * 7];
+        let raw = featurize_ensemble(&samples, &cfg, false);
+        assert_eq!(raw.len(), 2); // 7 records -> 2 groups of 3, 1 dropped
+        assert_eq!(raw[0].len(), 1_050);
+        let paa = featurize_ensemble(&samples, &cfg, true);
+        assert_eq!(paa[0].len(), 105);
+    }
+
+    #[test]
+    fn direct_path_matches_operator_pipeline() {
+        let cfg = ExtractorConfig::default();
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(SpeciesCode::Hofi, 9);
+        // Build an "ensemble" directly from a slice of the clip so both
+        // paths see identical samples (whole records so chunking agrees).
+        let samples = &clip.samples[0..cfg.record_len * 6];
+
+        for with_paa in [false, true] {
+            let direct = featurize_ensemble(samples, &cfg, with_paa);
+
+            // Operator path: wrap the samples in an ensemble scope inside
+            // a clip scope and run featurization.
+            let mut records = vec![
+                Record::open_scope(
+                    scope_type::CLIP,
+                    vec![(
+                        crate::context_key::SAMPLE_RATE.to_string(),
+                        format!("{}", cfg.sample_rate),
+                    )],
+                ),
+                Record::open_scope(scope_type::ENSEMBLE, vec![]),
+            ];
+            for (i, chunk) in samples.chunks_exact(cfg.record_len).enumerate() {
+                records.push(
+                    Record::data(subtype::AUDIO, dynamic_river::Payload::F64(chunk.to_vec()))
+                        .with_seq(i as u64),
+                );
+            }
+            records.push(Record::close_scope(scope_type::ENSEMBLE));
+            records.push(Record::close_scope(scope_type::CLIP));
+
+            let out = featurization_segment(cfg, with_paa).run(records).unwrap();
+            let patterns: Vec<Vec<f64>> = out
+                .iter()
+                .filter(|r| r.kind == RecordKind::Data && r.subtype == subtype::PATTERN)
+                .map(|r| r.payload.as_f64().unwrap().to_vec())
+                .collect();
+            assert_eq!(patterns.len(), direct.len(), "with_paa={with_paa}");
+            for (a, b) in patterns.iter().zip(&direct) {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-9, "with_paa={with_paa}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_ensemble_yields_no_patterns() {
+        let cfg = ExtractorConfig::default();
+        let samples = vec![0.1; cfg.record_len * 2];
+        assert!(featurize_ensemble(&samples, &cfg, false).is_empty());
+    }
+
+    #[test]
+    fn padding_rule_matches_cutter() {
+        let cfg = ExtractorConfig::default();
+        // 3.5 records: final half record padded -> 4 records -> 1 pattern
+        // (3 used).
+        let samples = vec![0.1; cfg.record_len * 3 + cfg.record_len / 2];
+        assert_eq!(featurize_ensemble(&samples, &cfg, false).len(), 1);
+        // 3.4 records: final dropped -> 3 records -> 1 pattern.
+        let samples = vec![0.1; cfg.record_len * 3 + cfg.record_len / 3];
+        assert_eq!(featurize_ensemble(&samples, &cfg, false).len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_pipeline_on_synthetic_clip() {
+        let cfg = ExtractorConfig::default();
+        let synth = ClipSynthesizer::new(SynthConfig::paper());
+        let clip = synth.clip(SpeciesCode::Rwbl, 5);
+        let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+
+        let mut extraction = extraction_segment(cfg);
+        let cut = extraction
+            .run(clip_to_records(
+                &clip.samples[..usable],
+                cfg.sample_rate,
+                cfg.record_len,
+                &[],
+            ))
+            .unwrap();
+        let out = featurization_segment(cfg, false).run(cut).unwrap();
+        let patterns = out
+            .iter()
+            .filter(|r| r.kind == RecordKind::Data && r.subtype == subtype::PATTERN)
+            .count();
+        assert!(patterns > 0, "no patterns from a clip with song bouts");
+        for r in out
+            .iter()
+            .filter(|r| r.kind == RecordKind::Data && r.subtype == subtype::PATTERN)
+        {
+            assert_eq!(r.payload.as_f64().unwrap().len(), 1_050);
+        }
+        dynamic_river::scope::validate_scopes(&out).unwrap();
+    }
+}

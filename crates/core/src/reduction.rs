@@ -1,0 +1,128 @@
+//! Data-reduction accounting.
+//!
+//! "Extraction of ensembles from acoustic clips reduced the amount of
+//! data that required further processing by 80.6 %" (paper §4). This
+//! module tallies the samples entering the cutter against the samples
+//! leaving it inside ensembles.
+
+use std::fmt;
+
+/// Accumulated reduction statistics.
+///
+/// # Example
+///
+/// ```
+/// use ensemble_core::reduction::ReductionStats;
+///
+/// let mut stats = ReductionStats::default();
+/// stats.record_clip(1_000, 194);
+/// assert!((stats.reduction_percent() - 80.6).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Total clip samples scanned.
+    pub input_samples: u64,
+    /// Samples retained inside extracted ensembles.
+    pub kept_samples: u64,
+    /// Number of clips processed.
+    pub clips: u64,
+    /// Number of ensembles extracted.
+    pub ensembles: u64,
+}
+
+impl ReductionStats {
+    /// Records one clip's outcome.
+    pub fn record_clip(&mut self, input_samples: usize, kept_samples: usize) {
+        self.input_samples += input_samples as u64;
+        self.kept_samples += kept_samples as u64;
+        self.clips += 1;
+    }
+
+    /// Records extracted ensembles (count only; samples are tallied via
+    /// [`record_clip`](Self::record_clip)).
+    pub fn record_ensembles(&mut self, count: usize) {
+        self.ensembles += count as u64;
+    }
+
+    /// Fraction of input data removed, in percent (the paper's 80.6 %).
+    pub fn reduction_percent(&self) -> f64 {
+        if self.input_samples == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.kept_samples as f64 / self.input_samples as f64)
+    }
+
+    /// Fraction of input data kept, in percent.
+    pub fn kept_percent(&self) -> f64 {
+        if self.input_samples == 0 {
+            0.0
+        } else {
+            100.0 * self.kept_samples as f64 / self.input_samples as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &ReductionStats) {
+        self.input_samples += other.input_samples;
+        self.kept_samples += other.kept_samples;
+        self.clips += other.clips;
+        self.ensembles += other.ensembles;
+    }
+}
+
+impl fmt::Display for ReductionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} clips, {} ensembles: {} of {} samples kept ({:.1}% reduction)",
+            self.clips,
+            self.ensembles,
+            self.kept_samples,
+            self.input_samples,
+            self.reduction_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = ReductionStats::default();
+        assert_eq!(s.reduction_percent(), 0.0);
+        assert_eq!(s.kept_percent(), 0.0);
+    }
+
+    #[test]
+    fn percentages_complementary() {
+        let mut s = ReductionStats::default();
+        s.record_clip(1_000, 250);
+        assert!((s.reduction_percent() - 75.0).abs() < 1e-12);
+        assert!((s.kept_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ReductionStats::default();
+        a.record_clip(100, 10);
+        a.record_ensembles(2);
+        let mut b = ReductionStats::default();
+        b.record_clip(300, 30);
+        b.record_ensembles(1);
+        a.merge(&b);
+        assert_eq!(a.input_samples, 400);
+        assert_eq!(a.kept_samples, 40);
+        assert_eq!(a.clips, 2);
+        assert_eq!(a.ensembles, 3);
+        assert!((a.reduction_percent() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_reduction() {
+        let mut s = ReductionStats::default();
+        s.record_clip(1_000, 100);
+        assert!(s.to_string().contains("90.0%"));
+    }
+}

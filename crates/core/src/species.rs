@@ -1,0 +1,159 @@
+//! The ten bird species of the paper's Table 1.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Four-letter species codes from the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpeciesCode {
+    /// American goldfinch.
+    Amgo,
+    /// Black-capped chickadee.
+    Bcch,
+    /// Blue jay.
+    Blja,
+    /// Downy woodpecker.
+    Dowo,
+    /// House finch.
+    Hofi,
+    /// Mourning dove.
+    Modo,
+    /// Northern cardinal.
+    Noca,
+    /// Red-winged blackbird.
+    Rwbl,
+    /// Tufted titmouse.
+    Tuti,
+    /// White-breasted nuthatch.
+    Wbnu,
+}
+
+impl SpeciesCode {
+    /// All ten species in Table 1 order.
+    pub const ALL: [SpeciesCode; 10] = [
+        SpeciesCode::Amgo,
+        SpeciesCode::Bcch,
+        SpeciesCode::Blja,
+        SpeciesCode::Dowo,
+        SpeciesCode::Hofi,
+        SpeciesCode::Modo,
+        SpeciesCode::Noca,
+        SpeciesCode::Rwbl,
+        SpeciesCode::Tuti,
+        SpeciesCode::Wbnu,
+    ];
+
+    /// The four-letter code, e.g. `"AMGO"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            SpeciesCode::Amgo => "AMGO",
+            SpeciesCode::Bcch => "BCCH",
+            SpeciesCode::Blja => "BLJA",
+            SpeciesCode::Dowo => "DOWO",
+            SpeciesCode::Hofi => "HOFI",
+            SpeciesCode::Modo => "MODO",
+            SpeciesCode::Noca => "NOCA",
+            SpeciesCode::Rwbl => "RWBL",
+            SpeciesCode::Tuti => "TUTI",
+            SpeciesCode::Wbnu => "WBNU",
+        }
+    }
+
+    /// The common name as printed in Table 1.
+    pub fn common_name(self) -> &'static str {
+        match self {
+            SpeciesCode::Amgo => "American goldfinch",
+            SpeciesCode::Bcch => "Black capped chickadee",
+            SpeciesCode::Blja => "Blue Jay",
+            SpeciesCode::Dowo => "Downy woodpecker",
+            SpeciesCode::Hofi => "House finch",
+            SpeciesCode::Modo => "Mourning dove",
+            SpeciesCode::Noca => "Northern cardinal",
+            SpeciesCode::Rwbl => "Red winged blackbird",
+            SpeciesCode::Tuti => "Tufted titmouse",
+            SpeciesCode::Wbnu => "White breasted nuthatch",
+        }
+    }
+
+    /// Stable label index (Table 1 order) for classifiers.
+    pub fn label(self) -> usize {
+        Self::ALL.iter().position(|&s| s == self).expect("in ALL")
+    }
+
+    /// Species for a label index.
+    pub fn from_label(label: usize) -> Option<SpeciesCode> {
+        Self::ALL.get(label).copied()
+    }
+}
+
+impl fmt::Display for SpeciesCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Error returned when parsing an unknown species code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpeciesError(pub String);
+
+impl fmt::Display for ParseSpeciesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown species code '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseSpeciesError {}
+
+impl FromStr for SpeciesCode {
+    type Err = ParseSpeciesError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.to_ascii_uppercase();
+        SpeciesCode::ALL
+            .iter()
+            .find(|sp| sp.code() == upper)
+            .copied()
+            .ok_or_else(|| ParseSpeciesError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_species_with_unique_codes() {
+        assert_eq!(SpeciesCode::ALL.len(), 10);
+        let codes: std::collections::HashSet<&str> =
+            SpeciesCode::ALL.iter().map(|s| s.code()).collect();
+        assert_eq!(codes.len(), 10);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for (i, &s) in SpeciesCode::ALL.iter().enumerate() {
+            assert_eq!(s.label(), i);
+            assert_eq!(SpeciesCode::from_label(i), Some(s));
+        }
+        assert_eq!(SpeciesCode::from_label(10), None);
+    }
+
+    #[test]
+    fn parse_codes_case_insensitive() {
+        assert_eq!("noca".parse::<SpeciesCode>().unwrap(), SpeciesCode::Noca);
+        assert_eq!("WBNU".parse::<SpeciesCode>().unwrap(), SpeciesCode::Wbnu);
+        assert!("XXXX".parse::<SpeciesCode>().is_err());
+    }
+
+    #[test]
+    fn display_matches_code() {
+        assert_eq!(SpeciesCode::Blja.to_string(), "BLJA");
+    }
+
+    #[test]
+    fn common_names_present() {
+        for s in SpeciesCode::ALL {
+            assert!(!s.common_name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for ensemble extraction and featurization.
+
+use ensemble_core::extract::AdaptiveTrigger;
+use ensemble_core::pipeline::featurize_ensemble;
+use ensemble_core::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Extracted ensembles are always ordered, disjoint, within bounds,
+    /// and at least the configured minimum length.
+    #[test]
+    fn ensembles_well_formed(
+        seed in 0u64..5_000,
+        species_idx in 0usize..10,
+    ) {
+        let species = SpeciesCode::ALL[species_idx];
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(species, seed);
+        let cfg = ExtractorConfig::default();
+        let ensembles = EnsembleExtractor::new(cfg).extract(&clip.samples);
+        let mut prev_end = 0usize;
+        for e in &ensembles {
+            prop_assert!(e.start >= prev_end);
+            prop_assert!(e.end <= clip.samples.len());
+            prop_assert!(e.len() >= cfg.min_ensemble_samples);
+            prop_assert_eq!(e.len(), e.end - e.start);
+            prev_end = e.end;
+        }
+    }
+
+    /// The trigger trace is binary, and extraction is deterministic.
+    #[test]
+    fn extraction_deterministic(seed in 0u64..2_000) {
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(SpeciesCode::Blja, seed);
+        let ex = EnsembleExtractor::new(ExtractorConfig::default());
+        let a = ex.extract_with_trace(&clip.samples);
+        let b = ex.extract_with_trace(&clip.samples);
+        prop_assert_eq!(&a.trigger, &b.trigger);
+        prop_assert_eq!(&a.ensembles, &b.ensembles);
+        prop_assert!(a.trigger.iter().all(|&t| t <= 1));
+    }
+
+    /// Featurization yields patterns of exactly the configured
+    /// dimension, whatever the ensemble length.
+    #[test]
+    fn featurization_dimensions(len in 840usize..8_400, with_paa in any::<bool>()) {
+        let cfg = ExtractorConfig::default();
+        let samples: Vec<f64> = (0..len).map(|i| (i as f64 * 0.21).sin() * 0.3).collect();
+        let patterns = featurize_ensemble(&samples, &cfg, with_paa);
+        let expect = if with_paa { 105 } else { 1_050 };
+        for p in &patterns {
+            prop_assert_eq!(p.len(), expect);
+            prop_assert!(p.iter().all(|x| x.is_finite()));
+        }
+        // Pattern count never exceeds records / pattern_records.
+        prop_assert!(patterns.len() <= len.div_ceil(cfg.record_len) / cfg.pattern_records);
+    }
+
+    /// Log scaling keeps features non-negative and monotone in input
+    /// magnitude; amplitude scaling of the waveform never changes the
+    /// pattern count.
+    #[test]
+    fn featurization_amplitude_stability(gain in 0.01f64..1.0) {
+        let cfg = ExtractorConfig::default();
+        let base: Vec<f64> = (0..840 * 6).map(|i| (i as f64 * 0.4).sin()).collect();
+        let scaled: Vec<f64> = base.iter().map(|x| x * gain).collect();
+        let a = featurize_ensemble(&base, &cfg, true);
+        let b = featurize_ensemble(&scaled, &cfg, true);
+        prop_assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            for (&x, &y) in pa.iter().zip(pb) {
+                prop_assert!(x >= 0.0 && y >= 0.0);
+                prop_assert!(x + 1e-12 >= y); // gain <= 1 shrinks features
+            }
+        }
+    }
+
+    /// The adaptive trigger never fires during warm-up and always
+    /// recovers to 0 on a long constant input.
+    #[test]
+    fn trigger_sane(
+        warmup in 1u64..200,
+        scores in prop::collection::vec(0.0f64..2.0, 10..300),
+    ) {
+        let mut t = AdaptiveTrigger::new(5.0, warmup);
+        for (i, &s) in scores.iter().enumerate() {
+            let fired = t.push(s);
+            if (i as u64) < warmup {
+                prop_assert!(!fired, "fired during warm-up at {i}");
+            }
+        }
+        // Returning to the learned baseline always releases the trigger
+        // (deviation zero is inside any band).
+        let baseline = t.mu0();
+        for _ in 0..5 {
+            t.push(baseline);
+        }
+        prop_assert!(!t.push(baseline));
+    }
+}

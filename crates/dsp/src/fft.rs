@@ -1,0 +1,436 @@
+//! Discrete Fourier transforms.
+//!
+//! The pipeline's `dft` operator transforms 840-sample records (20.16 kHz,
+//! 24 Hz bins), so an arbitrary-length transform is required. Three
+//! implementations are provided:
+//!
+//! - an iterative radix-2 Cooley–Tukey FFT for power-of-two lengths,
+//! - Bluestein's chirp-z algorithm for all other lengths (it reduces an
+//!   arbitrary-N DFT to a power-of-two circular convolution), and
+//! - [`dft_naive`], an O(N²) reference used by tests.
+//!
+//! [`Fft`] plans a transform for one length and may be reused for every
+//! record of that length; planning precomputes twiddle factors and, for
+//! Bluestein, the convolution kernel.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// A planned forward/inverse DFT of a fixed length.
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::{Complex64, Fft};
+///
+/// let fft = Fft::new(8);
+/// let x: Vec<Complex64> = (0..8).map(|i| Complex64::from_real(i as f64)).collect();
+/// let spectrum = fft.forward(&x);
+/// let back = fft.inverse(&spectrum);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    plan: Plan,
+}
+
+#[derive(Debug, Clone)]
+enum Plan {
+    /// Radix-2 FFT: bit-reversal permutation plus precomputed twiddles.
+    Radix2 { twiddles: Vec<Complex64> },
+    /// Bluestein chirp-z: `a_k = x_k * c_k` convolved with `b`, sized `m`.
+    Bluestein {
+        m: usize,
+        inner: Box<Fft>,
+        /// Chirp factors `exp(-i*pi*k^2/n)` for k in 0..n.
+        chirp: Vec<Complex64>,
+        /// Forward transform of the convolution kernel, length `m`.
+        kernel_fft: Vec<Complex64>,
+    },
+}
+
+impl Fft {
+    /// Plans a transform of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be non-zero");
+        if n.is_power_of_two() {
+            let twiddles = (0..n / 2)
+                .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
+                .collect();
+            Fft {
+                n,
+                plan: Plan::Radix2 { twiddles },
+            }
+        } else {
+            // Bluestein: convolution length must be >= 2n-1 and power of two.
+            let m = (2 * n - 1).next_power_of_two();
+            let inner = Box::new(Fft::new(m));
+            let chirp: Vec<Complex64> = (0..n)
+                .map(|k| {
+                    // k^2 mod 2n keeps the argument small for numerical stability.
+                    let k2 = (k as u128 * k as u128) % (2 * n as u128);
+                    Complex64::cis(-PI * k2 as f64 / n as f64)
+                })
+                .collect();
+            let mut kernel = vec![Complex64::ZERO; m];
+            kernel[0] = chirp[0].conj();
+            for k in 1..n {
+                let c = chirp[k].conj();
+                kernel[k] = c;
+                kernel[m - k] = c;
+            }
+            let kernel_fft = inner.forward(&kernel);
+            Fft {
+                n,
+                plan: Plan::Bluestein {
+                    m,
+                    inner,
+                    chirp,
+                    kernel_fft,
+                },
+            }
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Computes the forward DFT: `X_k = sum_j x_j e^{-2πi jk/N}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn forward(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        let mut buf = input.to_vec();
+        self.forward_in_place(&mut buf);
+        buf
+    }
+
+    /// Computes the forward DFT in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn forward_in_place(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.n, "buffer length must match plan");
+        match &self.plan {
+            Plan::Radix2 { twiddles } => radix2_in_place(buf, twiddles),
+            Plan::Bluestein {
+                m,
+                inner,
+                chirp,
+                kernel_fft,
+            } => {
+                let n = self.n;
+                let mut a = vec![Complex64::ZERO; *m];
+                for k in 0..n {
+                    a[k] = buf[k] * chirp[k];
+                }
+                inner.forward_in_place(&mut a);
+                for (ak, bk) in a.iter_mut().zip(kernel_fft.iter()) {
+                    *ak = *ak * *bk;
+                }
+                inner.inverse_in_place(&mut a);
+                for k in 0..n {
+                    buf[k] = a[k] * chirp[k];
+                }
+            }
+        }
+    }
+
+    /// Computes the (normalized) inverse DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn inverse(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        let mut buf = input.to_vec();
+        self.inverse_in_place(&mut buf);
+        buf
+    }
+
+    /// Computes the (normalized) inverse DFT in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn inverse_in_place(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.n, "buffer length must match plan");
+        // IDFT(x) = conj(DFT(conj(x))) / N
+        for z in buf.iter_mut() {
+            *z = z.conj();
+        }
+        self.forward_in_place(buf);
+        let scale = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = z.conj().scale(scale);
+        }
+    }
+
+    /// Transforms a real-valued record, returning the full complex spectrum.
+    ///
+    /// This is the operation performed by the pipeline's `float2cplx` +
+    /// `dft` operator pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn forward_real(&self, input: &[f64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        let buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_real(x)).collect();
+        self.forward(&buf)
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey, decimation in time.
+fn radix2_in_place(buf: &mut [Complex64], twiddles: &[Complex64]) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let w = twiddles[k * step];
+                let u = buf[start + k];
+                let v = buf[start + k + half] * w;
+                buf[start + k] = u + v;
+                buf[start + k + half] = u - v;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Reference O(N²) DFT used to validate the fast paths.
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::fft::{dft_naive, Fft};
+/// use river_dsp::Complex64;
+///
+/// let x: Vec<Complex64> = (0..12).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+/// let fast = Fft::new(12).forward(&x);
+/// let slow = dft_naive(&x);
+/// for (a, b) in fast.iter().zip(&slow) {
+///     assert!((*a - *b).abs() < 1e-8);
+/// }
+/// ```
+pub fn dft_naive(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| input[j] * Complex64::cis(-2.0 * PI * (j * k) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// The frequency in Hz of DFT bin `k` for a transform of `n` samples at
+/// `sample_rate` Hz.
+///
+/// ```
+/// use river_dsp::fft::bin_frequency;
+/// // Production geometry: 840 samples at 20.16 kHz -> 24 Hz bins.
+/// assert_eq!(bin_frequency(50, 840, 20_160.0), 1_200.0);
+/// assert_eq!(bin_frequency(400, 840, 20_160.0), 9_600.0);
+/// ```
+pub fn bin_frequency(k: usize, n: usize, sample_rate: f64) -> f64 {
+    k as f64 * sample_rate / n as f64
+}
+
+/// The DFT bin index whose center frequency is closest to `freq` Hz.
+///
+/// ```
+/// use river_dsp::fft::frequency_bin;
+/// assert_eq!(frequency_bin(1_200.0, 840, 20_160.0), 50);
+/// ```
+pub fn frequency_bin(freq: f64, n: usize, sample_rate: f64) -> usize {
+    ((freq * n as f64 / sample_rate).round() as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "bin {i}: {x} vs {y} (|diff|={})",
+                (*x - *y).abs()
+            );
+        }
+    }
+
+    fn impulse(n: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; n];
+        v[0] = Complex64::ONE;
+        v
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        for &n in &[1usize, 2, 4, 8, 64, 700, 31] {
+            let fft = Fft::new(n);
+            let spec = fft.forward(&impulse(n));
+            for z in &spec {
+                assert!((*z - Complex64::ONE).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let n = 128;
+        let fft = Fft::new(n);
+        let x = vec![Complex64::ONE; n];
+        let spec = fft.forward(&x);
+        assert!((spec[0] - Complex64::from_real(n as f64)).abs() < 1e-9);
+        for z in &spec[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_its_bin() {
+        let n = 700;
+        let fft = Fft::new(n);
+        let k0 = 50; // bin 50 of a 700-point transform
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft.forward_real(&x);
+        let mags: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
+        // Energy should be at bins k0 and n-k0 only.
+        assert!((mags[k0] - n as f64 / 2.0).abs() < 1e-6);
+        assert!((mags[n - k0] - n as f64 / 2.0).abs() < 1e-6);
+        for (k, &m) in mags.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(m < 1e-6, "leak at bin {k}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        let n = 64;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        assert_spectra_close(&Fft::new(n).forward(&x), &dft_naive(&x), 1e-8);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_for_awkward_lengths() {
+        for &n in &[3usize, 5, 7, 12, 100, 175, 700] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos()))
+                .collect();
+            assert_spectra_close(&Fft::new(n).forward(&x), &dft_naive(&x), 1e-7);
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for &n in &[8usize, 100, 700, 31] {
+            let fft = Fft::new(n);
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 1.1).sin(), (i as f64 * 0.5).cos()))
+                .collect();
+            let back = fft.inverse(&fft.forward(&x));
+            assert_spectra_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 100;
+        let fft = Fft::new(n);
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::from_real(i as f64)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (i as f64).cos()))
+            .collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft.forward(&a);
+        let fb = fft.forward(&b);
+        let fsum = fft.forward(&sum);
+        let expected: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_spectra_close(&fsum, &expected, 1e-8);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 700;
+        let fft = Fft::new(n);
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.31).sin(), 0.0))
+            .collect();
+        let spec = fft.forward(&x);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn conjugate_symmetry_for_real_input() {
+        let n = 700;
+        let fft = Fft::new(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let spec = fft.forward_real(&x);
+        for k in 1..n {
+            assert!((spec[k] - spec[n - k].conj()).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bin_frequency_round_trips() {
+        for k in [0usize, 1, 50, 350, 399] {
+            let f = bin_frequency(k, 840, 20_160.0);
+            assert_eq!(frequency_bin(f, 840, 20_160.0), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn forward_rejects_wrong_length() {
+        Fft::new(8).forward(&[Complex64::ZERO; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn zero_length_plan_panics() {
+        Fft::new(0);
+    }
+}

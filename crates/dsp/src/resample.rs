@@ -1,0 +1,106 @@
+//! Linear-interpolation resampling.
+//!
+//! Field stations may deliver clips at different sample rates; the
+//! pipeline resamples them to the production rate (20.16 kHz) before
+//! ensemble extraction so that record geometry (700 samples = 1/24 s)
+//! holds.
+
+/// Resamples `input` from `from_rate` Hz to `to_rate` Hz using linear
+/// interpolation.
+///
+/// Linear interpolation is adequate here because the signal of interest
+/// (bird vocalizations at 1.2–9.6 kHz) is well below Nyquist at both the
+/// source and destination rates used by the pipeline.
+///
+/// # Panics
+///
+/// Panics if either rate is not finite and positive.
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::resample::resample_linear;
+///
+/// let up = resample_linear(&[0.0, 1.0], 1.0, 2.0);
+/// assert_eq!(up.len(), 4);
+/// assert!((up[1] - 0.5).abs() < 1e-12);
+/// ```
+pub fn resample_linear(input: &[f64], from_rate: f64, to_rate: f64) -> Vec<f64> {
+    assert!(
+        from_rate.is_finite() && from_rate > 0.0,
+        "from_rate must be positive"
+    );
+    assert!(
+        to_rate.is_finite() && to_rate > 0.0,
+        "to_rate must be positive"
+    );
+    if input.is_empty() {
+        return Vec::new();
+    }
+    if (from_rate - to_rate).abs() < f64::EPSILON {
+        return input.to_vec();
+    }
+    let ratio = from_rate / to_rate;
+    let out_len = ((input.len() as f64) / ratio).floor() as usize;
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..out_len {
+        let pos = i as f64 * ratio;
+        let idx = pos.floor() as usize;
+        let frac = pos - idx as f64;
+        let a = input[idx.min(input.len() - 1)];
+        let b = input[(idx + 1).min(input.len() - 1)];
+        out.push(a + (b - a) * frac);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn identity_when_rates_match() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(resample_linear(&x, 8_000.0, 8_000.0), x);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(resample_linear(&[], 1.0, 2.0).is_empty());
+    }
+
+    #[test]
+    fn output_length_scales_with_ratio() {
+        let x = vec![0.0; 1_000];
+        assert_eq!(resample_linear(&x, 22_050.0, 20_160.0).len(), 914);
+        assert_eq!(resample_linear(&x, 8_000.0, 16_000.0).len(), 2_000);
+    }
+
+    #[test]
+    fn preserves_tone_frequency() {
+        // 400 Hz tone resampled 22.05k -> 16.8k must still be a 400 Hz tone.
+        let from = 22_050.0;
+        let to = 20_160.0;
+        let n = 22_050;
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * 400.0 * i as f64 / from).sin()).collect();
+        let y = resample_linear(&x, from, to);
+        // Count zero crossings; a 400 Hz tone over 1 s has ~800.
+        let crossings = y.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
+        assert!((crossings as i64 - 800).abs() <= 2, "crossings {crossings}");
+    }
+
+    #[test]
+    fn upsample_interpolates_midpoints() {
+        let y = resample_linear(&[0.0, 2.0, 4.0], 1.0, 2.0);
+        assert_eq!(y.len(), 6);
+        assert!((y[1] - 1.0).abs() < 1e-12);
+        assert!((y[3] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_rate() {
+        resample_linear(&[0.0], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Whole-signal utilities: normalization, energy, and the oscillogram
+//! rendering used in the paper's Figure 2.
+
+/// Normalizes a signal the way the paper's oscillogram is drawn:
+/// "normalized by subtracting the mean and scaling by the maximum
+/// amplitude" (§2).
+///
+/// Returns all zeros for a constant (or empty) signal.
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::signal::normalize_oscillogram;
+///
+/// let v = normalize_oscillogram(&[1.0, 2.0, 3.0]);
+/// assert_eq!(v, vec![-1.0, 0.0, 1.0]);
+/// ```
+pub fn normalize_oscillogram(samples: &[f64]) -> Vec<f64> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let max_amp = samples
+        .iter()
+        .map(|&x| (x - mean).abs())
+        .fold(0.0f64, f64::max);
+    if max_amp == 0.0 {
+        return vec![0.0; samples.len()];
+    }
+    samples.iter().map(|&x| (x - mean) / max_amp).collect()
+}
+
+/// Root-mean-square amplitude of a signal; `0.0` when empty.
+///
+/// ```
+/// use river_dsp::signal::rms;
+/// assert!((rms(&[3.0, -3.0, 3.0, -3.0]) - 3.0).abs() < 1e-12);
+/// ```
+pub fn rms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    (samples.iter().map(|&x| x * x).sum::<f64>() / samples.len() as f64).sqrt()
+}
+
+/// Total energy (sum of squares) of a signal.
+pub fn energy(samples: &[f64]) -> f64 {
+    samples.iter().map(|&x| x * x).sum()
+}
+
+/// Peak absolute amplitude; `0.0` when empty.
+pub fn peak(samples: &[f64]) -> f64 {
+    samples.iter().map(|&x| x.abs()).fold(0.0, f64::max)
+}
+
+/// Scales a signal in place so its peak equals `target_peak`.
+/// Constant-zero signals are left untouched.
+pub fn normalize_peak(samples: &mut [f64], target_peak: f64) {
+    let p = peak(samples);
+    if p == 0.0 {
+        return;
+    }
+    let k = target_peak / p;
+    for s in samples.iter_mut() {
+        *s *= k;
+    }
+}
+
+/// Mixes `src` into `dst` starting at sample `offset`, scaled by `gain`.
+/// Samples extending past `dst` are dropped.
+///
+/// Used by the synthetic clip composer to place song bouts in ambient
+/// noise beds.
+pub fn mix_into(dst: &mut [f64], src: &[f64], offset: usize, gain: f64) {
+    if offset >= dst.len() {
+        return;
+    }
+    let n = src.len().min(dst.len() - offset);
+    for i in 0..n {
+        dst[offset + i] += src[i] * gain;
+    }
+}
+
+/// Amplitude in decibels relative to full scale (1.0). Silent input maps
+/// to `f64::NEG_INFINITY`.
+pub fn dbfs(amplitude: f64) -> f64 {
+    if amplitude <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * amplitude.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillogram_normalization_bounds() {
+        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin() * 3.0 + 1.0).collect();
+        let norm = normalize_oscillogram(&samples);
+        let max = norm.iter().cloned().fold(f64::MIN, f64::max);
+        let min = norm.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max <= 1.0 + 1e-12);
+        assert!(min >= -1.0 - 1e-12);
+        // Mean removed.
+        let mean: f64 = norm.iter().sum::<f64>() / norm.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        // Peak reaches exactly 1 in magnitude.
+        assert!((max.max(-min) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillogram_constant_signal_is_zeros() {
+        assert_eq!(normalize_oscillogram(&[5.0; 10]), vec![0.0; 10]);
+    }
+
+    #[test]
+    fn oscillogram_empty() {
+        assert!(normalize_oscillogram(&[]).is_empty());
+    }
+
+    #[test]
+    fn rms_energy_peak_basics() {
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(energy(&[2.0, 2.0]), 8.0);
+        assert_eq!(peak(&[-4.0, 3.0]), 4.0);
+    }
+
+    #[test]
+    fn normalize_peak_scales() {
+        let mut v = vec![0.5, -0.25];
+        normalize_peak(&mut v, 1.0);
+        assert_eq!(v, vec![1.0, -0.5]);
+        let mut z = vec![0.0; 4];
+        normalize_peak(&mut z, 1.0);
+        assert_eq!(z, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mix_into_clips_to_destination() {
+        let mut dst = vec![0.0; 5];
+        mix_into(&mut dst, &[1.0, 1.0, 1.0], 3, 0.5);
+        assert_eq!(dst, vec![0.0, 0.0, 0.0, 0.5, 0.5]);
+        // Offset beyond end is a no-op.
+        mix_into(&mut dst, &[9.0], 10, 1.0);
+        assert_eq!(dst.len(), 5);
+    }
+
+    #[test]
+    fn mix_into_accumulates() {
+        let mut dst = vec![1.0; 3];
+        mix_into(&mut dst, &[1.0; 3], 0, 1.0);
+        assert_eq!(dst, vec![2.0; 3]);
+    }
+
+    #[test]
+    fn dbfs_reference_points() {
+        assert!((dbfs(1.0) - 0.0).abs() < 1e-12);
+        assert!((dbfs(0.5) + 6.0206).abs() < 1e-3);
+        assert_eq!(dbfs(0.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,506 @@
+//! Streaming statistics.
+//!
+//! The adaptive `trigger` operator "incrementally computes an estimate of
+//! the mean anomaly score, μ₀, for values when the trigger value is 0"
+//! (paper §3) — that estimator is [`Welford`]. The `saxanomaly` operator
+//! smooths scores with a moving average over 2250 samples — that is
+//! [`MovingAverage`]. [`SlidingStats`] provides exact windowed mean and
+//! variance for the streaming Z-normalization used by SAX symbolization.
+
+use std::collections::VecDeque;
+
+/// Welford's online algorithm for mean and variance over an unbounded
+/// stream.
+///
+/// Numerically stable; O(1) per update.
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert_eq!(w.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`); `0.0` for fewer than one
+    /// observation.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`); `0.0` for fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Merges another estimator into this one (parallel Welford/Chan).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// Exact mean and variance over a fixed-size sliding window.
+///
+/// Maintains running sums over a ring buffer: O(1) per sample, O(window)
+/// memory. Used for streaming Z-normalization in the SAX symbolizer.
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::SlidingStats;
+///
+/// let mut s = SlidingStats::new(3);
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// // Window now holds [2, 3, 4].
+/// assert_eq!(s.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingStats {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl SlidingStats {
+    /// Creates a window of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be non-zero");
+        SlidingStats {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest if the window is full. Returns
+    /// the evicted sample, if any.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let evicted = if self.window.len() == self.capacity {
+            let old = self.window.pop_front().expect("window non-empty");
+            self.sum -= old;
+            self.sum_sq -= old * old;
+            Some(old)
+        } else {
+            None
+        };
+        self.window.push_back(x);
+        self.sum += x;
+        self.sum_sq += x * x;
+        evicted
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Returns `true` if no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Returns `true` when the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.window.len() == self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean of the samples in the window; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.sum / self.window.len() as f64
+        }
+    }
+
+    /// Population variance of the window, clamped at zero against rounding.
+    pub fn population_variance(&self) -> f64 {
+        let n = self.window.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.sum_sq / n as f64 - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation of the window.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Iterates over the samples currently in the window, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &f64> {
+        self.window.iter()
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+    }
+}
+
+/// A simple moving average over a fixed window — the smoother applied to
+/// SAX anomaly scores (2250 samples in the paper's experiments).
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::MovingAverage;
+///
+/// let mut ma = MovingAverage::new(2);
+/// assert_eq!(ma.push(1.0), 1.0);       // [1]
+/// assert_eq!(ma.push(3.0), 2.0);       // [1,3]
+/// assert_eq!(ma.push(5.0), 4.0);       // [3,5]
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    stats: SlidingStats,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        MovingAverage {
+            stats: SlidingStats::new(window),
+        }
+    }
+
+    /// Pushes a sample and returns the current mean. Until the window
+    /// fills, the mean is over the samples seen so far (warm-up behaviour).
+    pub fn push(&mut self, x: f64) -> f64 {
+        self.stats.push(x);
+        self.stats.mean()
+    }
+
+    /// The current mean without pushing.
+    pub fn current(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Returns `true` if no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.stats.capacity()
+    }
+
+    /// Clears all state.
+    pub fn clear(&mut self) {
+        self.stats.clear();
+    }
+}
+
+/// Exponentially weighted moving average, provided as a cheaper alternative
+/// smoother for ablation benches.
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::stats::Ewma;
+///
+/// let mut e = Ewma::new(0.5);
+/// e.push(0.0);
+/// assert_eq!(e.push(4.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Pushes a sample and returns the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average, if any sample has been pushed.
+    pub fn current(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let (mean, var) = batch_mean_var(&xs);
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.population_variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn welford_single_observation() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.77).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..200] {
+            left.push(x);
+        }
+        for &x in &xs[200..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - all.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut b = Welford::new();
+        b.merge(&before);
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn welford_reset() {
+        let mut w = Welford::new();
+        w.push(5.0);
+        w.reset();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+    }
+
+    #[test]
+    fn sliding_stats_matches_batch_over_window() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.9).cos() * 3.0).collect();
+        let w = 16;
+        let mut s = SlidingStats::new(w);
+        for (i, &x) in xs.iter().enumerate() {
+            s.push(x);
+            let lo = (i + 1).saturating_sub(w);
+            let window = &xs[lo..=i];
+            let (mean, var) = batch_mean_var(window);
+            assert!((s.mean() - mean).abs() < 1e-9, "at {i}");
+            assert!((s.population_variance() - var).abs() < 1e-9, "at {i}");
+        }
+    }
+
+    #[test]
+    fn sliding_stats_eviction_order() {
+        let mut s = SlidingStats::new(2);
+        assert_eq!(s.push(1.0), None);
+        assert_eq!(s.push(2.0), None);
+        assert_eq!(s.push(3.0), Some(1.0));
+        assert_eq!(s.push(4.0), Some(2.0));
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn sliding_stats_variance_never_negative() {
+        // Constant stream with rounding pressure.
+        let mut s = SlidingStats::new(8);
+        for _ in 0..100 {
+            s.push(1e9 + 0.1);
+            assert!(s.population_variance() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sliding_stats_clear() {
+        let mut s = SlidingStats::new(4);
+        s.push(1.0);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn moving_average_warmup_then_steady() {
+        let mut ma = MovingAverage::new(3);
+        assert_eq!(ma.push(3.0), 3.0);
+        assert_eq!(ma.push(6.0), 4.5);
+        assert_eq!(ma.push(9.0), 6.0);
+        assert_eq!(ma.push(12.0), 9.0); // [6,9,12]
+        assert_eq!(ma.current(), 9.0);
+        assert_eq!(ma.window(), 3);
+    }
+
+    #[test]
+    fn moving_average_constant_signal() {
+        let mut ma = MovingAverage::new(100);
+        for _ in 0..500 {
+            assert_eq!(ma.push(7.0), 7.0);
+        }
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.push(5.0);
+        }
+        assert!((e.current().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn sliding_stats_rejects_zero_capacity() {
+        SlidingStats::new(0);
+    }
+}

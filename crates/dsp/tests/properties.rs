@@ -1,0 +1,136 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use river_dsp::fft::{dft_naive, Fft};
+use river_dsp::signal::normalize_oscillogram;
+use river_dsp::stats::{SlidingStats, Welford};
+use river_dsp::wav::{SampleFormat, WavReader, WavSpec, WavWriter};
+use river_dsp::window::WindowKind;
+use river_dsp::Complex64;
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT (any length, including Bluestein paths) agrees with the naive DFT.
+    #[test]
+    fn fft_matches_naive(x in complex_vec(64)) {
+        let fast = Fft::new(x.len()).forward(&x);
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// forward then inverse is the identity.
+    #[test]
+    fn fft_round_trip(x in complex_vec(128)) {
+        let fft = Fft::new(x.len());
+        let back = fft.inverse(&fft.forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-7 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Welford matches the two-pass batch computation.
+    #[test]
+    fn welford_matches_batch(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.population_variance() - var).abs() < 1e-4 * (1.0 + var));
+    }
+
+    /// Sliding stats equal batch statistics of the trailing window.
+    #[test]
+    fn sliding_stats_match_batch(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..200),
+        cap in 1usize..32,
+    ) {
+        let mut s = SlidingStats::new(cap);
+        for (i, &x) in xs.iter().enumerate() {
+            s.push(x);
+            let lo = (i + 1).saturating_sub(cap);
+            let window = &xs[lo..=i];
+            let mean = window.iter().sum::<f64>() / window.len() as f64;
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        }
+    }
+
+    /// Oscillogram normalization output is always within [-1, 1] and
+    /// zero-mean.
+    #[test]
+    fn oscillogram_normalized(xs in prop::collection::vec(-1e4f64..1e4, 2..300)) {
+        let norm = normalize_oscillogram(&xs);
+        let mean: f64 = norm.iter().sum::<f64>() / norm.len() as f64;
+        prop_assert!(mean.abs() < 1e-6);
+        for &v in &norm {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+        }
+    }
+
+    /// Window coefficients are symmetric and within [0, 1] for all kinds.
+    #[test]
+    fn windows_symmetric_bounded(n in 2usize..512, kind_idx in 0usize..6) {
+        let kind = WindowKind::ALL[kind_idx];
+        let w = kind.coefficients(n);
+        for i in 0..n {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&w[i]));
+            prop_assert!((w[i] - w[n - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    /// WAV PCM16 round trip preserves samples to quantization accuracy.
+    #[test]
+    fn wav_pcm16_round_trip(
+        xs in prop::collection::vec(-1.0f64..1.0, 1..500),
+        rate in 4_000u32..48_000,
+    ) {
+        let spec = WavSpec::mono_pcm16(rate);
+        let mut buf = Vec::new();
+        WavWriter::write(&mut buf, spec, &xs).unwrap();
+        let decoded = WavReader::read(buf.as_slice()).unwrap();
+        prop_assert_eq!(decoded.spec, spec);
+        prop_assert_eq!(decoded.samples.len(), xs.len());
+        for (a, b) in xs.iter().zip(&decoded.samples) {
+            prop_assert!((a - b).abs() < 2.0 / 32768.0);
+        }
+    }
+
+    /// WAV float32 round trip is near-exact for all supported channel
+    /// counts.
+    #[test]
+    fn wav_float_round_trip(
+        frames in prop::collection::vec(-1.0f64..1.0, 1..200),
+        channels in 1u16..4,
+    ) {
+        let spec = WavSpec { channels, sample_rate: 20_160, sample_format: SampleFormat::Float32 };
+        // Truncate to whole frames.
+        let usable = frames.len() - frames.len() % channels as usize;
+        if usable == 0 {
+            return Ok(());
+        }
+        let samples = &frames[..usable];
+        let mut buf = Vec::new();
+        WavWriter::write(&mut buf, spec, samples).unwrap();
+        let decoded = WavReader::read(buf.as_slice()).unwrap();
+        for (a, b) in samples.iter().zip(&decoded.samples) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Reading arbitrary junk either fails cleanly or succeeds; it never
+    /// panics.
+    #[test]
+    fn wav_reader_never_panics(junk in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = WavReader::read(junk.as_slice());
+    }
+}

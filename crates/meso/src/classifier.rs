@@ -1,0 +1,573 @@
+//! The MESO classifier: leader–follower training into sensitivity
+//! spheres, with incremental removal for cheap exact leave-one-out.
+
+use crate::dataset::Label;
+use crate::sphere::SensitivitySphere;
+use crate::tree::SphereTree;
+
+/// Policy controlling the sensitivity δ — the radius within which a new
+/// training pattern joins an existing sphere rather than founding a new
+/// one.
+///
+/// The TKDE paper grows δ as training progresses; the DEPSA paper only
+/// summarizes this. The default `RunningMean` policy — δ is a fraction
+/// of the running mean nearest-sphere distance — reproduces the
+/// qualitative behaviour (δ adapts to the data's scale without tuning)
+/// and is documented in `DESIGN.md` as an approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaPolicy {
+    /// Constant sensitivity.
+    Fixed(f64),
+    /// δ = `factor` × running mean of observed nearest-sphere distances.
+    RunningMean {
+        /// Fraction of the running mean distance (0.75 works well across
+        /// the paper's datasets).
+        factor: f64,
+    },
+    /// δ = `factor` × the first non-zero nearest-sphere distance seen.
+    FirstDistance {
+        /// Fraction of the first observed distance.
+        factor: f64,
+    },
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        DeltaPolicy::RunningMean { factor: 0.75 }
+    }
+}
+
+/// How a query maps the nearest sphere to a label (DEPSA §2: MESO
+/// "returns the label associated with the most similar training pattern
+/// or a sensitivity sphere containing a set of similar training
+/// patterns").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Majority label among the nearest sphere's members (default).
+    #[default]
+    SphereMajority,
+    /// Label of the single nearest training pattern within the nearest
+    /// sphere.
+    NearestPattern,
+}
+
+/// Configuration for [`Meso`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MesoConfig {
+    /// Sensitivity growth policy.
+    pub delta_policy: DeltaPolicy,
+    /// Query labeling mode.
+    pub query_mode: QueryMode,
+}
+
+/// Identifier of a stored training pattern, returned by
+/// [`Meso::train`]; needed for [`Meso::remove`] / [`Meso::restore`].
+pub type PatternId = usize;
+
+#[derive(Debug, Clone)]
+struct StoredPattern {
+    features: Vec<f64>,
+    label: Label,
+    sphere: usize,
+    alive: bool,
+}
+
+/// Result of a detailed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Predicted label.
+    pub label: Label,
+    /// Index of the nearest sphere.
+    pub sphere: usize,
+    /// Euclidean distance from the query to that sphere's center.
+    pub distance: f64,
+    /// `(label, member count)` pairs of the nearest sphere.
+    pub votes: Vec<(Label, usize)>,
+}
+
+/// The MESO perceptual memory.
+///
+/// # Example
+///
+/// ```
+/// use meso::{Meso, MesoConfig};
+///
+/// let mut m = Meso::new(1, MesoConfig::default());
+/// let id = m.train(&[0.0], 0);
+/// m.train(&[0.2], 0);
+/// m.train(&[10.0], 1);
+/// assert_eq!(m.classify(&[0.1]), Some(0));
+///
+/// // Exact leave-one-out: remove, query, restore.
+/// m.remove(id);
+/// assert_eq!(m.classify(&[0.0]), Some(0)); // neighbor at 0.2 remains
+/// m.restore(id);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Meso {
+    dim: usize,
+    config: MesoConfig,
+    spheres: Vec<SensitivitySphere>,
+    /// Pattern ids per sphere, parallel to `spheres`.
+    members: Vec<Vec<PatternId>>,
+    patterns: Vec<StoredPattern>,
+    live_patterns: usize,
+    delta: f64,
+    /// Running mean of nearest-sphere distances (for `RunningMean`).
+    dist_mean: f64,
+    dist_count: u64,
+    /// First non-zero observed distance (for `FirstDistance`).
+    first_distance: Option<f64>,
+}
+
+impl Meso {
+    /// Creates an empty memory for patterns of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, if a fixed δ is negative or non-finite, or
+    /// if a policy factor is non-positive.
+    pub fn new(dim: usize, config: MesoConfig) -> Self {
+        assert!(dim > 0, "pattern dimension must be non-zero");
+        match config.delta_policy {
+            DeltaPolicy::Fixed(d) => {
+                assert!(d.is_finite() && d >= 0.0, "fixed delta must be >= 0")
+            }
+            DeltaPolicy::RunningMean { factor } | DeltaPolicy::FirstDistance { factor } => {
+                assert!(factor.is_finite() && factor > 0.0, "factor must be > 0")
+            }
+        }
+        Meso {
+            dim,
+            config,
+            spheres: Vec::new(),
+            members: Vec::new(),
+            patterns: Vec::new(),
+            live_patterns: 0,
+            delta: match config.delta_policy {
+                DeltaPolicy::Fixed(d) => d,
+                _ => 0.0,
+            },
+            dist_mean: 0.0,
+            dist_count: 0,
+            first_distance: None,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MesoConfig {
+        &self.config
+    }
+
+    /// Current sensitivity δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of non-empty sensitivity spheres.
+    pub fn sphere_count(&self) -> usize {
+        self.spheres.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Number of live (not removed) training patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.live_patterns
+    }
+
+    /// Direct access to the spheres (empty spheres included), for
+    /// inspection and rendering.
+    pub fn spheres(&self) -> &[SensitivitySphere] {
+        &self.spheres
+    }
+
+    /// Index of the nearest non-empty sphere and its center distance.
+    fn nearest_sphere(&self, features: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.spheres.iter().enumerate() {
+            if s.is_empty() {
+                continue;
+            }
+            let d = s.distance_sq(features);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, d)| (i, d.sqrt()))
+    }
+
+    fn update_delta(&mut self, observed: f64) {
+        match self.config.delta_policy {
+            DeltaPolicy::Fixed(_) => {}
+            DeltaPolicy::RunningMean { factor } => {
+                self.dist_count += 1;
+                self.dist_mean += (observed - self.dist_mean) / self.dist_count as f64;
+                self.delta = factor * self.dist_mean;
+            }
+            DeltaPolicy::FirstDistance { factor } => {
+                if self.first_distance.is_none() && observed > 0.0 {
+                    self.first_distance = Some(observed);
+                    self.delta = factor * observed;
+                }
+            }
+        }
+    }
+
+    /// Trains on one labeled pattern (leader–follower step) and returns
+    /// its [`PatternId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension is wrong or any value is
+    /// non-finite.
+    pub fn train(&mut self, features: &[f64], label: Label) -> PatternId {
+        assert_eq!(features.len(), self.dim, "feature dimension mismatch");
+        assert!(
+            features.iter().all(|x| x.is_finite()),
+            "features must be finite"
+        );
+        let id = self.patterns.len();
+        let sphere = match self.nearest_sphere(features) {
+            None => self.new_sphere(features, label),
+            Some((nearest, d)) => {
+                self.update_delta(d);
+                if d <= self.delta {
+                    self.spheres[nearest].insert(features, label);
+                    self.members[nearest].push(id);
+                    nearest
+                } else {
+                    self.new_sphere(features, label)
+                }
+            }
+        };
+        self.patterns.push(StoredPattern {
+            features: features.to_vec(),
+            label,
+            sphere,
+            alive: true,
+        });
+        self.live_patterns += 1;
+        id
+    }
+
+    fn new_sphere(&mut self, features: &[f64], label: Label) -> usize {
+        self.spheres.push(SensitivitySphere::new(features, label));
+        self.members.push(vec![self.patterns.len()]);
+        self.spheres.len() - 1
+    }
+
+    /// Trains on a whole labeled set, returning the assigned ids.
+    pub fn train_all<'a, I>(&mut self, items: I) -> Vec<PatternId>
+    where
+        I: IntoIterator<Item = (&'a [f64], Label)>,
+    {
+        items
+            .into_iter()
+            .map(|(f, l)| self.train(f, l))
+            .collect()
+    }
+
+    /// Removes a training pattern from memory (its sphere's center and
+    /// counts are exactly rewound). Enables exact-memory leave-one-out
+    /// without retraining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or already removed.
+    pub fn remove(&mut self, id: PatternId) {
+        let p = &mut self.patterns[id];
+        assert!(p.alive, "pattern {id} already removed");
+        p.alive = false;
+        let sphere = p.sphere;
+        let label = p.label;
+        let features = std::mem::take(&mut p.features);
+        self.spheres[sphere].remove(&features, label);
+        self.members[sphere].retain(|&m| m != id);
+        self.patterns[id].features = features;
+        self.live_patterns -= 1;
+    }
+
+    /// Restores a previously removed pattern into the sphere it came
+    /// from (exact inverse of [`remove`](Self::remove)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or not currently removed.
+    pub fn restore(&mut self, id: PatternId) {
+        let p = &mut self.patterns[id];
+        assert!(!p.alive, "pattern {id} is not removed");
+        p.alive = true;
+        let sphere = p.sphere;
+        let label = p.label;
+        let features = std::mem::take(&mut p.features);
+        self.spheres[sphere].insert(&features, label);
+        self.members[sphere].push(id);
+        self.patterns[id].features = features;
+        self.live_patterns += 1;
+    }
+
+    /// Classifies a query pattern; `None` when the memory is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-dimension mismatch.
+    pub fn classify(&self, features: &[f64]) -> Option<Label> {
+        self.query(features).map(|r| r.label)
+    }
+
+    /// Classifies with full detail (nearest sphere, distance, votes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-dimension mismatch.
+    pub fn query(&self, features: &[f64]) -> Option<QueryResult> {
+        assert_eq!(features.len(), self.dim, "feature dimension mismatch");
+        let (sphere, distance) = self.nearest_sphere(features)?;
+        Some(self.result_for_sphere(sphere, distance, features))
+    }
+
+    fn result_for_sphere(&self, sphere: usize, distance: f64, features: &[f64]) -> QueryResult {
+        let s = &self.spheres[sphere];
+        let label = match self.config.query_mode {
+            QueryMode::SphereMajority => s.majority_label().expect("non-empty sphere"),
+            QueryMode::NearestPattern => {
+                let mut best = (f64::INFINITY, 0usize);
+                for &id in &self.members[sphere] {
+                    let p = &self.patterns[id];
+                    let d: f64 = p
+                        .features
+                        .iter()
+                        .zip(features)
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum();
+                    if d < best.0 {
+                        best = (d, id);
+                    }
+                }
+                self.patterns[best.1].label
+            }
+        };
+        QueryResult {
+            label,
+            sphere,
+            distance,
+            votes: s.labels().collect(),
+        }
+    }
+
+    /// Builds a ball-tree index over the current (non-empty) spheres for
+    /// sublinear nearest-sphere search. The index is a snapshot: it is
+    /// invalidated by any later `train`/`remove`/`restore`.
+    pub fn build_index(&self) -> SphereTree {
+        SphereTree::build(
+            self.spheres
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(i, s)| (i, s.center().to_vec())),
+        )
+    }
+
+    /// Classifies using a prebuilt index; result is identical to
+    /// [`classify`](Self::classify) as long as the index snapshot is
+    /// current.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-dimension mismatch.
+    pub fn classify_indexed(&self, index: &SphereTree, features: &[f64]) -> Option<Label> {
+        assert_eq!(features.len(), self.dim, "feature dimension mismatch");
+        let (sphere, distance) = index.nearest(features)?;
+        Some(self.result_for_sphere(sphere, distance, features).label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_memory() -> Meso {
+        let mut m = Meso::new(2, MesoConfig::default());
+        for i in 0..10 {
+            let t = i as f64 * 0.01;
+            m.train(&[t, -t], 0);
+            m.train(&[5.0 + t, 5.0 - t], 1);
+        }
+        m
+    }
+
+    #[test]
+    fn classifies_two_well_separated_clusters() {
+        let m = two_cluster_memory();
+        assert_eq!(m.classify(&[0.02, 0.0]), Some(0));
+        assert_eq!(m.classify(&[5.1, 5.0]), Some(1));
+        assert!(m.sphere_count() >= 2);
+        assert_eq!(m.pattern_count(), 20);
+    }
+
+    #[test]
+    fn empty_memory_returns_none() {
+        let m = Meso::new(3, MesoConfig::default());
+        assert_eq!(m.classify(&[0.0, 0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn first_pattern_founds_first_sphere() {
+        let mut m = Meso::new(1, MesoConfig::default());
+        m.train(&[1.0], 7);
+        assert_eq!(m.sphere_count(), 1);
+        assert_eq!(m.classify(&[100.0]), Some(7));
+    }
+
+    #[test]
+    fn identical_patterns_share_one_sphere() {
+        let mut m = Meso::new(2, MesoConfig::default());
+        for _ in 0..50 {
+            m.train(&[1.0, 1.0], 0);
+        }
+        assert_eq!(m.sphere_count(), 1);
+        assert_eq!(m.spheres()[0].len(), 50);
+    }
+
+    #[test]
+    fn distant_patterns_found_new_spheres() {
+        let mut m = Meso::new(1, MesoConfig::default());
+        m.train(&[0.0], 0);
+        m.train(&[0.1], 0);
+        m.train(&[1000.0], 1);
+        assert!(m.sphere_count() >= 2, "spheres: {}", m.sphere_count());
+    }
+
+    #[test]
+    fn remove_then_restore_is_identity() {
+        let mut m = two_cluster_memory();
+        let spheres_before: Vec<usize> = m.spheres().iter().map(|s| s.len()).collect();
+        let id = m.train(&[0.005, 0.005], 0);
+        m.remove(id);
+        let spheres_after: Vec<usize> = m.spheres().iter().map(|s| s.len()).collect();
+        // Removing the just-added pattern rewinds counts exactly (a new
+        // sphere may exist but must be empty).
+        for (i, &n) in spheres_before.iter().enumerate() {
+            assert_eq!(spheres_after[i], n);
+        }
+        m.restore(id);
+        assert_eq!(m.pattern_count(), 21);
+        assert_eq!(m.classify(&[0.005, 0.005]), Some(0));
+    }
+
+    #[test]
+    fn loo_removal_changes_prediction_when_isolated() {
+        // A lone pattern of label 9 far away: removing it must flip the
+        // local prediction to the remaining data.
+        let mut m = two_cluster_memory();
+        let id = m.train(&[100.0, 100.0], 9);
+        assert_eq!(m.classify(&[100.0, 100.0]), Some(9));
+        m.remove(id);
+        let pred = m.classify(&[100.0, 100.0]).unwrap();
+        assert_ne!(pred, 9);
+        m.restore(id);
+        assert_eq!(m.classify(&[100.0, 100.0]), Some(9));
+    }
+
+    #[test]
+    fn nearest_pattern_mode_uses_member_labels() {
+        let cfg = MesoConfig {
+            delta_policy: DeltaPolicy::Fixed(10.0),
+            query_mode: QueryMode::NearestPattern,
+        };
+        let mut m = Meso::new(1, cfg);
+        // One sphere with mixed labels; majority is 0 but nearest to 0.9
+        // is the single label-1 pattern at 1.0.
+        m.train(&[0.0], 0);
+        m.train(&[0.1], 0);
+        m.train(&[0.2], 0);
+        m.train(&[1.0], 1);
+        assert_eq!(m.sphere_count(), 1);
+        assert_eq!(m.classify(&[0.9]), Some(1));
+        let majority = Meso::new(1, MesoConfig {
+            query_mode: QueryMode::SphereMajority,
+            ..cfg
+        });
+        let _ = majority; // majority mode covered by other tests
+    }
+
+    #[test]
+    fn query_reports_votes_and_distance() {
+        let m = two_cluster_memory();
+        let r = m.query(&[0.0, 0.0]).unwrap();
+        assert_eq!(r.label, 0);
+        assert!(r.distance < 1.0);
+        assert!(!r.votes.is_empty());
+    }
+
+    #[test]
+    fn fixed_delta_policy_controls_sphere_creation() {
+        let cfg = MesoConfig {
+            delta_policy: DeltaPolicy::Fixed(0.0),
+            query_mode: QueryMode::SphereMajority,
+        };
+        let mut m = Meso::new(1, cfg);
+        m.train(&[0.0], 0);
+        m.train(&[0.001], 0);
+        // delta 0: every distinct pattern founds its own sphere.
+        assert_eq!(m.sphere_count(), 2);
+    }
+
+    #[test]
+    fn first_distance_policy() {
+        let cfg = MesoConfig {
+            delta_policy: DeltaPolicy::FirstDistance { factor: 2.0 },
+            query_mode: QueryMode::SphereMajority,
+        };
+        let mut m = Meso::new(1, cfg);
+        m.train(&[0.0], 0);
+        m.train(&[1.0], 0); // first distance = 1.0 -> delta = 2.0
+        assert!((m.delta() - 2.0).abs() < 1e-12);
+        m.train(&[1.5], 0); // within delta of sphere
+        assert!(m.sphere_count() <= 2);
+    }
+
+    #[test]
+    fn indexed_classification_matches_linear() {
+        let m = two_cluster_memory();
+        let index = m.build_index();
+        for q in [[0.0, 0.0], [5.0, 5.0], [2.5, 2.5], [-1.0, 3.0]] {
+            assert_eq!(m.classify_indexed(&index, &q), m.classify(&q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn train_all_convenience() {
+        let mut m = Meso::new(1, MesoConfig::default());
+        let data: Vec<(Vec<f64>, Label)> = vec![(vec![0.0], 0), (vec![9.0], 1)];
+        let ids = m.train_all(data.iter().map(|(f, l)| (f.as_slice(), *l)));
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_remove_panics() {
+        let mut m = Meso::new(1, MesoConfig::default());
+        let id = m.train(&[0.0], 0);
+        m.remove(id);
+        m.remove(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_features() {
+        let mut m = Meso::new(1, MesoConfig::default());
+        m.train(&[f64::NAN], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_query_dim() {
+        let m = two_cluster_memory();
+        m.classify(&[1.0]);
+    }
+}

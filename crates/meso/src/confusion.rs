@@ -1,0 +1,234 @@
+//! Confusion matrices — the artifact behind the paper's Table 3.
+
+use crate::dataset::Label;
+use std::fmt;
+
+/// A square confusion matrix: rows are actual labels, columns are
+/// predicted labels (the paper's Table 3 layout).
+///
+/// # Example
+///
+/// ```
+/// use meso::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.accuracy(), 2.0 / 3.0);
+/// assert_eq!(cm.count(0, 1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// Row-major counts: `counts[actual * classes + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an all-zero matrix over `classes` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "class count must be non-zero");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one test outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, actual: Label, predicted: Label) {
+        assert!(actual < self.classes, "actual label out of range");
+        assert!(predicted < self.classes, "predicted label out of range");
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Count of tests with the given actual/predicted pair.
+    pub fn count(&self, actual: Label, predicted: Label) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total number of recorded tests.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of correct predictions (the main diagonal).
+    pub fn correct(&self) -> u64 {
+        (0..self.classes).map(|i| self.count(i, i)).sum()
+    }
+
+    /// Overall accuracy: `correct / total`; `0.0` when nothing has been
+    /// recorded.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / total as f64
+        }
+    }
+
+    /// Row-normalized percentage for `(actual, predicted)` — the numbers
+    /// printed in the paper's Table 3; `0.0` for empty rows.
+    pub fn percent(&self, actual: Label, predicted: Label) -> f64 {
+        let row_total: u64 = (0..self.classes).map(|p| self.count(actual, p)).sum();
+        if row_total == 0 {
+            0.0
+        } else {
+            100.0 * self.count(actual, predicted) as f64 / row_total as f64
+        }
+    }
+
+    /// Per-class recall (diagonal percentage / 100).
+    pub fn recall(&self, label: Label) -> f64 {
+        self.percent(label, label) / 100.0
+    }
+
+    /// Merges another matrix into this one (accumulating across
+    /// iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Renders the matrix as a table of row percentages with the given
+    /// class names (falls back to indices when names are missing).
+    pub fn render(&self, names: &[&str]) -> String {
+        let name = |i: usize| -> String {
+            names
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("C{i}"))
+        };
+        let mut out = String::new();
+        out.push_str("actual\\pred");
+        for p in 0..self.classes {
+            out.push_str(&format!(" {:>6}", name(p)));
+        }
+        out.push('\n');
+        for a in 0..self.classes {
+            out.push_str(&format!("{:<11}", name(a)));
+            for p in 0..self.classes {
+                let pct = self.percent(a, p);
+                if pct == 0.0 {
+                    out.push_str("      .");
+                } else {
+                    out.push_str(&format!(" {pct:>6.1}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(3);
+        for _ in 0..8 {
+            cm.record(0, 0);
+        }
+        cm.record(0, 1);
+        cm.record(0, 2);
+        for _ in 0..5 {
+            cm.record(1, 1);
+        }
+        cm.record(2, 0);
+        cm.record(2, 2);
+        cm
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        let cm = sample();
+        assert_eq!(cm.total(), 17);
+        assert_eq!(cm.correct(), 14);
+        assert_eq!(cm.count(0, 1), 1);
+    }
+
+    #[test]
+    fn accuracy() {
+        let cm = sample();
+        assert!((cm.accuracy() - 14.0 / 17.0).abs() < 1e-12);
+        assert_eq!(ConfusionMatrix::new(2).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn row_percentages() {
+        let cm = sample();
+        assert!((cm.percent(0, 0) - 80.0).abs() < 1e-12);
+        assert!((cm.percent(1, 1) - 100.0).abs() < 1e-12);
+        assert!((cm.percent(2, 0) - 50.0).abs() < 1e-12);
+        // Rows sum to 100.
+        for a in 0..3 {
+            let row: f64 = (0..3).map(|p| cm.percent(a, p)).sum();
+            assert!((row - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_row_percent_is_zero() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.percent(1, 1), 0.0);
+    }
+
+    #[test]
+    fn recall_matches_diagonal() {
+        let cm = sample();
+        assert!((cm.recall(0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 34);
+        assert!((a.accuracy() - 14.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_names() {
+        let cm = sample();
+        let s = cm.render(&["AMGO", "BCCH", "BLJA"]);
+        assert!(s.contains("AMGO"));
+        assert!(s.contains("80.0"));
+        // Display falls back to indices.
+        assert!(cm.to_string().contains("C0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! A ball tree over sphere centers — MESO's hierarchical organization of
+//! sensitivity spheres for sublinear nearest-sphere search.
+//!
+//! The tree is exact: every node stores a covering radius, and the
+//! best-first search prunes a subtree only when the triangle inequality
+//! proves it cannot contain a closer center. Searching therefore always
+//! returns the same sphere as a linear scan (ties broken by sphere id).
+
+use std::collections::BinaryHeap;
+
+/// Maximum number of entries in a leaf before it splits.
+const LEAF_CAPACITY: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// `(sphere id, center)` entries.
+        entries: Vec<(usize, Vec<f64>)>,
+    },
+    Branch {
+        children: Vec<usize>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct NodeMeta {
+    centroid: Vec<f64>,
+    radius: f64,
+}
+
+/// An immutable ball-tree snapshot of sphere centers.
+///
+/// # Example
+///
+/// ```
+/// use meso::tree::SphereTree;
+///
+/// let tree = SphereTree::build(vec![
+///     (0, vec![0.0, 0.0]),
+///     (1, vec![10.0, 10.0]),
+///     (2, vec![0.5, 0.5]),
+/// ]);
+/// let (id, dist) = tree.nearest(&[0.4, 0.6]).unwrap();
+/// assert_eq!(id, 2);
+/// assert!(dist < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SphereTree {
+    nodes: Vec<Node>,
+    meta: Vec<NodeMeta>,
+    root: Option<usize>,
+    len: usize,
+    dim: usize,
+}
+
+fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+impl SphereTree {
+    /// Builds a tree from `(sphere id, center)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if centers have inconsistent dimensions.
+    pub fn build<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, Vec<f64>)>,
+    {
+        let entries: Vec<(usize, Vec<f64>)> = entries.into_iter().collect();
+        let dim = entries.first().map_or(0, |(_, c)| c.len());
+        for (_, c) in &entries {
+            assert_eq!(c.len(), dim, "inconsistent center dimensions");
+        }
+        let mut tree = SphereTree {
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            root: None,
+            len: entries.len(),
+            dim,
+        };
+        if !entries.is_empty() {
+            tree.root = Some(tree.build_node(entries));
+        }
+        tree
+    }
+
+    /// Number of indexed spheres.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree indexes no spheres.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Feature dimension of the indexed centers.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn build_node(&mut self, entries: Vec<(usize, Vec<f64>)>) -> usize {
+        let centroid = centroid_of(&entries, self.dim);
+        let radius = entries
+            .iter()
+            .map(|(_, c)| distance(&centroid, c))
+            .fold(0.0, f64::max);
+        if entries.len() <= LEAF_CAPACITY {
+            self.nodes.push(Node::Leaf { entries });
+            self.meta.push(NodeMeta { centroid, radius });
+            return self.nodes.len() - 1;
+        }
+        // Split by farthest pair seeding (standard ball-tree split).
+        let (seed_a, seed_b) = farthest_pair(&entries);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for e in entries {
+            let da = distance(&e.1, &seed_a);
+            let db = distance(&e.1, &seed_b);
+            if da <= db {
+                left.push(e);
+            } else {
+                right.push(e);
+            }
+        }
+        // Degenerate split (identical centers): force balance.
+        if left.is_empty() || right.is_empty() {
+            let mut all = left;
+            all.append(&mut right);
+            let half = all.len() / 2;
+            right = all.split_off(half);
+            left = all;
+        }
+        let li = self.build_node(left);
+        let ri = self.build_node(right);
+        self.nodes.push(Node::Branch {
+            children: vec![li, ri],
+        });
+        self.meta.push(NodeMeta { centroid, radius });
+        self.nodes.len() - 1
+    }
+
+    /// Returns the `(sphere id, distance)` of the center nearest to
+    /// `query`, or `None` for an empty tree. Exact; ties break to the
+    /// smaller sphere id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len()` differs from the indexed dimension.
+    pub fn nearest(&self, query: &[f64]) -> Option<(usize, f64)> {
+        let root = self.root?;
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+
+        // Best-first search over nodes keyed by optimistic distance.
+        #[derive(PartialEq)]
+        struct Candidate {
+            optimistic: f64,
+            node: usize,
+        }
+        impl Eq for Candidate {}
+        impl PartialOrd for Candidate {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Candidate {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Min-heap on optimistic distance via reversed compare.
+                other
+                    .optimistic
+                    .total_cmp(&self.optimistic)
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+
+        let optimistic = |node: usize| -> f64 {
+            let m = &self.meta[node];
+            (distance(query, &m.centroid) - m.radius).max(0.0)
+        };
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Candidate {
+            optimistic: optimistic(root),
+            node: root,
+        });
+        let mut best: Option<(usize, f64)> = None;
+
+        while let Some(Candidate {
+            optimistic: opt,
+            node,
+        }) = heap.pop()
+        {
+            if let Some((_, bd)) = best {
+                if opt > bd {
+                    break; // nothing left can beat the current best
+                }
+            }
+            match &self.nodes[node] {
+                Node::Leaf { entries } => {
+                    for (id, center) in entries {
+                        let d = distance(query, center);
+                        let better = match best {
+                            None => true,
+                            Some((bid, bd)) => d < bd || (d == bd && *id < bid),
+                        };
+                        if better {
+                            best = Some((*id, d));
+                        }
+                    }
+                }
+                Node::Branch { children } => {
+                    for &c in children {
+                        heap.push(Candidate {
+                            optimistic: optimistic(c),
+                            node: c,
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+fn centroid_of(entries: &[(usize, Vec<f64>)], dim: usize) -> Vec<f64> {
+    let mut c = vec![0.0; dim];
+    if entries.is_empty() {
+        return c;
+    }
+    for (_, center) in entries {
+        for (acc, &x) in c.iter_mut().zip(center) {
+            *acc += x;
+        }
+    }
+    let inv = 1.0 / entries.len() as f64;
+    for acc in c.iter_mut() {
+        *acc *= inv;
+    }
+    c
+}
+
+/// Approximate farthest pair: pick any point, find its farthest
+/// neighbor `a`, then `a`'s farthest neighbor `b` (two sweeps).
+fn farthest_pair(entries: &[(usize, Vec<f64>)]) -> (Vec<f64>, Vec<f64>) {
+    let first = &entries[0].1;
+    let a = entries
+        .iter()
+        .max_by(|x, y| distance(&x.1, first).total_cmp(&distance(&y.1, first)))
+        .map(|(_, c)| c.clone())
+        .expect("non-empty entries");
+    let b = entries
+        .iter()
+        .max_by(|x, y| distance(&x.1, &a).total_cmp(&distance(&y.1, &a)))
+        .map(|(_, c)| c.clone())
+        .expect("non-empty entries");
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_centers(n: usize) -> Vec<(usize, Vec<f64>)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (i, vec![x, y])
+            })
+            .collect()
+    }
+
+    fn linear_nearest(entries: &[(usize, Vec<f64>)], q: &[f64]) -> Option<(usize, f64)> {
+        entries
+            .iter()
+            .map(|(id, c)| (*id, distance(q, c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = SphereTree::build(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.nearest(&[]), None);
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = SphereTree::build(vec![(42, vec![1.0, 2.0])]);
+        let (id, d) = t.nearest(&[1.0, 2.0]).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn matches_linear_scan_on_grid() {
+        let entries = grid_centers(100);
+        let tree = SphereTree::build(entries.clone());
+        for i in 0..50 {
+            let q = vec![(i as f64) * 0.37 % 10.0, (i as f64) * 0.73 % 10.0];
+            assert_eq!(tree.nearest(&q), linear_nearest(&entries, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_centers() {
+        let entries: Vec<(usize, Vec<f64>)> = (0..30).map(|i| (i, vec![1.0, 1.0])).collect();
+        let tree = SphereTree::build(entries);
+        let (id, d) = tree.nearest(&[1.0, 1.0]).unwrap();
+        assert_eq!(id, 0); // tie breaks to smallest id
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn high_dimensional_centers() {
+        let entries: Vec<(usize, Vec<f64>)> = (0..64)
+            .map(|i| (i, (0..105).map(|j| ((i * j) % 17) as f64).collect()))
+            .collect();
+        let tree = SphereTree::build(entries.clone());
+        for probe in [0usize, 13, 40, 63] {
+            let q = entries[probe].1.clone();
+            let (id, _) = tree.nearest(&q).unwrap();
+            let (lid, _) = linear_nearest(&entries, &q).unwrap();
+            assert_eq!(id, lid);
+        }
+    }
+
+    #[test]
+    fn len_reports_entry_count() {
+        assert_eq!(SphereTree::build(grid_centers(37)).len(), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_bad_query_dim() {
+        let tree = SphereTree::build(vec![(0, vec![0.0, 0.0])]);
+        tree.nearest(&[1.0]);
+    }
+}

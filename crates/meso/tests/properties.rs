@@ -1,0 +1,146 @@
+//! Property-based tests for the MESO classifier.
+
+use meso::classifier::{DeltaPolicy, Meso, MesoConfig, QueryMode};
+use meso::crossval::vote;
+use meso::tree::SphereTree;
+use meso::ConfusionMatrix;
+use proptest::prelude::*;
+
+fn pattern_set(dim: usize, max: usize) -> impl Strategy<Value = Vec<(Vec<f64>, usize)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(-100.0f64..100.0, dim..=dim),
+            0usize..5,
+        ),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every live pattern is accounted for in exactly one sphere, and
+    /// sphere member counts sum to the live pattern count.
+    #[test]
+    fn sphere_counts_partition_patterns(data in pattern_set(3, 60)) {
+        let mut m = Meso::new(3, MesoConfig::default());
+        for (f, l) in &data {
+            m.train(f, *l);
+        }
+        let total: usize = m.spheres().iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, data.len());
+        prop_assert_eq!(m.pattern_count(), data.len());
+    }
+
+    /// Classification always returns a label that was trained.
+    #[test]
+    fn classify_returns_trained_label(
+        data in pattern_set(2, 40),
+        query in prop::collection::vec(-200.0f64..200.0, 2..=2),
+    ) {
+        let mut m = Meso::new(2, MesoConfig::default());
+        let mut labels = std::collections::HashSet::new();
+        for (f, l) in &data {
+            m.train(f, *l);
+            labels.insert(*l);
+        }
+        let predicted = m.classify(&query).unwrap();
+        prop_assert!(labels.contains(&predicted));
+    }
+
+    /// Remove + restore is an exact identity on classification results.
+    #[test]
+    fn remove_restore_identity(
+        data in pattern_set(2, 40),
+        victim in 0usize..40,
+        query in prop::collection::vec(-50.0f64..50.0, 2..=2),
+    ) {
+        let mut m = Meso::new(2, MesoConfig::default());
+        let ids: Vec<_> = data.iter().map(|(f, l)| m.train(f, *l)).collect();
+        let before = m.classify(&query);
+        let id = ids[victim % ids.len()];
+        m.remove(id);
+        m.restore(id);
+        prop_assert_eq!(m.classify(&query), before);
+        prop_assert_eq!(m.pattern_count(), data.len());
+    }
+
+    /// With a single trained label, every query (in either query mode)
+    /// predicts that label.
+    #[test]
+    fn single_label_memory_always_predicts_it(
+        features in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 2..=2),
+            1..40,
+        ),
+        label in 0usize..7,
+        query in prop::collection::vec(-500.0f64..500.0, 2..=2),
+        nearest_mode in any::<bool>(),
+    ) {
+        let cfg = MesoConfig {
+            delta_policy: DeltaPolicy::default(),
+            query_mode: if nearest_mode {
+                QueryMode::NearestPattern
+            } else {
+                QueryMode::SphereMajority
+            },
+        };
+        let mut m = Meso::new(2, cfg);
+        for f in &features {
+            m.train(f, label);
+        }
+        prop_assert_eq!(m.classify(&query), Some(label));
+    }
+
+    /// The ball-tree index always agrees with the linear scan.
+    #[test]
+    fn tree_matches_linear(
+        centers in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 4..=4),
+            1..80,
+        ),
+        query in prop::collection::vec(-150.0f64..150.0, 4..=4),
+    ) {
+        let entries: Vec<(usize, Vec<f64>)> =
+            centers.iter().cloned().enumerate().collect();
+        let tree = SphereTree::build(entries.clone());
+        let (tid, td) = tree.nearest(&query).unwrap();
+        let (lid, ld) = entries
+            .iter()
+            .map(|(id, c)| {
+                let d: f64 = c.iter().zip(&query).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                (*id, d)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .unwrap();
+        prop_assert_eq!(tid, lid);
+        prop_assert!((td - ld).abs() < 1e-9);
+    }
+
+    /// vote() always returns the modal label.
+    #[test]
+    fn vote_returns_mode(preds in prop::collection::vec(0usize..6, 1..30)) {
+        let winner = vote(&preds).unwrap();
+        let count = |l: usize| preds.iter().filter(|&&p| p == l).count();
+        for l in 0..6 {
+            prop_assert!(count(winner) >= count(l));
+        }
+    }
+
+    /// Confusion-matrix accuracy equals manual correct/total.
+    #[test]
+    fn confusion_accuracy_consistent(
+        outcomes in prop::collection::vec((0usize..4, 0usize..4), 1..100),
+    ) {
+        let mut cm = ConfusionMatrix::new(4);
+        let mut correct = 0usize;
+        for &(a, p) in &outcomes {
+            cm.record(a, p);
+            if a == p {
+                correct += 1;
+            }
+        }
+        prop_assert_eq!(cm.total(), outcomes.len() as u64);
+        prop_assert!((cm.accuracy() - correct as f64 / outcomes.len() as f64).abs() < 1e-12);
+    }
+}

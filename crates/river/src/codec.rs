@@ -1,0 +1,538 @@
+//! Binary wire codec for records.
+//!
+//! Frames are length-prefixed and CRC-32 protected so `streamin` can
+//! detect truncation and corruption (and respond by resynchronizing
+//! scope state rather than propagating garbage):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "RVDR"
+//! 4       1     version (1)
+//! 5       1     record kind tag
+//! 6       2     subtype            (LE)
+//! 8       4     scope depth        (LE)
+//! 12      2     scope type         (LE)
+//! 14      1     payload tag
+//! 15      1     reserved (0)
+//! 16      8     sequence number    (LE)
+//! 24      4     payload length     (LE, bytes)
+//! 28      n     payload
+//! 28+n    4     CRC-32 (IEEE) over bytes [0, 28+n)
+//! ```
+//!
+//! A special 4-byte end-of-stream sentinel `"RVEO"` marks *clean* stream
+//! termination; its absence at EOF tells the reader the upstream died
+//! unexpectedly.
+
+use crate::error::PipelineError;
+use crate::record::{Payload, Record, RecordKind};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"RVDR";
+/// Clean end-of-stream sentinel.
+pub const EOS_MAGIC: [u8; 4] = *b"RVEO";
+/// Wire format version.
+pub const VERSION: u8 = 1;
+/// Maximum accepted payload length (64 MiB) — guards against corrupted
+/// length fields allocating unbounded memory.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Computes the IEEE CRC-32 of `data` (table-driven, from scratch).
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    // Build the table at first use; 256 entries.
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (i, slot) in t.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+                }
+                *slot = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn encode_payload(payload: &Payload, out: &mut BytesMut) {
+    match payload {
+        Payload::Empty => {}
+        Payload::F64(v) | Payload::Complex(v) => {
+            out.reserve(v.len() * 8);
+            for &x in v {
+                out.put_f64_le(x);
+            }
+        }
+        Payload::Bytes(b) => out.extend_from_slice(b),
+        Payload::Text(s) => out.extend_from_slice(s.as_bytes()),
+        Payload::Pairs(pairs) => {
+            out.put_u32_le(pairs.len() as u32);
+            for (k, v) in pairs {
+                out.put_u32_le(k.len() as u32);
+                out.extend_from_slice(k.as_bytes());
+                out.put_u32_le(v.len() as u32);
+                out.extend_from_slice(v.as_bytes());
+            }
+        }
+    }
+}
+
+fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Payload, PipelineError> {
+    let codec_err = |m: String| PipelineError::Codec(m);
+    match tag {
+        0 => {
+            if !bytes.is_empty() {
+                return Err(codec_err("empty payload with non-zero length".into()));
+            }
+            Ok(Payload::Empty)
+        }
+        1 | 2 => {
+            if bytes.len() % 8 != 0 {
+                return Err(codec_err(format!(
+                    "f64 payload length {} not a multiple of 8",
+                    bytes.len()
+                )));
+            }
+            let v: Vec<f64> = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            Ok(if tag == 1 {
+                Payload::F64(v)
+            } else {
+                Payload::Complex(v)
+            })
+        }
+        3 => Ok(Payload::Bytes(Bytes::copy_from_slice(bytes))),
+        4 => String::from_utf8(bytes.to_vec())
+            .map(Payload::Text)
+            .map_err(|e| codec_err(format!("invalid utf-8 text payload: {e}"))),
+        5 => {
+            let mut pos = 0usize;
+            let take_u32 = |pos: &mut usize| -> Result<u32, PipelineError> {
+                if *pos + 4 > bytes.len() {
+                    return Err(PipelineError::Codec("truncated pairs payload".into()));
+                }
+                let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+                *pos += 4;
+                Ok(v)
+            };
+            let take_str = |pos: &mut usize, len: usize| -> Result<String, PipelineError> {
+                if *pos + len > bytes.len() {
+                    return Err(PipelineError::Codec("truncated pairs payload".into()));
+                }
+                let s = String::from_utf8(bytes[*pos..*pos + len].to_vec())
+                    .map_err(|e| PipelineError::Codec(format!("invalid utf-8 in pairs: {e}")))?;
+                *pos += len;
+                Ok(s)
+            };
+            let count = take_u32(&mut pos)? as usize;
+            if count > bytes.len() {
+                return Err(codec_err("pairs count exceeds payload".into()));
+            }
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let klen = take_u32(&mut pos)? as usize;
+                let k = take_str(&mut pos, klen)?;
+                let vlen = take_u32(&mut pos)? as usize;
+                let v = take_str(&mut pos, vlen)?;
+                pairs.push((k, v));
+            }
+            if pos != bytes.len() {
+                return Err(codec_err("trailing bytes after pairs payload".into()));
+            }
+            Ok(Payload::Pairs(pairs))
+        }
+        t => Err(codec_err(format!("unknown payload tag {t}"))),
+    }
+}
+
+/// Encodes one record as a complete wire frame.
+///
+/// # Example
+///
+/// ```
+/// use dynamic_river::codec::{decode_frame, encode_frame};
+/// use dynamic_river::record::{Payload, Record};
+///
+/// let rec = Record::data(1, Payload::F64(vec![1.0, -1.0])).with_seq(5);
+/// let frame = encode_frame(&rec);
+/// let (decoded, used) = decode_frame(&frame).unwrap().unwrap();
+/// assert_eq!(decoded, rec);
+/// assert_eq!(used, frame.len());
+/// ```
+pub fn encode_frame(record: &Record) -> Vec<u8> {
+    let mut payload = BytesMut::new();
+    encode_payload(&record.payload, &mut payload);
+    let mut out = BytesMut::with_capacity(32 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(record.kind.tag());
+    out.put_u16_le(record.subtype);
+    out.put_u32_le(record.scope_depth);
+    out.put_u16_le(record.scope_type);
+    out.put_u8(record.payload.tag());
+    out.put_u8(0); // reserved
+    out.put_u64_le(record.seq);
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    out.put_u32_le(crc);
+    out.to_vec()
+}
+
+/// The fixed frame header length (before payload).
+pub const HEADER_LEN: usize = 28;
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, or
+/// `Ok(Some((record, bytes_consumed)))` on success.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Codec`] for bad magic, version, CRC, tags or
+/// malformed payloads.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Record, usize)>, PipelineError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    if buf[..4] == EOS_MAGIC {
+        return Err(PipelineError::Codec("end-of-stream sentinel".into()));
+    }
+    if buf[..4] != MAGIC {
+        return Err(PipelineError::Codec(format!(
+            "bad frame magic {:02x?}",
+            &buf[..4]
+        )));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let version = buf[4];
+    if version != VERSION {
+        return Err(PipelineError::Codec(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let kind = RecordKind::from_tag(buf[5])
+        .ok_or_else(|| PipelineError::Codec(format!("unknown record kind {}", buf[5])))?;
+    let subtype = u16::from_le_bytes([buf[6], buf[7]]);
+    let scope_depth = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    let scope_type = u16::from_le_bytes([buf[12], buf[13]]);
+    let payload_tag = buf[14];
+    let seq = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes([buf[24], buf[25], buf[26], buf[27]]) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(PipelineError::Codec(format!(
+            "payload length {payload_len} exceeds maximum {MAX_PAYLOAD}"
+        )));
+    }
+    let total = HEADER_LEN + payload_len + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body_end = HEADER_LEN + payload_len;
+    let expected_crc = u32::from_le_bytes(buf[body_end..body_end + 4].try_into().expect("4"));
+    let actual_crc = crc32(&buf[..body_end]);
+    if expected_crc != actual_crc {
+        return Err(PipelineError::Codec(format!(
+            "crc mismatch: frame says {expected_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+    let payload = decode_payload(payload_tag, &buf[HEADER_LEN..body_end])?;
+    Ok(Some((
+        Record {
+            kind,
+            subtype,
+            scope_depth,
+            scope_type,
+            seq,
+            payload,
+        },
+        total,
+    )))
+}
+
+/// Writes one framed record to a [`Write`] sink. A `&mut W` may be
+/// passed.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Io`] on sink failure.
+pub fn write_record<W: Write>(mut writer: W, record: &Record) -> Result<(), PipelineError> {
+    writer.write_all(&encode_frame(record))?;
+    Ok(())
+}
+
+/// Writes the clean end-of-stream sentinel.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Io`] on sink failure.
+pub fn write_eos<W: Write>(mut writer: W) -> Result<(), PipelineError> {
+    writer.write_all(&EOS_MAGIC)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Outcome of reading one frame from a byte stream.
+#[derive(Debug, PartialEq)]
+pub enum ReadOutcome {
+    /// A record was decoded.
+    Record(Record),
+    /// Clean end of stream (sentinel seen).
+    CleanEnd,
+    /// The stream ended without a sentinel — the upstream died.
+    UncleanEnd,
+}
+
+/// Reads one frame from a [`Read`] source (blocking). A `&mut R` may be
+/// passed.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Codec`] for corrupted frames and
+/// [`PipelineError::Io`] for I/O failures other than clean EOF.
+pub fn read_record<R: Read>(mut reader: R) -> Result<ReadOutcome, PipelineError> {
+    let mut magic = [0u8; 4];
+    match read_exact_or_eof(&mut reader, &mut magic)? {
+        ReadFill::Eof => return Ok(ReadOutcome::UncleanEnd),
+        ReadFill::Partial => return Ok(ReadOutcome::UncleanEnd),
+        ReadFill::Full => {}
+    }
+    if magic == EOS_MAGIC {
+        return Ok(ReadOutcome::CleanEnd);
+    }
+    if magic != MAGIC {
+        return Err(PipelineError::Codec(format!(
+            "bad frame magic {magic:02x?}"
+        )));
+    }
+    let mut rest_header = [0u8; HEADER_LEN - 4];
+    reader.read_exact(&mut rest_header).map_err(unclean)?;
+    let mut frame = Vec::with_capacity(HEADER_LEN + 64);
+    frame.extend_from_slice(&magic);
+    frame.extend_from_slice(&rest_header);
+    let payload_len =
+        u32::from_le_bytes(frame[24..28].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(PipelineError::Codec(format!(
+            "payload length {payload_len} exceeds maximum {MAX_PAYLOAD}"
+        )));
+    }
+    let mut body = vec![0u8; payload_len + 4];
+    reader.read_exact(&mut body).map_err(unclean)?;
+    frame.extend_from_slice(&body);
+    match decode_frame(&frame)? {
+        Some((record, _)) => Ok(ReadOutcome::Record(record)),
+        None => Err(PipelineError::Codec("incomplete frame after read".into())),
+    }
+}
+
+fn unclean(e: io::Error) -> PipelineError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        PipelineError::Disconnected("stream truncated mid-frame".into())
+    } else {
+        PipelineError::Io(e)
+    }
+}
+
+enum ReadFill {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadFill, PipelineError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadFill::Eof
+                } else {
+                    ReadFill::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(PipelineError::Io(e)),
+        }
+    }
+    Ok(ReadFill::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::data(1, Payload::Empty),
+            Record::data(2, Payload::F64(vec![1.5, -2.5, 0.0])).with_seq(99),
+            Record::data(3, Payload::Complex(vec![1.0, 2.0])),
+            Record::data(4, Payload::Bytes(Bytes::from_static(b"hello"))),
+            Record::data(5, Payload::Text("héllo wörld".into())),
+            Record::open_scope(
+                7,
+                vec![("sample_rate".into(), "20160".into()), ("site".into(), "kbs".into())],
+            )
+            .with_depth(1),
+            Record::close_scope(7),
+            Record::bad_close_scope(9).with_depth(3),
+        ]
+    }
+
+    #[test]
+    fn frame_round_trip_all_payloads() {
+        for rec in samples() {
+            let frame = encode_frame(&rec);
+            let (decoded, used) = decode_frame(&frame).unwrap().unwrap();
+            assert_eq!(decoded, rec);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn partial_frames_request_more_bytes() {
+        let frame = encode_frame(&samples()[1]);
+        for cut in [0usize, 3, 10, HEADER_LEN, frame.len() - 1] {
+            assert!(decode_frame(&frame[..cut]).unwrap().is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut frame = encode_frame(&samples()[1]);
+        let mid = HEADER_LEN + 4;
+        frame[mid] ^= 0xFF;
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(m) if m.contains("crc")));
+    }
+
+    #[test]
+    fn corrupted_header_detected() {
+        let mut frame = encode_frame(&samples()[0]);
+        frame[5] = 250; // invalid kind; also breaks CRC
+        assert!(decode_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(&samples()[0]);
+        frame[0] = b'X';
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(m) if m.contains("magic")));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(&samples()[0]);
+        frame[4] = 9;
+        // Fix CRC so the version check is what fires.
+        let body_end = frame.len() - 4;
+        let crc = crc32(&frame[..body_end]);
+        frame[body_end..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(m) if m.contains("version")));
+    }
+
+    #[test]
+    fn oversized_payload_len_rejected_without_allocation() {
+        let mut frame = encode_frame(&samples()[0]);
+        frame[24..28].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(m) if m.contains("maximum")));
+    }
+
+    #[test]
+    fn stream_read_write_round_trip() {
+        let mut buf = Vec::new();
+        for rec in samples() {
+            write_record(&mut buf, &rec).unwrap();
+        }
+        write_eos(&mut buf).unwrap();
+
+        let mut cursor = buf.as_slice();
+        let mut decoded = Vec::new();
+        loop {
+            match read_record(&mut cursor).unwrap() {
+                ReadOutcome::Record(r) => decoded.push(r),
+                ReadOutcome::CleanEnd => break,
+                ReadOutcome::UncleanEnd => panic!("unexpected unclean end"),
+            }
+        }
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn missing_sentinel_reports_unclean_end() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &samples()[0]).unwrap();
+        // No EOS sentinel.
+        let mut cursor = buf.as_slice();
+        assert!(matches!(
+            read_record(&mut cursor).unwrap(),
+            ReadOutcome::Record(_)
+        ));
+        assert_eq!(read_record(&mut cursor).unwrap(), ReadOutcome::UncleanEnd);
+    }
+
+    #[test]
+    fn truncated_mid_frame_is_disconnect() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &samples()[1]).unwrap();
+        buf.truncate(buf.len() - 6);
+        let mut cursor = buf.as_slice();
+        let err = read_record(&mut cursor).unwrap_err();
+        assert!(matches!(err, PipelineError::Disconnected(_)));
+    }
+
+    #[test]
+    fn pairs_payload_edge_cases() {
+        // Empty pairs list round trips.
+        let rec = Record {
+            kind: RecordKind::Data,
+            subtype: 0,
+            scope_depth: 0,
+            scope_type: 0,
+            seq: 0,
+            payload: Payload::Pairs(vec![]),
+        };
+        let frame = encode_frame(&rec);
+        let (decoded, _) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(decoded.payload, Payload::Pairs(vec![]));
+    }
+
+    #[test]
+    fn empty_payload_with_length_rejected() {
+        // Build a frame claiming Empty (tag 0) but with payload bytes.
+        let mut frame = encode_frame(&Record::data(0, Payload::Text("ab".into())));
+        frame[14] = 0; // payload tag -> Empty
+        let body_end = frame.len() - 4;
+        let crc = crc32(&frame[..body_end]);
+        let len = frame.len();
+        frame[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(decode_frame(&frame).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Pipeline error type.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by pipeline execution, the wire codec and network
+/// operators.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed or corrupted wire data (bad magic, CRC mismatch,
+    /// unknown tags, truncation).
+    Codec(String),
+    /// An operator failed.
+    Operator {
+        /// Operator name.
+        operator: String,
+        /// Failure description.
+        message: String,
+    },
+    /// A stage disconnected unexpectedly (channel closed, peer reset).
+    Disconnected(String),
+    /// Scope discipline violated beyond repair (close without open at
+    /// the decoder boundary).
+    ScopeViolation(String),
+}
+
+impl PipelineError {
+    /// Convenience constructor for operator failures.
+    pub fn operator(operator: impl Into<String>, message: impl Into<String>) -> Self {
+        PipelineError::Operator {
+            operator: operator.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Io(e) => write!(f, "i/o error: {e}"),
+            PipelineError::Codec(m) => write!(f, "codec error: {m}"),
+            PipelineError::Operator { operator, message } => {
+                write!(f, "operator '{operator}' failed: {message}")
+            }
+            PipelineError::Disconnected(m) => write!(f, "disconnected: {m}"),
+            PipelineError::ScopeViolation(m) => write!(f, "scope violation: {m}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PipelineError {
+    fn from(e: io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<PipelineError> = vec![
+            PipelineError::Codec("bad magic".into()),
+            PipelineError::operator("dft", "bad input"),
+            PipelineError::Disconnected("peer reset".into()),
+            PipelineError::ScopeViolation("close without open".into()),
+            PipelineError::Io(io::Error::new(io::ErrorKind::Other, "x")),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        let e = PipelineError::from(io::Error::new(io::ErrorKind::BrokenPipe, "pipe"));
+        assert!(e.source().is_some());
+    }
+}

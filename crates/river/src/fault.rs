@@ -1,0 +1,222 @@
+//! Fault injection for resilience testing.
+//!
+//! The paper argues that "pipelines composed for data acquisition and
+//! analysis of continuous sensor data streams must be able to
+//! resynchronize and enable the continuation of meaningful data stream
+//! processing in the face of pipeline recomposition and faults" (§5).
+//! These operators let tests inject the faults those mechanisms must
+//! absorb.
+
+use crate::error::PipelineError;
+use crate::operator::{Operator, Sink};
+use crate::record::{Record, RecordKind};
+
+/// Fails the pipeline after passing `n` records — simulates an operator
+/// crash mid-stream.
+#[derive(Debug, Clone, Copy)]
+pub struct FailAfter {
+    remaining: u64,
+}
+
+impl FailAfter {
+    /// Creates an operator that forwards `n` records then errors.
+    pub fn new(n: u64) -> Self {
+        FailAfter { remaining: n }
+    }
+}
+
+impl Operator for FailAfter {
+    fn name(&self) -> &str {
+        "fail-after"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if self.remaining == 0 {
+            return Err(PipelineError::operator(
+                "fail-after",
+                "injected fault: operator crashed",
+            ));
+        }
+        self.remaining -= 1;
+        out.push(record)
+    }
+}
+
+/// Drops every `k`-th scope-closing record — simulates a buggy or
+/// crashing producer that leaves scopes dangling. Downstream
+/// `ScopeRepair` / `streamin` must synthesize `BadCloseScope` records.
+#[derive(Debug, Clone, Copy)]
+pub struct DropCloses {
+    k: u64,
+    seen_closes: u64,
+}
+
+impl DropCloses {
+    /// Drops every `k`-th close (1-based: `k = 1` drops every close).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn every(k: u64) -> Self {
+        assert!(k > 0, "k must be non-zero");
+        DropCloses { k, seen_closes: 0 }
+    }
+}
+
+impl Operator for DropCloses {
+    fn name(&self) -> &str {
+        "drop-closes"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if record.kind.closes_scope() {
+            self.seen_closes += 1;
+            if self.seen_closes % self.k == 0 {
+                return Ok(()); // dropped
+            }
+        }
+        out.push(record)
+    }
+}
+
+/// Truncates the stream after `n` records (swallows the rest without
+/// erroring) — simulates an upstream that silently stops, leaving open
+/// scopes for the repair machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct TruncateAfter {
+    remaining: u64,
+}
+
+impl TruncateAfter {
+    /// Creates an operator that forwards only the first `n` records.
+    pub fn new(n: u64) -> Self {
+        TruncateAfter { remaining: n }
+    }
+}
+
+impl Operator for TruncateAfter {
+    fn name(&self) -> &str {
+        "truncate-after"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if self.remaining == 0 {
+            return Ok(());
+        }
+        self.remaining -= 1;
+        out.push(record)
+    }
+}
+
+/// Corrupts the subtype of every `k`-th data record — used to verify
+/// that consumers validate rather than trust headers.
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptSubtype {
+    k: u64,
+    seen: u64,
+}
+
+impl CorruptSubtype {
+    /// Corrupts every `k`-th data record (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn every(k: u64) -> Self {
+        assert!(k > 0, "k must be non-zero");
+        CorruptSubtype { k, seen: 0 }
+    }
+}
+
+impl Operator for CorruptSubtype {
+    fn name(&self) -> &str {
+        "corrupt-subtype"
+    }
+
+    fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if record.kind == RecordKind::Data {
+            self.seen += 1;
+            if self.seen % self.k == 0 {
+                record.subtype = u16::MAX;
+            }
+        }
+        out.push(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ScopeRepair;
+    use crate::pipeline::Pipeline;
+    use crate::record::Payload;
+    use crate::scope::validate_scopes;
+
+    fn stream() -> Vec<Record> {
+        let mut v = Vec::new();
+        for s in 0..3 {
+            v.push(Record::open_scope(1, vec![]));
+            for i in 0..4 {
+                v.push(Record::data(1, Payload::F64(vec![i as f64])).with_seq(s * 10 + i));
+            }
+            v.push(Record::close_scope(1));
+        }
+        v
+    }
+
+    #[test]
+    fn fail_after_aborts() {
+        let mut p = Pipeline::new();
+        p.add(FailAfter::new(5));
+        let err = p.run(stream()).unwrap_err();
+        assert!(matches!(err, PipelineError::Operator { .. }));
+    }
+
+    #[test]
+    fn fail_after_passes_when_stream_shorter() {
+        let mut p = Pipeline::new();
+        p.add(FailAfter::new(100));
+        assert_eq!(p.run(stream()).unwrap().len(), 18);
+    }
+
+    #[test]
+    fn drop_closes_then_repair_resynchronizes() {
+        let mut p = Pipeline::new();
+        p.add(DropCloses::every(2)); // drops closes 2, (4), ...
+        p.add(ScopeRepair::new());
+        let out = p.run(stream()).unwrap();
+        // Repair must leave the stream balanced.
+        validate_scopes(&out).unwrap();
+        // And some BadCloseScope records must exist.
+        assert!(out.iter().any(|r| r.kind == RecordKind::BadCloseScope));
+    }
+
+    #[test]
+    fn truncate_then_repair() {
+        let mut p = Pipeline::new();
+        p.add(TruncateAfter::new(8)); // cuts inside the second scope
+        p.add(ScopeRepair::new());
+        let out = p.run(stream()).unwrap();
+        validate_scopes(&out).unwrap();
+        let bad = out
+            .iter()
+            .filter(|r| r.kind == RecordKind::BadCloseScope)
+            .count();
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn corrupt_subtype_marks_records() {
+        let mut p = Pipeline::new();
+        p.add(CorruptSubtype::every(3));
+        let out = p.run(stream()).unwrap();
+        let corrupted = out.iter().filter(|r| r.subtype == u16::MAX).count();
+        assert_eq!(corrupted, 4); // 12 data records / 3
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be non-zero")]
+    fn rejects_zero_k() {
+        DropCloses::every(0);
+    }
+}

@@ -1,0 +1,82 @@
+//! # dynamic-river — a recomposable distributed stream pipeline
+//!
+//! A from-scratch implementation of the *Dynamic River* prototype of
+//! Kasten, McKinley & Gage (DEPSA/ICDCS 2007, §2): "a distributed stream
+//! processing pipeline … defined as a sequential set of operations
+//! composed between a data source and its final sink. Pipeline segments
+//! are created by composing sequences of operators that produce a
+//! partial result important to the overall pipeline application.
+//! Segments can receive and emit records using the `streamin` and
+//! `streamout` operators … enabling instantiation of segments and the
+//! construction of a pipeline across networked hosts. Moreover,
+//! pipelines can be recomposed dynamically by moving segments among
+//! hosts."
+//!
+//! ## Key concepts
+//!
+//! - [`record::Record`] — the unit of flow. Records carry `subtype`,
+//!   `scope` (nesting depth) and `scope_type` header fields.
+//! - **Scopes** — "a sequence of records that share some contextual
+//!   meaning, such as having been produced from the same acoustic clip."
+//!   Every scope begins with an `OpenScope` record and ends with a
+//!   `CloseScope` — or a `BadCloseScope` when an upstream failure forces
+//!   closure before the intended point ([`scope::ScopeTracker`]).
+//! - [`operator::Operator`] — the processing trait; [`pipeline`] runs
+//!   operator chains synchronously or with one thread per operator.
+//! - [`codec`] — the length-prefixed, CRC-32-protected wire format used
+//!   by [`net::StreamOut`] / [`net::StreamIn`] across TCP.
+//! - [`segment`] — named operator chains on in-process *hosts*, with a
+//!   coordinator that relocates segments between hosts at scope
+//!   boundaries ([`segment::RelocatablePipeline`]).
+//! - [`fault`] — fault injection used by the resilience tests.
+//!
+//! ## Example: a scoped pipeline
+//!
+//! ```
+//! use dynamic_river::prelude::*;
+//!
+//! // Scope a little stream, double every payload value, and count.
+//! let records = vec![
+//!     Record::open_scope(7, vec![]),
+//!     Record::data(1, Payload::F64(vec![1.0, 2.0])),
+//!     Record::close_scope(7),
+//! ];
+//! let mut pipeline = Pipeline::new();
+//! pipeline.add(MapPayload::new("double", |mut v: Vec<f64>| {
+//!     v.iter_mut().for_each(|x| *x *= 2.0);
+//!     v
+//! }));
+//! let out = pipeline.run(records).unwrap();
+//! assert_eq!(out.len(), 3);
+//! assert_eq!(out[1].payload.as_f64().unwrap(), &[2.0, 4.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod fault;
+pub mod net;
+pub mod operator;
+pub mod ops;
+pub mod pipeline;
+pub mod record;
+pub mod scope;
+pub mod segment;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::error::PipelineError;
+    pub use crate::operator::{Operator, Sink};
+    pub use crate::ops::{FnOp, Inspect, MapPayload, Passthrough, RecordCounter, RecordFilter};
+    pub use crate::pipeline::Pipeline;
+    pub use crate::record::{Payload, Record, RecordKind};
+    pub use crate::scope::{ScopeEvent, ScopeTracker};
+}
+
+pub use error::PipelineError;
+pub use operator::{Operator, Sink};
+pub use pipeline::Pipeline;
+pub use record::{Payload, Record, RecordKind};
+pub use scope::ScopeTracker;

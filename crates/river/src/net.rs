@@ -1,0 +1,313 @@
+//! Network stream operators: `streamout` and `streamin`.
+//!
+//! "Segments can receive and emit records using the `streamin` and
+//! `streamout` operators, respectively, enabling instantiation of
+//! segments and the construction of a pipeline across networked hosts"
+//! (paper §2). Records travel as CRC-protected frames ([`crate::codec`]);
+//! a clean shutdown ends with an end-of-stream sentinel, and "if an
+//! upstream segment terminates unexpectedly and leaves one or more
+//! scopes open, the `streamin` operator will generate `BadCloseScope`
+//! records to close all open scopes."
+
+use crate::codec::{read_record, write_eos, write_record, ReadOutcome};
+use crate::error::PipelineError;
+use crate::operator::{Operator, Sink};
+use crate::record::Record;
+use crate::scope::ScopeTracker;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// `streamout`: an operator that forwards every record over a byte sink
+/// (typically a TCP connection) and emits the clean end-of-stream
+/// sentinel when the pipeline finishes.
+pub struct StreamOut<W: Write + Send> {
+    writer: BufWriter<W>,
+    sent: u64,
+}
+
+impl<W: Write + Send> StreamOut<W> {
+    /// Wraps a byte sink.
+    pub fn new(writer: W) -> Self {
+        StreamOut {
+            writer: BufWriter::new(writer),
+            sent: 0,
+        }
+    }
+
+    /// Records sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl StreamOut<TcpStream> {
+    /// Connects to a downstream `streamin` operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Io`] if the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, PipelineError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self::new(stream))
+    }
+}
+
+impl<W: Write + Send> Operator for StreamOut<W> {
+    fn name(&self) -> &str {
+        "streamout"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        write_record(&mut self.writer, &record)?;
+        self.sent += 1;
+        // streamout is usually terminal, but passing records through lets
+        // callers tee the stream locally as well.
+        out.push(record)
+    }
+
+    fn on_eos(&mut self, _out: &mut dyn Sink) -> Result<(), PipelineError> {
+        write_eos(&mut self.writer)?;
+        Ok(())
+    }
+}
+
+/// How a [`StreamIn`] session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEnd {
+    /// The upstream emitted the end-of-stream sentinel with all scopes
+    /// closed.
+    Clean,
+    /// The upstream vanished (connection drop / truncation) or said
+    /// goodbye mid-scope; open scopes were closed with `BadCloseScope`
+    /// records.
+    Unclean {
+        /// Number of `BadCloseScope` records synthesized.
+        repaired_scopes: u32,
+    },
+}
+
+/// `streamin`: decodes records from a byte source, tracking scope state
+/// and repairing it when the upstream dies.
+pub struct StreamIn<R: Read> {
+    reader: BufReader<R>,
+    tracker: ScopeTracker,
+    received: u64,
+}
+
+impl<R: Read> StreamIn<R> {
+    /// Wraps a byte source.
+    pub fn new(reader: R) -> Self {
+        StreamIn {
+            reader: BufReader::new(reader),
+            tracker: ScopeTracker::new(),
+            received: 0,
+        }
+    }
+
+    /// Records received so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Pumps every record into `sink` until the stream ends, returning
+    /// how it ended. On an unclean end, synthesized `BadCloseScope`
+    /// records are pushed into the sink before returning, so downstream
+    /// scope state resynchronizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Codec`] on frame corruption and
+    /// [`PipelineError::Io`] on I/O failure; disconnects mid-frame are
+    /// treated as unclean ends rather than errors.
+    pub fn pump(&mut self, sink: &mut dyn Sink) -> Result<StreamEnd, PipelineError> {
+        loop {
+            match read_record(&mut self.reader) {
+                Ok(ReadOutcome::Record(record)) => {
+                    // Scope accounting; violations at the network boundary
+                    // are repaired (stray closes dropped), not fatal.
+                    match self.tracker.observe(&record) {
+                        Ok(_) => {
+                            self.received += 1;
+                            sink.push(record)?;
+                        }
+                        Err(PipelineError::ScopeViolation(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(ReadOutcome::CleanEnd) => {
+                    // A clean end with open scopes still repairs them: the
+                    // upstream said goodbye mid-scope.
+                    let repairs = self.tracker.close_all_bad();
+                    let n = repairs.len() as u32;
+                    for r in repairs {
+                        sink.push(r)?;
+                    }
+                    return Ok(if n == 0 {
+                        StreamEnd::Clean
+                    } else {
+                        StreamEnd::Unclean { repaired_scopes: n }
+                    });
+                }
+                Ok(ReadOutcome::UncleanEnd) | Err(PipelineError::Disconnected(_)) => {
+                    let repairs = self.tracker.close_all_bad();
+                    let n = repairs.len() as u32;
+                    for r in repairs {
+                        sink.push(r)?;
+                    }
+                    return Ok(StreamEnd::Unclean { repaired_scopes: n });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Serves exactly one upstream connection: accepts on `listener`,
+/// pumps all records into `sink`, and reports how the session ended.
+///
+/// # Errors
+///
+/// Propagates accept/read failures.
+pub fn serve_once(
+    listener: &TcpListener,
+    sink: &mut dyn Sink,
+) -> Result<StreamEnd, PipelineError> {
+    let (stream, _peer) = listener.accept()?;
+    stream.set_nodelay(true)?;
+    let mut streamin = StreamIn::new(stream);
+    streamin.pump(sink)
+}
+
+/// Sends a record batch (plus the sentinel) to `addr` — the convenience
+/// used by sources and tests.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Io`] on connection or write failure.
+pub fn send_all<A: ToSocketAddrs>(addr: A, records: &[Record]) -> Result<(), PipelineError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = BufWriter::new(stream);
+    for r in records {
+        write_record(&mut writer, r)?;
+    }
+    write_eos(&mut writer)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Payload, RecordKind};
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn scoped_records(n: usize) -> Vec<Record> {
+        let mut v = vec![Record::open_scope(1, vec![("rate".into(), "20160".into())])];
+        for i in 0..n {
+            v.push(Record::data(1, Payload::F64(vec![i as f64])).with_seq(i as u64));
+        }
+        v.push(Record::close_scope(1));
+        v
+    }
+
+    #[test]
+    fn tcp_round_trip_clean() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let records = scoped_records(50);
+        let send = records.clone();
+        let sender = thread::spawn(move || send_all(addr, &send).unwrap());
+        let mut sink: Vec<Record> = Vec::new();
+        let end = serve_once(&listener, &mut sink).unwrap();
+        sender.join().unwrap();
+        assert_eq!(end, StreamEnd::Clean);
+        assert_eq!(sink, records);
+    }
+
+    #[test]
+    fn unclean_disconnect_synthesizes_bad_closes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = BufWriter::new(stream);
+            write_record(&mut writer, &Record::open_scope(3, vec![])).unwrap();
+            write_record(&mut writer, &Record::open_scope(4, vec![])).unwrap();
+            write_record(&mut writer, &Record::data(1, Payload::F64(vec![1.0]))).unwrap();
+            writer.flush().unwrap();
+            // Drop without sentinel: simulated crash.
+        });
+        let mut sink: Vec<Record> = Vec::new();
+        let end = serve_once(&listener, &mut sink).unwrap();
+        sender.join().unwrap();
+        assert_eq!(end, StreamEnd::Unclean { repaired_scopes: 2 });
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink[3].kind, RecordKind::BadCloseScope);
+        assert_eq!(sink[3].scope_type, 4); // innermost first
+        assert_eq!(sink[4].scope_type, 3);
+        crate::scope::validate_scopes(&sink).unwrap();
+    }
+
+    #[test]
+    fn clean_end_with_open_scope_still_repairs() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &Record::open_scope(9, vec![])).unwrap();
+        write_eos(&mut buf).unwrap();
+        let mut sink: Vec<Record> = Vec::new();
+        let mut si = StreamIn::new(buf.as_slice());
+        let end = si.pump(&mut sink).unwrap();
+        assert_eq!(end, StreamEnd::Unclean { repaired_scopes: 1 });
+        crate::scope::validate_scopes(&sink).unwrap();
+    }
+
+    #[test]
+    fn stray_close_dropped_at_boundary() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &Record::close_scope(2)).unwrap();
+        write_record(&mut buf, &Record::data(0, Payload::Empty)).unwrap();
+        write_eos(&mut buf).unwrap();
+        let mut sink: Vec<Record> = Vec::new();
+        let mut si = StreamIn::new(buf.as_slice());
+        let end = si.pump(&mut sink).unwrap();
+        assert_eq!(end, StreamEnd::Clean);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(si.received(), 1);
+    }
+
+    #[test]
+    fn streamout_operator_counts_and_tees() {
+        let mut buf = Vec::new();
+        {
+            let mut op = StreamOut::new(&mut buf);
+            let mut tee: Vec<Record> = Vec::new();
+            for r in scoped_records(3) {
+                op.on_record(r, &mut tee).unwrap();
+            }
+            op.on_eos(&mut tee).unwrap();
+            assert_eq!(op.sent(), 5);
+            assert_eq!(tee.len(), 5);
+        }
+        // The bytes decode back to the same stream.
+        let mut sink: Vec<Record> = Vec::new();
+        let end = StreamIn::new(buf.as_slice()).pump(&mut sink).unwrap();
+        assert_eq!(end, StreamEnd::Clean);
+        assert_eq!(sink, scoped_records(3));
+    }
+
+    #[test]
+    fn pump_large_stream() {
+        let mut buf = Vec::new();
+        let records = scoped_records(2_000);
+        for r in &records {
+            write_record(&mut buf, r).unwrap();
+        }
+        write_eos(&mut buf).unwrap();
+        let mut sink: Vec<Record> = Vec::new();
+        let mut si = StreamIn::new(buf.as_slice());
+        assert_eq!(si.pump(&mut sink).unwrap(), StreamEnd::Clean);
+        assert_eq!(sink.len(), records.len());
+        assert_eq!(si.received() as usize, records.len());
+    }
+}

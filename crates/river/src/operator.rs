@@ -1,0 +1,173 @@
+//! The operator abstraction.
+//!
+//! A Dynamic River pipeline is "a sequential set of operations composed
+//! between a data source and its final sink" (paper §2). Each operation
+//! implements [`Operator`]: it consumes records one at a time and emits
+//! zero or more records into a [`Sink`]. Operators are `Send` so the
+//! threaded runner can move each one onto its own thread.
+
+use crate::error::PipelineError;
+use crate::record::Record;
+
+/// Destination for operator output.
+pub trait Sink {
+    /// Accepts one record.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report downstream failure (e.g. a closed channel
+    /// or broken connection).
+    fn push(&mut self, record: Record) -> Result<(), PipelineError>;
+}
+
+impl Sink for Vec<Record> {
+    fn push(&mut self, record: Record) -> Result<(), PipelineError> {
+        Vec::push(self, record);
+        Ok(())
+    }
+}
+
+/// A sink that drops everything (useful as a pipeline terminator in
+/// benches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn push(&mut self, _record: Record) -> Result<(), PipelineError> {
+        Ok(())
+    }
+}
+
+/// A sink adapter that invokes a closure per record.
+pub struct FnSink<F>(pub F);
+
+impl<F> Sink for FnSink<F>
+where
+    F: FnMut(Record) -> Result<(), PipelineError>,
+{
+    fn push(&mut self, record: Record) -> Result<(), PipelineError> {
+        (self.0)(record)
+    }
+}
+
+/// A record-stream processing operator.
+///
+/// # Example
+///
+/// ```
+/// use dynamic_river::prelude::*;
+///
+/// /// Emits every record twice.
+/// struct Duplicate;
+///
+/// impl Operator for Duplicate {
+///     fn name(&self) -> &str {
+///         "duplicate"
+///     }
+///     fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+///         out.push(record.clone())?;
+///         out.push(record)
+///     }
+/// }
+///
+/// let mut p = Pipeline::new();
+/// p.add(Duplicate);
+/// let out = p.run(vec![Record::data(0, Payload::Empty)]).unwrap();
+/// assert_eq!(out.len(), 2);
+/// ```
+pub trait Operator: Send {
+    /// Human-readable operator name (used in error reports and the
+    /// Figure 5 pipeline printout).
+    fn name(&self) -> &str;
+
+    /// Processes one record, emitting any number of output records.
+    ///
+    /// # Errors
+    ///
+    /// Operator-specific failures abort the pipeline run.
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError>;
+
+    /// Called once after the final record; operators flush buffered
+    /// state here (e.g. `cutter` closing a dangling ensemble).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`on_record`](Self::on_record).
+    fn on_eos(&mut self, _out: &mut dyn Sink) -> Result<(), PipelineError> {
+        Ok(())
+    }
+}
+
+impl Operator for Box<dyn Operator> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        self.as_mut().on_record(record, out)
+    }
+
+    fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        self.as_mut().on_eos(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Payload;
+
+    struct Echo;
+    impl Operator for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+            out.push(record)
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink: Vec<Record> = Vec::new();
+        let mut op = Echo;
+        op.on_record(Record::data(1, Payload::Empty), &mut sink)
+            .unwrap();
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut op = Echo;
+        let mut sink = NullSink;
+        op.on_record(Record::data(1, Payload::Empty), &mut sink)
+            .unwrap();
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let mut count = 0usize;
+        {
+            let mut sink = FnSink(|_r| {
+                count += 1;
+                Ok(())
+            });
+            let mut op = Echo;
+            op.on_record(Record::data(1, Payload::Empty), &mut sink)
+                .unwrap();
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn boxed_operator_delegates() {
+        let mut boxed: Box<dyn Operator> = Box::new(Echo);
+        assert_eq!(boxed.name(), "echo");
+        let mut sink: Vec<Record> = Vec::new();
+        boxed
+            .on_record(Record::data(1, Payload::Empty), &mut sink)
+            .unwrap();
+        boxed.on_eos(&mut sink).unwrap();
+        assert_eq!(sink.len(), 1);
+    }
+}

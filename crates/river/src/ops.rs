@@ -1,0 +1,413 @@
+//! General-purpose operators: map, filter, inspect, count, scope repair.
+//!
+//! The acoustic operators of the paper (`saxanomaly`, `trigger`,
+//! `cutter`, `dft`, …) live in the `ensemble-core` crate; these are the
+//! domain-independent building blocks.
+
+use crate::error::PipelineError;
+use crate::operator::{Operator, Sink};
+use crate::record::{Payload, Record, RecordKind};
+use crate::scope::ScopeTracker;
+
+/// Passes every record through unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Passthrough;
+
+impl Operator for Passthrough {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        out.push(record)
+    }
+}
+
+/// Applies a function to the `F64` payload of data records (other
+/// records pass through untouched).
+pub struct MapPayload<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> MapPayload<F>
+where
+    F: FnMut(Vec<f64>) -> Vec<f64> + Send,
+{
+    /// Creates a payload mapper with a display name.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        MapPayload {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Operator for MapPayload<F>
+where
+    F: FnMut(Vec<f64>) -> Vec<f64> + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if record.kind == RecordKind::Data {
+            if let Payload::F64(v) = record.payload {
+                record.payload = Payload::F64((self.f)(v));
+            }
+        }
+        out.push(record)
+    }
+}
+
+/// Keeps only records satisfying a predicate. Scope records always pass
+/// (dropping them would corrupt scope discipline).
+pub struct RecordFilter<F> {
+    name: String,
+    predicate: F,
+}
+
+impl<F> RecordFilter<F>
+where
+    F: FnMut(&Record) -> bool + Send,
+{
+    /// Creates a filter with a display name.
+    pub fn new(name: impl Into<String>, predicate: F) -> Self {
+        RecordFilter {
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+impl<F> Operator for RecordFilter<F>
+where
+    F: FnMut(&Record) -> bool + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if record.is_scope_marker() || (self.predicate)(&record) {
+            out.push(record)?;
+        }
+        Ok(())
+    }
+}
+
+/// Invokes a closure on every record (for logging/metrics) and passes
+/// it through.
+pub struct Inspect<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> Inspect<F>
+where
+    F: FnMut(&Record) + Send,
+{
+    /// Creates an inspector with a display name.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Inspect {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Operator for Inspect<F>
+where
+    F: FnMut(&Record) + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        (self.f)(&record);
+        out.push(record)
+    }
+}
+
+/// A fully general closure operator.
+pub struct FnOp<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnOp<F>
+where
+    F: FnMut(Record, &mut dyn Sink) -> Result<(), PipelineError> + Send,
+{
+    /// Creates an operator from a closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnOp {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Operator for FnOp<F>
+where
+    F: FnMut(Record, &mut dyn Sink) -> Result<(), PipelineError> + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        (self.f)(record, out)
+    }
+}
+
+/// Counts records and payload bytes by kind; read the totals through the
+/// shared handle. Used by the data-reduction experiment and Figure 5's
+/// per-stage statistics.
+#[derive(Debug, Default)]
+pub struct RecordCounter {
+    stats: std::sync::Arc<parking_lot::Mutex<CounterStats>>,
+}
+
+/// Totals accumulated by a [`RecordCounter`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CounterStats {
+    /// Data records seen.
+    pub data_records: u64,
+    /// Scope open records seen.
+    pub opens: u64,
+    /// Clean scope closes seen.
+    pub closes: u64,
+    /// Bad scope closes seen.
+    pub bad_closes: u64,
+    /// Total payload bytes across data records.
+    pub payload_bytes: u64,
+}
+
+impl CounterStats {
+    /// Total records of any kind.
+    pub fn total_records(&self) -> u64 {
+        self.data_records + self.opens + self.closes + self.bad_closes
+    }
+}
+
+/// Shared handle for reading a [`RecordCounter`]'s totals after the
+/// pipeline has run.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle {
+    stats: std::sync::Arc<parking_lot::Mutex<CounterStats>>,
+}
+
+impl CounterHandle {
+    /// Snapshot of the totals.
+    pub fn snapshot(&self) -> CounterStats {
+        *self.stats.lock()
+    }
+}
+
+impl RecordCounter {
+    /// Creates a counter and its read handle.
+    pub fn new() -> (Self, CounterHandle) {
+        let stats = std::sync::Arc::new(parking_lot::Mutex::new(CounterStats::default()));
+        (
+            RecordCounter {
+                stats: stats.clone(),
+            },
+            CounterHandle { stats },
+        )
+    }
+}
+
+impl Operator for RecordCounter {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        {
+            let mut s = self.stats.lock();
+            match record.kind {
+                RecordKind::Data => {
+                    s.data_records += 1;
+                    s.payload_bytes += record.byte_len() as u64;
+                }
+                RecordKind::OpenScope => s.opens += 1,
+                RecordKind::CloseScope => s.closes += 1,
+                RecordKind::BadCloseScope => s.bad_closes += 1,
+            }
+        }
+        out.push(record)
+    }
+}
+
+/// Repairs scope discipline: any scopes still open at end-of-stream are
+/// closed with `BadCloseScope` records, and stray closes are dropped
+/// (with their count available for inspection). Place after an
+/// untrusted source.
+#[derive(Debug, Default)]
+pub struct ScopeRepair {
+    tracker: ScopeTracker,
+    dropped_closes: u64,
+}
+
+impl ScopeRepair {
+    /// Creates a repair operator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of unmatched close records dropped so far.
+    pub fn dropped_closes(&self) -> u64 {
+        self.dropped_closes
+    }
+}
+
+impl Operator for ScopeRepair {
+    fn name(&self) -> &str {
+        "scope-repair"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        match self.tracker.observe(&record) {
+            Ok(_) => out.push(record),
+            Err(PipelineError::ScopeViolation(_)) => {
+                // Unmatched or mismatched close: drop rather than corrupt
+                // downstream state.
+                self.dropped_closes += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        for repair in self.tracker.close_all_bad() {
+            out.push(repair)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+
+    fn scoped_stream() -> Vec<Record> {
+        vec![
+            Record::open_scope(1, vec![]),
+            Record::data(1, Payload::F64(vec![1.0, 2.0])),
+            Record::data(2, Payload::F64(vec![3.0])),
+            Record::close_scope(1),
+        ]
+    }
+
+    #[test]
+    fn passthrough_identity() {
+        let mut p = Pipeline::new();
+        p.add(Passthrough);
+        let input = scoped_stream();
+        let out = p.run(input.clone()).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn map_payload_transforms_data_only() {
+        let mut p = Pipeline::new();
+        p.add(MapPayload::new("negate", |mut v: Vec<f64>| {
+            v.iter_mut().for_each(|x| *x = -*x);
+            v
+        }));
+        let out = p.run(scoped_stream()).unwrap();
+        assert_eq!(out[1].payload.as_f64().unwrap(), &[-1.0, -2.0]);
+        assert_eq!(out[0].kind, RecordKind::OpenScope); // untouched
+    }
+
+    #[test]
+    fn filter_preserves_scope_markers() {
+        let mut p = Pipeline::new();
+        p.add(RecordFilter::new("only-subtype-1", |r: &Record| {
+            r.subtype == 1
+        }));
+        let out = p.run(scoped_stream()).unwrap();
+        // Scope markers + one matching data record.
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().any(|r| r.kind == RecordKind::OpenScope));
+        assert!(out.iter().any(|r| r.kind == RecordKind::CloseScope));
+        assert!(out
+            .iter()
+            .all(|r| r.kind != RecordKind::Data || r.subtype == 1));
+    }
+
+    #[test]
+    fn counter_tallies_kinds_and_bytes() {
+        let (counter, handle) = RecordCounter::new();
+        let mut p = Pipeline::new();
+        p.add(counter);
+        p.run(scoped_stream()).unwrap();
+        let s = handle.snapshot();
+        assert_eq!(s.data_records, 2);
+        assert_eq!(s.opens, 1);
+        assert_eq!(s.closes, 1);
+        assert_eq!(s.payload_bytes, 24);
+        assert_eq!(s.total_records(), 4);
+    }
+
+    #[test]
+    fn inspect_sees_every_record() {
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(0usize));
+        let seen2 = seen.clone();
+        let mut p = Pipeline::new();
+        p.add(Inspect::new("count", move |_r| {
+            *seen2.lock() += 1;
+        }));
+        p.run(scoped_stream()).unwrap();
+        assert_eq!(*seen.lock(), 4);
+    }
+
+    #[test]
+    fn scope_repair_closes_dangling_scopes() {
+        let mut p = Pipeline::new();
+        p.add(ScopeRepair::new());
+        // Stream dies with two scopes open.
+        let input = vec![
+            Record::open_scope(1, vec![]),
+            Record::open_scope(2, vec![]),
+            Record::data(0, Payload::Empty),
+        ];
+        let out = p.run(input).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[3].kind, RecordKind::BadCloseScope);
+        assert_eq!(out[3].scope_type, 2); // innermost first
+        assert_eq!(out[4].scope_type, 1);
+        crate::scope::validate_scopes(&out).unwrap();
+    }
+
+    #[test]
+    fn scope_repair_drops_stray_closes() {
+        let mut p = Pipeline::new();
+        p.add(ScopeRepair::new());
+        let input = vec![
+            Record::close_scope(5), // stray
+            Record::open_scope(1, vec![]),
+            Record::close_scope(1),
+        ];
+        let out = p.run(input).unwrap();
+        assert_eq!(out.len(), 2);
+        crate::scope::validate_scopes(&out).unwrap();
+    }
+
+    #[test]
+    fn fn_op_emits_multiple() {
+        let mut p = Pipeline::new();
+        p.add(FnOp::new("triple", |r: Record, out: &mut dyn Sink| {
+            out.push(r.clone())?;
+            out.push(r.clone())?;
+            out.push(r)
+        }));
+        let out = p.run(vec![Record::data(0, Payload::Empty)]).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,364 @@
+//! Pipeline composition and execution.
+//!
+//! Two runners are provided:
+//!
+//! - [`Pipeline::run`] — synchronous, single-threaded, stage-by-stage;
+//!   deterministic and allocation-friendly, used by tests and the
+//!   experiment harnesses.
+//! - [`Pipeline::run_threaded`] — one OS thread per operator connected
+//!   by bounded crossbeam channels, the execution model of the Dynamic
+//!   River prototype ("the network operators enable record processing to
+//!   be distributed across the processor and memory resources of many
+//!   hosts" — within one host, across cores).
+
+use crate::error::PipelineError;
+use crate::operator::{Operator, Sink};
+use crate::record::Record;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread;
+
+/// Default bounded-channel capacity between threaded stages.
+const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+/// An ordered chain of operators.
+///
+/// # Example
+///
+/// ```
+/// use dynamic_river::prelude::*;
+///
+/// let mut p = Pipeline::new();
+/// p.add(MapPayload::new("gain", |mut v: Vec<f64>| {
+///     v.iter_mut().for_each(|x| *x *= 10.0);
+///     v
+/// }));
+/// p.add(RecordFilter::new("nonempty", |r: &Record| r.byte_len() > 0));
+/// assert_eq!(p.len(), 2);
+/// let out = p.run(vec![Record::data(0, Payload::F64(vec![1.0]))]).unwrap();
+/// assert_eq!(out[0].payload.as_f64().unwrap(), &[10.0]);
+/// ```
+#[derive(Default)]
+pub struct Pipeline {
+    ops: Vec<Box<dyn Operator>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("operators", &self.names())
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operator (builder style, non-consuming).
+    pub fn add(&mut self, op: impl Operator + 'static) -> &mut Self {
+        self.ops.push(Box::new(op));
+        self
+    }
+
+    /// Appends a boxed operator.
+    pub fn add_boxed(&mut self, op: Box<dyn Operator>) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the pipeline has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operator names in order — the Figure 5 block diagram as text.
+    pub fn names(&self) -> Vec<&str> {
+        self.ops.iter().map(|o| o.name()).collect()
+    }
+
+    /// Runs the pipeline synchronously over `input`, collecting the
+    /// final stage's output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operator error.
+    pub fn run<I>(&mut self, input: I) -> Result<Vec<Record>, PipelineError>
+    where
+        I: IntoIterator<Item = Record>,
+    {
+        let mut records: Vec<Record> = input.into_iter().collect();
+        for op in &mut self.ops {
+            let mut next = Vec::with_capacity(records.len());
+            for r in records {
+                op.on_record(r, &mut next)?;
+            }
+            op.on_eos(&mut next)?;
+            records = next;
+        }
+        Ok(records)
+    }
+
+    /// Runs the pipeline synchronously, discarding output but returning
+    /// the record count that reached the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operator error.
+    pub fn run_count<I>(&mut self, input: I) -> Result<usize, PipelineError>
+    where
+        I: IntoIterator<Item = Record>,
+    {
+        Ok(self.run(input)?.len())
+    }
+
+    /// Runs the pipeline with one thread per operator, consuming the
+    /// pipeline. Returns the final output records.
+    ///
+    /// Bounded channels apply backpressure between stages. If any stage
+    /// fails, the failure propagates and the first error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operator error raised on any stage thread.
+    pub fn run_threaded<I>(self, input: I) -> Result<Vec<Record>, PipelineError>
+    where
+        I: IntoIterator<Item = Record> + Send + 'static,
+        I::IntoIter: Send,
+    {
+        let (handles, feed_tx, out_rx) = self.spawn_threaded(DEFAULT_CHANNEL_CAPACITY);
+
+        // Feed input from this thread (bounded channel applies
+        // backpressure).
+        let feeder = thread::spawn(move || {
+            for r in input {
+                if feed_tx.send(r).is_err() {
+                    // Downstream failed; stop feeding.
+                    break;
+                }
+            }
+            // Dropping feed_tx signals EOS.
+        });
+
+        let mut out = Vec::new();
+        for r in out_rx {
+            out.push(r);
+        }
+        feeder.join().expect("feeder thread panicked");
+
+        let mut first_error = None;
+        for h in handles {
+            if let Err(e) = h.join().expect("stage thread panicked") {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Spawns the stage threads and returns `(handles, input sender,
+    /// output receiver)`. Dropping the sender signals end-of-stream;
+    /// stages flush (`on_eos`) and shut down in order.
+    #[allow(clippy::type_complexity)]
+    pub fn spawn_threaded(
+        self,
+        capacity: usize,
+    ) -> (
+        Vec<thread::JoinHandle<Result<(), PipelineError>>>,
+        Sender<Record>,
+        Receiver<Record>,
+    ) {
+        struct ChannelSink {
+            tx: Sender<Record>,
+        }
+        impl Sink for ChannelSink {
+            fn push(&mut self, record: Record) -> Result<(), PipelineError> {
+                self.tx
+                    .send(record)
+                    .map_err(|_| PipelineError::Disconnected("downstream stage gone".into()))
+            }
+        }
+
+        let (feed_tx, mut prev_rx) = bounded::<Record>(capacity);
+        let mut handles = Vec::with_capacity(self.ops.len());
+        for mut op in self.ops {
+            let (tx, rx) = bounded::<Record>(capacity);
+            let stage_rx = prev_rx;
+            prev_rx = rx;
+            handles.push(thread::spawn(move || -> Result<(), PipelineError> {
+                let mut sink = ChannelSink { tx };
+                for record in stage_rx {
+                    op.on_record(record, &mut sink)?;
+                }
+                op.on_eos(&mut sink)?;
+                Ok(())
+            }));
+        }
+        (handles, feed_tx, prev_rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{FnOp, MapPayload, Passthrough, RecordFilter};
+    use crate::record::{Payload, RecordKind};
+
+    fn numbered(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::data(0, Payload::F64(vec![i as f64])).with_seq(i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut p = Pipeline::new();
+        let input = numbered(5);
+        assert_eq!(p.run(input.clone()).unwrap(), input);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn stages_compose_in_order() {
+        let mut p = Pipeline::new();
+        p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+            v.iter_mut().for_each(|x| *x += 1.0);
+            v
+        }));
+        p.add(MapPayload::new("times2", |mut v: Vec<f64>| {
+            v.iter_mut().for_each(|x| *x *= 2.0);
+            v
+        }));
+        let out = p.run(numbered(3)).unwrap();
+        // (x + 1) * 2
+        assert_eq!(out[2].payload.as_f64().unwrap(), &[6.0]);
+        assert_eq!(p.names(), vec!["plus1", "times2"]);
+    }
+
+    #[test]
+    fn run_count_matches_run() {
+        let mut p = Pipeline::new();
+        p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+        assert_eq!(p.run_count(numbered(10)).unwrap(), 5);
+    }
+
+    #[test]
+    fn on_eos_flushes_in_stage_order() {
+        struct Buffering {
+            held: Vec<Record>,
+        }
+        impl Operator for Buffering {
+            fn name(&self) -> &str {
+                "buffering"
+            }
+            fn on_record(
+                &mut self,
+                record: Record,
+                _out: &mut dyn Sink,
+            ) -> Result<(), PipelineError> {
+                self.held.push(record);
+                Ok(())
+            }
+            fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
+                for r in self.held.drain(..) {
+                    out.push(r)?;
+                }
+                Ok(())
+            }
+        }
+        let mut p = Pipeline::new();
+        p.add(Buffering { held: Vec::new() });
+        p.add(Passthrough);
+        let out = p.run(numbered(4)).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn operator_error_aborts_run() {
+        let mut p = Pipeline::new();
+        p.add(FnOp::new("explode", |r: Record, out: &mut dyn Sink| {
+            if r.seq == 2 {
+                Err(PipelineError::operator("explode", "boom"))
+            } else {
+                out.push(r)
+            }
+        }));
+        let err = p.run(numbered(5)).unwrap_err();
+        assert!(matches!(err, PipelineError::Operator { .. }));
+    }
+
+    #[test]
+    fn threaded_matches_sync() {
+        let build = || {
+            let mut p = Pipeline::new();
+            p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+                v.iter_mut().for_each(|x| *x += 1.0);
+                v
+            }));
+            p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            p.add(MapPayload::new("times3", |mut v: Vec<f64>| {
+                v.iter_mut().for_each(|x| *x *= 3.0);
+                v
+            }));
+            p
+        };
+        let sync_out = build().run(numbered(100)).unwrap();
+        let threaded_out = build().run_threaded(numbered(100)).unwrap();
+        assert_eq!(sync_out, threaded_out);
+        assert_eq!(sync_out.len(), 50);
+    }
+
+    #[test]
+    fn threaded_propagates_errors() {
+        let mut p = Pipeline::new();
+        p.add(FnOp::new("explode", |r: Record, out: &mut dyn Sink| {
+            if r.seq == 50 {
+                Err(PipelineError::operator("explode", "boom"))
+            } else {
+                out.push(r)
+            }
+        }));
+        let err = p.run_threaded(numbered(1000)).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Operator { .. } | PipelineError::Disconnected(_)
+        ));
+    }
+
+    #[test]
+    fn threaded_preserves_order() {
+        let mut p = Pipeline::new();
+        for i in 0..4 {
+            p.add(MapPayload::new(format!("stage{i}"), |v| v));
+        }
+        let out = p.run_threaded(numbered(500)).unwrap();
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn threaded_scope_stream_survives() {
+        let mut input = vec![Record::open_scope(1, vec![])];
+        input.extend(numbered(20));
+        input.push(Record::close_scope(1));
+        let mut p = Pipeline::new();
+        p.add(Passthrough);
+        p.add(Passthrough);
+        let out = p.run_threaded(input).unwrap();
+        assert_eq!(out.len(), 22);
+        assert_eq!(out[0].kind, RecordKind::OpenScope);
+        assert_eq!(out[21].kind, RecordKind::CloseScope);
+        crate::scope::validate_scopes(&out).unwrap();
+    }
+}

@@ -1,0 +1,495 @@
+//! Pipeline segments, hosts, and dynamic relocation.
+//!
+//! "Pipeline segments are created by composing sequences of operators
+//! that produce a partial result important to the overall pipeline
+//! application. … Moreover, pipelines can be recomposed dynamically by
+//! moving segments among hosts" (paper §2). Relocation happens at
+//! *scope boundaries* — the stream is cut only when no scopes are open,
+//! so downstream state never sees a torn scope.
+//!
+//! Hosts are modeled as named executors (threads). A
+//! [`RelocatablePipeline`] runs one segment instance at a time; a
+//! relocation command makes the coordinator retire the current instance
+//! at the next balanced point and start a fresh instance "on" the target
+//! host. For cross-machine composition over TCP, see
+//! [`run_network_segment`].
+
+use crate::error::PipelineError;
+use crate::net::{StreamEnd, StreamIn, StreamOut};
+use crate::operator::{Operator, Sink};
+use crate::pipeline::Pipeline;
+use crate::record::Record;
+use crate::scope::ScopeTracker;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::thread::{self, JoinHandle};
+
+/// A relocation of a running segment between hosts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    /// Host the segment left.
+    pub from: String,
+    /// Host the segment moved to.
+    pub to: String,
+    /// Count of records the old instance had processed when it was
+    /// retired.
+    pub at_record: u64,
+}
+
+/// Final report of a relocatable segment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// All migrations, in order.
+    pub migrations: Vec<Migration>,
+    /// Total records forwarded through the segment.
+    pub records_in: u64,
+    /// Host that processed the final record.
+    pub final_host: String,
+}
+
+/// Command accepted by a running [`RelocatablePipeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentCommand {
+    /// Move the segment to the named host at the next scope boundary.
+    Relocate {
+        /// Target host name.
+        to_host: String,
+    },
+}
+
+struct Instance {
+    feed_tx: Sender<Record>,
+    drainer: JoinHandle<Result<(), PipelineError>>,
+    stages: Vec<JoinHandle<Result<(), PipelineError>>>,
+    host: String,
+}
+
+fn spawn_instance(
+    pipeline: Pipeline,
+    output: Sender<Record>,
+    host: String,
+) -> Instance {
+    let (stages, feed_tx, out_rx) = pipeline.spawn_threaded(64);
+    // Continuous drainer: forwards the instance's output so bounded
+    // channels never deadlock between relocations.
+    let drainer = thread::spawn(move || -> Result<(), PipelineError> {
+        for r in out_rx {
+            output
+                .send(r)
+                .map_err(|_| PipelineError::Disconnected("segment output closed".into()))?;
+        }
+        Ok(())
+    });
+    Instance {
+        feed_tx,
+        drainer,
+        stages,
+        host,
+    }
+}
+
+fn retire(instance: Instance) -> Result<u64, PipelineError> {
+    let Instance {
+        feed_tx,
+        drainer,
+        stages,
+        ..
+    } = instance;
+    drop(feed_tx); // EOS to the instance
+    let mut first_error = None;
+    for h in stages {
+        if let Err(e) = h.join().expect("stage thread panicked") {
+            first_error.get_or_insert(e);
+        }
+    }
+    match drainer.join().expect("drainer thread panicked") {
+        Err(e) => {
+            first_error.get_or_insert(e);
+        }
+        Ok(()) => {}
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(0),
+    }
+}
+
+/// A running, relocatable segment.
+///
+/// # Example
+///
+/// ```
+/// use crossbeam::channel::unbounded;
+/// use dynamic_river::prelude::*;
+/// use dynamic_river::segment::RelocatablePipeline;
+///
+/// let (in_tx, in_rx) = unbounded();
+/// let (out_tx, out_rx) = unbounded();
+/// let seg = RelocatablePipeline::spawn(
+///     || {
+///         let mut p = Pipeline::new();
+///         p.add(Passthrough);
+///         p
+///     },
+///     in_rx,
+///     out_tx,
+///     "host-a",
+/// );
+///
+/// in_tx.send(Record::open_scope(1, vec![])).unwrap();
+/// in_tx.send(Record::close_scope(1)).unwrap();
+/// seg.relocate("host-b");
+/// in_tx.send(Record::open_scope(1, vec![])).unwrap();
+/// in_tx.send(Record::close_scope(1)).unwrap();
+/// drop(in_tx);
+///
+/// let report = seg.join().unwrap();
+/// assert_eq!(report.records_in, 4);
+/// assert_eq!(report.final_host, "host-b");
+/// assert_eq!(out_rx.iter().count(), 4);
+/// ```
+pub struct RelocatablePipeline {
+    control_tx: Sender<SegmentCommand>,
+    handle: JoinHandle<Result<SegmentReport, PipelineError>>,
+}
+
+impl RelocatablePipeline {
+    /// Spawns the coordinator with an initial segment instance on
+    /// `initial_host`. `factory` builds a fresh instance of the segment
+    /// for each host it runs on.
+    pub fn spawn<F>(
+        factory: F,
+        input: Receiver<Record>,
+        output: Sender<Record>,
+        initial_host: impl Into<String>,
+    ) -> Self
+    where
+        F: Fn() -> Pipeline + Send + 'static,
+    {
+        let (control_tx, control_rx) = unbounded::<SegmentCommand>();
+        let initial_host = initial_host.into();
+        let handle = thread::spawn(move || -> Result<SegmentReport, PipelineError> {
+            let mut tracker = ScopeTracker::new();
+            let mut migrations = Vec::new();
+            let mut records_in = 0u64;
+            let mut pending: Option<String> = None;
+            let mut current = spawn_instance(factory(), output.clone(), initial_host);
+
+            for record in input {
+                // Absorb any relocation commands.
+                loop {
+                    match control_rx.try_recv() {
+                        Ok(SegmentCommand::Relocate { to_host }) => pending = Some(to_host),
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                // Cut only at scope boundaries (nothing open).
+                if let Some(to_host) = pending.take() {
+                    if tracker.is_balanced() {
+                        let from = current.host.clone();
+                        retire(current)?;
+                        migrations.push(Migration {
+                            from,
+                            to: to_host.clone(),
+                            at_record: records_in,
+                        });
+                        current = spawn_instance(factory(), output.clone(), to_host);
+                    } else {
+                        // Not balanced yet: keep the command pending.
+                        pending = Some(to_host);
+                    }
+                }
+                // Tolerate scope noise in transit; the tracker only guides
+                // cut points.
+                let _ = tracker.observe(&record);
+                records_in += 1;
+                current
+                    .feed_tx
+                    .send(record)
+                    .map_err(|_| PipelineError::Disconnected("segment instance gone".into()))?;
+            }
+            let final_host = current.host.clone();
+            retire(current)?;
+            Ok(SegmentReport {
+                migrations,
+                records_in,
+                final_host,
+            })
+        });
+        RelocatablePipeline { control_tx, handle }
+    }
+
+    /// Requests relocation to `host` at the next scope boundary.
+    /// Returns `false` if the segment has already finished.
+    pub fn relocate(&self, host: impl Into<String>) -> bool {
+        self.control_tx
+            .send(SegmentCommand::Relocate {
+                to_host: host.into(),
+            })
+            .is_ok()
+    }
+
+    /// Waits for the segment to finish and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error raised by any instance.
+    pub fn join(self) -> Result<SegmentReport, PipelineError> {
+        self.handle.join().expect("segment coordinator panicked")
+    }
+}
+
+/// Runs a network-bounded segment: accepts one upstream connection on
+/// `listener` (`streamin`), processes records through `pipeline`, and
+/// forwards results to `downstream` (`streamout`). Returns how the
+/// upstream session ended.
+///
+/// This is the building block for composing one logical pipeline across
+/// several processes/hosts.
+///
+/// # Errors
+///
+/// Propagates connection and operator failures.
+pub fn run_network_segment<A: ToSocketAddrs>(
+    listener: &TcpListener,
+    downstream: A,
+    mut pipeline: Pipeline,
+) -> Result<StreamEnd, PipelineError> {
+    let (stream, _peer) = listener.accept()?;
+    stream.set_nodelay(true)?;
+    let mut streamin = StreamIn::new(stream);
+
+    // Collect, process, forward. (Streaming via channels would also work;
+    // batch keeps the failure semantics simple: the whole upstream session
+    // is one unit.)
+    let mut received: Vec<Record> = Vec::new();
+    let end = streamin.pump(&mut received)?;
+    let processed = pipeline.run(received)?;
+
+    let mut out = StreamOut::connect(downstream)?;
+    let mut devnull = crate::operator::NullSink;
+    for r in processed {
+        out.on_record(r, &mut devnull)?;
+    }
+    out.on_eos(&mut devnull)?;
+    Ok(end)
+}
+
+/// A sink adapter so `StreamIn::pump` can feed a `Sender` directly.
+#[derive(Debug, Clone)]
+pub struct ChannelSink(pub Sender<Record>);
+
+impl Sink for ChannelSink {
+    fn push(&mut self, record: Record) -> Result<(), PipelineError> {
+        self.0
+            .send(record)
+            .map_err(|_| PipelineError::Disconnected("channel sink closed".into()))
+    }
+}
+
+/// Creates a bounded record channel (convenience re-export wrapper).
+pub fn record_channel(capacity: usize) -> (Sender<Record>, Receiver<Record>) {
+    bounded(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{MapPayload, Passthrough};
+    use crate::record::{Payload, RecordKind};
+    use crate::scope::validate_scopes;
+
+    fn scope_burst(scope_type: u16, n: usize, base_seq: u64) -> Vec<Record> {
+        let mut v = vec![Record::open_scope(scope_type, vec![])];
+        for i in 0..n {
+            v.push(
+                Record::data(1, Payload::F64(vec![i as f64])).with_seq(base_seq + i as u64),
+            );
+        }
+        v.push(Record::close_scope(scope_type));
+        v
+    }
+
+    #[test]
+    fn relocation_preserves_all_records_and_scopes() {
+        let (in_tx, in_rx) = unbounded();
+        let (out_tx, out_rx) = unbounded();
+        let seg = RelocatablePipeline::spawn(
+            || {
+                let mut p = Pipeline::new();
+                p.add(MapPayload::new("x2", |mut v: Vec<f64>| {
+                    v.iter_mut().for_each(|x| *x *= 2.0);
+                    v
+                }));
+                p
+            },
+            in_rx,
+            out_tx,
+            "host-a",
+        );
+
+        // First scope on host A.
+        for r in scope_burst(1, 10, 0) {
+            in_tx.send(r).unwrap();
+        }
+        seg.relocate("host-b");
+        // Two more scopes; the move lands between them.
+        for r in scope_burst(1, 10, 100) {
+            in_tx.send(r).unwrap();
+        }
+        for r in scope_burst(1, 10, 200) {
+            in_tx.send(r).unwrap();
+        }
+        drop(in_tx);
+
+        let report = seg.join().unwrap();
+        let out: Vec<Record> = out_rx.iter().collect();
+        assert_eq!(out.len(), 36);
+        validate_scopes(&out).unwrap();
+        assert_eq!(report.records_in, 36);
+        assert_eq!(report.migrations.len(), 1);
+        assert_eq!(report.migrations[0].from, "host-a");
+        assert_eq!(report.migrations[0].to, "host-b");
+        assert_eq!(report.final_host, "host-b");
+        // Payloads transformed by whichever host ran the record.
+        let data: Vec<&Record> = out.iter().filter(|r| r.kind == RecordKind::Data).collect();
+        assert_eq!(data[0].payload.as_f64().unwrap(), &[0.0]);
+        assert_eq!(data[1].payload.as_f64().unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn relocation_waits_for_scope_boundary() {
+        // Rendezvous input channel: each send completes only when the
+        // coordinator takes the record, making command interleaving
+        // deterministic.
+        let (in_tx, in_rx) = bounded(0);
+        let (out_tx, out_rx) = unbounded();
+        let seg = RelocatablePipeline::spawn(
+            || {
+                let mut p = Pipeline::new();
+                p.add(Passthrough);
+                p
+            },
+            in_rx,
+            out_tx,
+            "host-a",
+        );
+
+        // Open a scope, then request relocation mid-scope.
+        in_tx.send(Record::open_scope(1, vec![])).unwrap();
+        in_tx.send(Record::data(0, Payload::Empty)).unwrap();
+        seg.relocate("host-b");
+        // These records are still inside the scope; the move must not
+        // happen before the close.
+        in_tx.send(Record::data(0, Payload::Empty)).unwrap();
+        in_tx.send(Record::close_scope(1)).unwrap();
+        // Next scope should run on host-b.
+        for r in scope_burst(1, 2, 10) {
+            in_tx.send(r).unwrap();
+        }
+        drop(in_tx);
+
+        let report = seg.join().unwrap();
+        assert_eq!(report.migrations.len(), 1);
+        // The migration happened at a record index *after* the first
+        // scope completed (4 records: open, 2 data, close).
+        assert!(report.migrations[0].at_record >= 4);
+        let out: Vec<Record> = out_rx.iter().collect();
+        validate_scopes(&out).unwrap();
+    }
+
+    #[test]
+    fn multiple_relocations() {
+        // Rendezvous input channel (see above): relocation commands land
+        // between bursts instead of coalescing.
+        let (in_tx, in_rx) = bounded(0);
+        let (out_tx, out_rx) = unbounded();
+        let seg = RelocatablePipeline::spawn(
+            || {
+                let mut p = Pipeline::new();
+                p.add(Passthrough);
+                p
+            },
+            in_rx,
+            out_tx,
+            "h0",
+        );
+        for hop in 1..=3 {
+            for r in scope_burst(1, 5, hop * 10) {
+                in_tx.send(r).unwrap();
+            }
+            seg.relocate(format!("h{hop}"));
+        }
+        for r in scope_burst(1, 5, 99) {
+            in_tx.send(r).unwrap();
+        }
+        drop(in_tx);
+        let report = seg.join().unwrap();
+        assert_eq!(report.migrations.len(), 3);
+        assert_eq!(report.final_host, "h3");
+        assert_eq!(out_rx.iter().count(), 4 * 7);
+    }
+
+    #[test]
+    fn no_relocation_runs_single_host() {
+        let (in_tx, in_rx) = unbounded();
+        let (out_tx, out_rx) = unbounded();
+        let seg = RelocatablePipeline::spawn(
+            || {
+                let mut p = Pipeline::new();
+                p.add(Passthrough);
+                p
+            },
+            in_rx,
+            out_tx,
+            "solo",
+        );
+        for r in scope_burst(2, 3, 0) {
+            in_tx.send(r).unwrap();
+        }
+        drop(in_tx);
+        let report = seg.join().unwrap();
+        assert!(report.migrations.is_empty());
+        assert_eq!(report.final_host, "solo");
+        assert_eq!(out_rx.iter().count(), 5);
+    }
+
+    #[test]
+    fn network_segment_processes_and_forwards() {
+        use crate::net::send_all;
+        use std::net::TcpListener;
+
+        let seg_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let seg_addr = seg_listener.local_addr().unwrap();
+        let sink_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let sink_addr = sink_listener.local_addr().unwrap();
+
+        // Final sink host.
+        let sink_thread = thread::spawn(move || {
+            let mut records: Vec<Record> = Vec::new();
+            let end = crate::net::serve_once(&sink_listener, &mut records).unwrap();
+            (end, records)
+        });
+
+        // Segment host: doubles payloads.
+        let segment_thread = thread::spawn(move || {
+            let mut p = Pipeline::new();
+            p.add(MapPayload::new("x2", |mut v: Vec<f64>| {
+                v.iter_mut().for_each(|x| *x *= 2.0);
+                v
+            }));
+            run_network_segment(&seg_listener, sink_addr, p).unwrap()
+        });
+
+        // Source host.
+        send_all(seg_addr, &scope_burst(1, 4, 0)).unwrap();
+
+        let upstream_end = segment_thread.join().unwrap();
+        assert_eq!(upstream_end, StreamEnd::Clean);
+        let (end, records) = sink_thread.join().unwrap();
+        assert_eq!(end, StreamEnd::Clean);
+        assert_eq!(records.len(), 6);
+        validate_scopes(&records).unwrap();
+        assert_eq!(records[2].payload.as_f64().unwrap(), &[2.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Discord discovery (HOT SAX, Keogh et al. 2005).
+//!
+//! A discord is "the sequence that is least similar to all other
+//! sequences" (paper §2/§5). The paper notes a key limitation — discord
+//! discovery needs a *finite* series — which is exactly what ensembles
+//! avoid. This module implements discord search so the repository can
+//! compare ensembles against discords on the same data (and benchmark
+//! the single-scan advantage of ensemble extraction).
+
+use crate::distance::euclidean_early_abandon;
+use crate::sax::SaxEncoder;
+use crate::znorm::znormalize;
+use std::collections::HashMap;
+
+/// A discovered discord.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discord {
+    /// Start index of the discord subsequence.
+    pub position: usize,
+    /// Subsequence length.
+    pub length: usize,
+    /// Distance to its nearest non-overlapping neighbor.
+    pub distance: f64,
+}
+
+/// Finds the top discord of `series` at subsequence length `len` using
+/// the HOT SAX outer/inner-loop heuristic with early abandonment.
+///
+/// Returns `None` when the series has fewer than `2 * len` samples (no
+/// pair of non-overlapping subsequences exists).
+///
+/// Subsequences are compared Z-normalized, as in the reference
+/// algorithm.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use river_sax::discord::find_discord;
+///
+/// // Repeating pattern with one corrupted beat.
+/// let mut series: Vec<f64> = (0..400).map(|i| (i as f64 * 0.5).sin()).collect();
+/// for i in 200..216 {
+///     series[i] = 2.0 * ((i * i) as f64 * 0.37).sin();
+/// }
+/// let d = find_discord(&series, 16).unwrap();
+/// assert!((184..=216).contains(&d.position));
+/// ```
+pub fn find_discord(series: &[f64], len: usize) -> Option<Discord> {
+    assert!(len > 0, "discord length must be non-zero");
+    if series.len() < 2 * len {
+        return None;
+    }
+    let n_subs = series.len() - len + 1;
+
+    // Pre-normalize all subsequences once.
+    let subs: Vec<Vec<f64>> = (0..n_subs)
+        .map(|i| znormalize(&series[i..i + len]))
+        .collect();
+
+    // HOT SAX outer-loop ordering: group positions by SAX word; rare
+    // words first maximizes early abandonment in the inner loop.
+    let word_len = (len / 4).clamp(2, 16).min(len);
+    let enc = SaxEncoder::new(4, word_len);
+    let mut groups: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    for (i, sub) in subs.iter().enumerate() {
+        let word = enc.encode_paa(&crate::paa::paa(sub, word_len));
+        groups.entry(word.0).or_default().push(i);
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(n_subs);
+    let mut grouped: Vec<&Vec<usize>> = groups.values().collect();
+    grouped.sort_by_key(|g| g.len());
+    for g in grouped {
+        order.extend_from_slice(g);
+    }
+
+    let mut best: Option<Discord> = None;
+    for &i in &order {
+        // Nearest non-overlapping neighbor of subsequence i, abandoning
+        // once it cannot beat the best discord so far.
+        let mut nearest = f64::INFINITY;
+        let floor = best.as_ref().map_or(0.0, |b| b.distance);
+        let mut beaten = false;
+        for j in 0..n_subs {
+            if j.abs_diff(i) < len {
+                continue; // overlapping — self-match exclusion
+            }
+            let limit = nearest.min(f64::MAX);
+            if let Some(d) = euclidean_early_abandon(&subs[i], &subs[j], limit) {
+                if d < nearest {
+                    nearest = d;
+                    if nearest < floor {
+                        // i cannot be the discord; abandon outer candidate.
+                        beaten = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if beaten || nearest == f64::INFINITY {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| nearest > b.distance) {
+            best = Some(Discord {
+                position: i,
+                length: len,
+                distance: nearest,
+            });
+        }
+    }
+    best
+}
+
+/// Brute-force reference implementation (no heuristics); used by tests
+/// to validate [`find_discord`].
+pub fn find_discord_brute(series: &[f64], len: usize) -> Option<Discord> {
+    assert!(len > 0, "discord length must be non-zero");
+    if series.len() < 2 * len {
+        return None;
+    }
+    let n_subs = series.len() - len + 1;
+    let subs: Vec<Vec<f64>> = (0..n_subs)
+        .map(|i| znormalize(&series[i..i + len]))
+        .collect();
+    let mut best: Option<Discord> = None;
+    for i in 0..n_subs {
+        let mut nearest = f64::INFINITY;
+        for j in 0..n_subs {
+            if j.abs_diff(i) < len {
+                continue;
+            }
+            let d = crate::distance::euclidean(&subs[i], &subs[j]);
+            nearest = nearest.min(d);
+        }
+        if nearest.is_finite() && best.as_ref().is_none_or(|b| nearest > b.distance) {
+            best = Some(Discord {
+                position: i,
+                length: len,
+                distance: nearest,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_anomaly() -> Vec<f64> {
+        let mut s: Vec<f64> = (0..300).map(|i| (i as f64 * 0.4).sin()).collect();
+        for (k, v) in s.iter_mut().enumerate().skip(150).take(12) {
+            *v = ((k * 13) as f64 * 0.9).cos() * 3.0;
+        }
+        s
+    }
+
+    #[test]
+    fn finds_injected_anomaly() {
+        let s = series_with_anomaly();
+        let d = find_discord(&s, 12).expect("discord");
+        assert!(
+            (138..=162).contains(&d.position),
+            "found at {}",
+            d.position
+        );
+        assert!(d.distance > 0.0);
+    }
+
+    #[test]
+    fn heuristic_matches_brute_force_distance() {
+        let s = series_with_anomaly();
+        let fast = find_discord(&s, 12).unwrap();
+        let brute = find_discord_brute(&s, 12).unwrap();
+        assert!((fast.distance - brute.distance).abs() < 1e-9);
+        assert_eq!(fast.position, brute.position);
+    }
+
+    #[test]
+    fn too_short_series_is_none() {
+        assert!(find_discord(&[1.0; 10], 6).is_none());
+        assert!(find_discord_brute(&[1.0; 10], 6).is_none());
+    }
+
+    #[test]
+    fn uniform_series_has_zero_distance_discord() {
+        let d = find_discord(&vec![1.0; 64], 8).unwrap();
+        assert_eq!(d.distance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be non-zero")]
+    fn rejects_zero_length() {
+        find_discord(&[1.0; 10], 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Vector distances used across the workspace (pattern matching in MESO,
+//! discord/motif search, bitmap comparison).
+
+/// Squared Euclidean distance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) distance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// ```
+/// use river_sax::distance::euclidean;
+/// assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+/// ```
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Euclidean distance with early abandonment: returns `None` as soon as
+/// the partial squared sum exceeds `limit²`. Used by the HOT SAX inner
+/// loop.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn euclidean_early_abandon(a: &[f64], b: &[f64], limit: f64) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let limit_sq = limit * limit;
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+        if acc > limit_sq {
+            return None;
+        }
+    }
+    Some(acc.sqrt())
+}
+
+/// Manhattan (L1) distance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev (L∞) distance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_known_values() {
+        assert_eq!(euclidean(&[1.0, 1.0], &[4.0, 5.0]), 5.0);
+        assert_eq!(euclidean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn squared_is_square() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [0.0, 2.0, 1.5];
+        assert!((euclidean(&a, &b).powi(2) - squared_euclidean(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_abandon_agrees_when_within_limit() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.5, 2.0];
+        let exact = euclidean(&a, &b);
+        assert_eq!(euclidean_early_abandon(&a, &b, exact + 0.1), Some(exact));
+    }
+
+    #[test]
+    fn early_abandon_bails_beyond_limit() {
+        let a = [0.0; 100];
+        let b = [1.0; 100];
+        assert_eq!(euclidean_early_abandon(&a, &b, 0.5), None);
+    }
+
+    #[test]
+    fn metric_properties() {
+        let a = [1.0, 2.0];
+        let b = [3.0, -1.0];
+        let c = [0.0, 0.5];
+        for d in [euclidean, manhattan, chebyshev] {
+            assert_eq!(d(&a, &a), 0.0);
+            assert!((d(&a, &b) - d(&b, &a)).abs() < 1e-12);
+            assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ordering_between_norms() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 2.0, 2.0];
+        assert!(chebyshev(&a, &b) <= euclidean(&a, &b));
+        assert!(euclidean(&a, &b) <= manhattan(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Motif discovery (Lin et al. 2002).
+//!
+//! A motif is "a sequence that occurs frequently" (paper §2/§5). The
+//! paper frames ensembles as *candidate* motifs or discords; this module
+//! lets the repository close that loop — extracted ensembles can be
+//! checked for recurrence by motif search.
+
+use crate::distance::euclidean;
+use crate::sax::{SaxEncoder, SaxWord};
+use crate::znorm::znormalize;
+use std::collections::HashMap;
+
+/// A discovered motif: a SAX word and the subsequence positions where it
+/// occurs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Motif {
+    /// The SAX word shared by all occurrences.
+    pub word: SaxWord,
+    /// Start indices of (trivial-match-pruned) occurrences, ascending.
+    pub positions: Vec<usize>,
+    /// Subsequence length.
+    pub length: usize,
+}
+
+impl Motif {
+    /// Number of occurrences.
+    pub fn support(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+/// Finds the `k` most frequent motifs of length `len`, projecting every
+/// subsequence to a SAX word (`alphabet`, `word_len`) and ranking words
+/// by support. Trivial matches (overlapping occurrences of the same
+/// word) are pruned: consecutive kept positions differ by at least
+/// `len`.
+///
+/// # Panics
+///
+/// Panics if `len == 0` or `word_len == 0` or `word_len > len`.
+///
+/// # Example
+///
+/// ```
+/// use river_sax::motif::find_motifs;
+///
+/// // A beat that repeats every 50 samples stands out as a motif.
+/// let series: Vec<f64> = (0..500)
+///     .map(|i| if i % 50 < 10 { (i as f64 * 1.3).sin() * 2.0 } else { 0.01 * (i as f64).cos() })
+///     .collect();
+/// let motifs = find_motifs(&series, 10, 4, 4, 3);
+/// assert!(!motifs.is_empty());
+/// assert!(motifs[0].support() >= 2);
+/// ```
+pub fn find_motifs(
+    series: &[f64],
+    len: usize,
+    alphabet: usize,
+    word_len: usize,
+    k: usize,
+) -> Vec<Motif> {
+    assert!(len > 0, "motif length must be non-zero");
+    assert!(
+        word_len > 0 && word_len <= len,
+        "word_len must be in 1..=len"
+    );
+    if series.len() < len || k == 0 {
+        return Vec::new();
+    }
+    let enc = SaxEncoder::new(alphabet, word_len);
+    let n_subs = series.len() - len + 1;
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    for i in 0..n_subs {
+        let word = enc.encode(&series[i..i + len]);
+        table.entry(word.0).or_default().push(i);
+    }
+    let mut motifs: Vec<Motif> = table
+        .into_iter()
+        .map(|(symbols, positions)| {
+            // Prune trivial matches: keep positions at least `len` apart.
+            let mut kept: Vec<usize> = Vec::new();
+            for p in positions {
+                if kept.last().is_none_or(|&last| p >= last + len) {
+                    kept.push(p);
+                }
+            }
+            Motif {
+                word: SaxWord(symbols),
+                positions: kept,
+                length: len,
+            }
+        })
+        .filter(|m| m.support() >= 2)
+        .collect();
+    motifs.sort_by(|a, b| b.support().cmp(&a.support()).then(a.word.0.cmp(&b.word.0)));
+    motifs.truncate(k);
+    motifs
+}
+
+/// Mean pairwise (Z-normalized) Euclidean distance between a motif's
+/// occurrences — a verification score; genuine motifs score low.
+pub fn motif_cohesion(series: &[f64], motif: &Motif) -> f64 {
+    let subs: Vec<Vec<f64>> = motif
+        .positions
+        .iter()
+        .map(|&p| znormalize(&series[p..p + motif.length]))
+        .collect();
+    if subs.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..subs.len() {
+        for j in i + 1..subs.len() {
+            total += euclidean(&subs[i], &subs[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repeating_series() -> Vec<f64> {
+        (0..600)
+            .map(|i| {
+                if i % 60 < 15 {
+                    ((i % 60) as f64 * 0.8).sin() * 2.0
+                } else {
+                    ((i * 31) as f64 * 0.001).sin() * 0.05
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repeated_pattern_found_with_high_support() {
+        let s = repeating_series();
+        let motifs = find_motifs(&s, 15, 4, 5, 5);
+        assert!(!motifs.is_empty());
+        // The beat repeats 10 times.
+        assert!(motifs[0].support() >= 5, "support {}", motifs[0].support());
+    }
+
+    #[test]
+    fn positions_are_non_overlapping() {
+        let s = repeating_series();
+        for m in find_motifs(&s, 15, 4, 5, 5) {
+            for w in m.positions.windows(2) {
+                assert!(w[1] - w[0] >= m.length);
+            }
+        }
+    }
+
+    #[test]
+    fn cohesion_lower_for_true_motif_than_random_pairing() {
+        let s = repeating_series();
+        let motifs = find_motifs(&s, 15, 4, 5, 1);
+        let true_motif = &motifs[0];
+        let cohesion = motif_cohesion(&s, true_motif);
+        // Compare against a fake motif of arbitrary positions.
+        let fake = Motif {
+            word: true_motif.word.clone(),
+            positions: vec![3, 40, 77],
+            length: 15,
+        };
+        let fake_cohesion = motif_cohesion(&s, &fake);
+        assert!(
+            cohesion < fake_cohesion,
+            "true {cohesion} vs fake {fake_cohesion}"
+        );
+    }
+
+    #[test]
+    fn no_motifs_in_tiny_series() {
+        assert!(find_motifs(&[1.0; 4], 8, 4, 4, 3).is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(find_motifs(&repeating_series(), 15, 4, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn singleton_words_filtered() {
+        for m in find_motifs(&repeating_series(), 15, 4, 5, 100) {
+            assert!(m.support() >= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word_len must be in")]
+    fn rejects_word_longer_than_motif() {
+        find_motifs(&[0.0; 100], 4, 4, 8, 1);
+    }
+}

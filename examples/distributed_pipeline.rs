@@ -1,0 +1,132 @@
+//! Distributed pipeline: three "hosts" connected over real TCP sockets,
+//! exactly the Dynamic River composition of the paper's Figure 5 —
+//! sensor → extraction segment → analysis sink — followed by a
+//! demonstration of fault recovery (`BadCloseScope` synthesis) and
+//! dynamic segment relocation between in-process hosts.
+//!
+//! ```text
+//! cargo run --release --example distributed_pipeline
+//! ```
+
+use acoustic_ensembles::core::ops::clip_to_records;
+use acoustic_ensembles::core::pipeline::extraction_segment;
+use acoustic_ensembles::core::prelude::*;
+use acoustic_ensembles::river::net::{send_all, serve_once};
+use acoustic_ensembles::river::prelude::*;
+use acoustic_ensembles::river::segment::{run_network_segment, RelocatablePipeline};
+use crossbeam::channel::unbounded;
+use std::net::TcpListener;
+use std::thread;
+
+fn main() {
+    let cfg = ExtractorConfig::default();
+    let synth = ClipSynthesizer::new(SynthConfig::paper());
+    let clip = synth.clip(SpeciesCode::Rwbl, 11);
+    let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+    let records = clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
+    println!(
+        "sensor host: one 30 s clip -> {} records ({} audio)",
+        records.len(),
+        records.len() - 2
+    );
+
+    // ---- Part 1: three hosts over TCP -------------------------------
+    let segment_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let segment_addr = segment_listener.local_addr().unwrap();
+    let sink_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let sink_addr = sink_listener.local_addr().unwrap();
+
+    // Host C: analysis sink.
+    let sink = thread::spawn(move || {
+        let mut records: Vec<Record> = Vec::new();
+        let end = serve_once(&sink_listener, &mut records).unwrap();
+        (end, records)
+    });
+    // Host B: the extraction segment (saxanomaly -> trigger -> cutter).
+    let seg_cfg = cfg;
+    let segment = thread::spawn(move || {
+        run_network_segment(&segment_listener, sink_addr, extraction_segment(seg_cfg)).unwrap()
+    });
+    // Host A: the sensor source.
+    send_all(segment_addr, &records).unwrap();
+
+    let upstream_end = segment.join().unwrap();
+    let (sink_end, received) = sink.join().unwrap();
+    let ensembles = received
+        .iter()
+        .filter(|r| {
+            r.kind == RecordKind::OpenScope
+                && r.scope_type == acoustic_ensembles::core::scope_type::ENSEMBLE
+        })
+        .count();
+    println!(
+        "segment host: upstream ended {upstream_end:?}; sink received {} records ({} ensembles), ended {sink_end:?}",
+        received.len(),
+        ensembles
+    );
+
+    // ---- Part 2: fault recovery --------------------------------------
+    // The sensor dies mid-clip: streamin synthesizes BadCloseScope so the
+    // downstream scope state resynchronizes.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let crashing = records.clone();
+    thread::spawn(move || {
+        use acoustic_ensembles::river::codec::write_record;
+        use std::io::{BufWriter, Write};
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream);
+        // Send the clip open + a few records, then vanish without closing.
+        for r in crashing.iter().take(5) {
+            write_record(&mut w, r).unwrap();
+        }
+        w.flush().unwrap();
+        // Dropped here: simulated crash.
+    });
+    let mut repaired: Vec<Record> = Vec::new();
+    let end = serve_once(&listener, &mut repaired).unwrap();
+    println!(
+        "\nfault injection: sensor crashed mid-clip -> streamin ended {end:?}; last record: {}",
+        repaired.last().map(|r| r.to_string()).unwrap_or_default()
+    );
+    acoustic_ensembles::river::scope::validate_scopes(&repaired)
+        .expect("repaired stream is scope-balanced");
+    println!("repaired stream passes scope validation");
+
+    // ---- Part 3: dynamic segment relocation --------------------------
+    let (in_tx, in_rx) = crossbeam::channel::bounded::<Record>(0);
+    let (out_tx, out_rx) = unbounded();
+    let seg = RelocatablePipeline::spawn(
+        move || extraction_segment(cfg),
+        in_rx,
+        out_tx,
+        "field-station-7",
+    );
+    // Stream two clips; relocate between them "to a better host".
+    let clip_records = |seed: u64| {
+        let c = synth.clip(SpeciesCode::Rwbl, seed);
+        let usable = c.samples.len() - c.samples.len() % cfg.record_len;
+        clip_to_records(&c.samples[..usable], cfg.sample_rate, cfg.record_len, &[])
+    };
+    for r in clip_records(21) {
+        in_tx.send(r).unwrap();
+    }
+    seg.relocate("observatory-core-2");
+    for r in clip_records(22) {
+        in_tx.send(r).unwrap();
+    }
+    drop(in_tx);
+    let report = seg.join().unwrap();
+    let out: Vec<Record> = out_rx.iter().collect();
+    acoustic_ensembles::river::scope::validate_scopes(&out).expect("balanced after relocation");
+    println!(
+        "\nrelocation: {} records processed across {} migration(s); final host '{}'",
+        report.records_in,
+        report.migrations.len(),
+        report.final_host
+    );
+    for m in &report.migrations {
+        println!("  moved {} -> {} after record {}", m.from, m.to, m.at_record);
+    }
+    println!("output stream ({} records) is scope-balanced", out.len());
+}

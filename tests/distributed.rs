@@ -1,0 +1,162 @@
+//! Integration tests for the distributed pipeline: TCP composition,
+//! fault recovery, threaded execution and segment relocation, driven by
+//! the acoustic operators.
+
+use acoustic_ensembles::core::ops::clip_to_records;
+use acoustic_ensembles::core::pipeline::{extraction_segment, full_pipeline};
+use acoustic_ensembles::core::prelude::*;
+use acoustic_ensembles::core::{scope_type, subtype};
+use acoustic_ensembles::river::fault::{DropCloses, TruncateAfter};
+use acoustic_ensembles::river::net::{send_all, serve_once, StreamEnd};
+use acoustic_ensembles::river::ops::ScopeRepair;
+use acoustic_ensembles::river::prelude::*;
+use acoustic_ensembles::river::scope::validate_scopes;
+use acoustic_ensembles::river::segment::{run_network_segment, RelocatablePipeline};
+use crossbeam::channel::{bounded, unbounded};
+use std::net::TcpListener;
+use std::thread;
+
+fn clip_records(cfg: &ExtractorConfig, seed: u64) -> Vec<Record> {
+    let synth = ClipSynthesizer::new(SynthConfig {
+        clip_seconds: 10.0,
+        ..SynthConfig::paper()
+    });
+    let clip = synth.clip(SpeciesCode::Blja, seed);
+    let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+    clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[])
+}
+
+#[test]
+fn acoustic_pipeline_across_tcp_hosts() {
+    let cfg = ExtractorConfig::default();
+    let records = clip_records(&cfg, 1);
+
+    let seg_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let seg_addr = seg_listener.local_addr().unwrap();
+    let sink_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let sink_addr = sink_listener.local_addr().unwrap();
+
+    let sink = thread::spawn(move || {
+        let mut out: Vec<Record> = Vec::new();
+        let end = serve_once(&sink_listener, &mut out).unwrap();
+        (end, out)
+    });
+    let segment = thread::spawn(move || {
+        run_network_segment(&seg_listener, sink_addr, extraction_segment(cfg)).unwrap()
+    });
+    send_all(seg_addr, &records).unwrap();
+
+    assert_eq!(segment.join().unwrap(), StreamEnd::Clean);
+    let (end, received) = sink.join().unwrap();
+    assert_eq!(end, StreamEnd::Clean);
+    validate_scopes(&received).unwrap();
+    // The clip scope survived the hop; the data inside is ensemble audio.
+    assert!(received
+        .iter()
+        .any(|r| r.kind == RecordKind::OpenScope && r.scope_type == scope_type::CLIP));
+    for r in received.iter().filter(|r| r.kind == RecordKind::Data) {
+        assert_eq!(r.subtype, subtype::AUDIO);
+    }
+}
+
+#[test]
+fn crash_mid_clip_yields_balanced_stream_downstream() {
+    let cfg = ExtractorConfig::default();
+    let records = clip_records(&cfg, 2);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    thread::spawn(move || {
+        use acoustic_ensembles::river::codec::write_record;
+        use std::io::{BufWriter, Write};
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream);
+        for r in records.iter().take(20) {
+            write_record(&mut w, r).unwrap();
+        }
+        w.flush().unwrap();
+        // Crash: no CloseScope, no EOS sentinel.
+    });
+
+    let mut received: Vec<Record> = Vec::new();
+    let end = serve_once(&listener, &mut received).unwrap();
+    assert_eq!(end, StreamEnd::Unclean { repaired_scopes: 1 });
+    validate_scopes(&received).unwrap();
+    assert_eq!(
+        received.last().unwrap().kind,
+        RecordKind::BadCloseScope,
+        "stream must end with the synthesized BadCloseScope"
+    );
+}
+
+#[test]
+fn threaded_full_pipeline_matches_sync() {
+    let cfg = ExtractorConfig::default();
+    let records = clip_records(&cfg, 3);
+    let sync_out = full_pipeline(cfg, true).run(records.clone()).unwrap();
+    let threaded_out = full_pipeline(cfg, true).run_threaded(records).unwrap();
+    assert_eq!(sync_out, threaded_out);
+    validate_scopes(&sync_out).unwrap();
+}
+
+#[test]
+fn dropped_closes_are_repaired_before_analysis() {
+    let cfg = ExtractorConfig::default();
+    let mut records = clip_records(&cfg, 4);
+    records.extend(clip_records(&cfg, 5));
+
+    let mut p = Pipeline::new();
+    p.add(DropCloses::every(1)); // drop every clip CloseScope
+    p.add(ScopeRepair::new());
+    let out = p.run(records).unwrap();
+    validate_scopes(&out).unwrap();
+    let bad = out
+        .iter()
+        .filter(|r| r.kind == RecordKind::BadCloseScope)
+        .count();
+    assert_eq!(bad, 2, "one repair per dropped clip close");
+}
+
+#[test]
+fn truncated_stream_keeps_extraction_alive() {
+    let cfg = ExtractorConfig::default();
+    let records = clip_records(&cfg, 6);
+    let n = records.len();
+
+    let mut p = Pipeline::new();
+    p.add(TruncateAfter::new((n / 2) as u64));
+    p.add(ScopeRepair::new());
+    // Extraction must cope with the repaired (BadCloseScope) clip.
+    p.add(acoustic_ensembles::core::ops::SaxAnomaly::new(cfg));
+    p.add(acoustic_ensembles::core::ops::TriggerOp::new(cfg));
+    p.add(acoustic_ensembles::core::ops::Cutter::new(cfg));
+    let out = p.run(records).unwrap();
+    validate_scopes(&out).unwrap();
+}
+
+#[test]
+fn relocation_during_acoustic_stream() {
+    let cfg = ExtractorConfig::default();
+    let (in_tx, in_rx) = bounded::<Record>(0);
+    let (out_tx, out_rx) = unbounded();
+    let seg = RelocatablePipeline::spawn(move || extraction_segment(cfg), in_rx, out_tx, "a");
+
+    let first = clip_records(&cfg, 7);
+    let second = clip_records(&cfg, 8);
+    let expected_total = first.len() + second.len();
+    for r in first {
+        in_tx.send(r).unwrap();
+    }
+    seg.relocate("b");
+    for r in second {
+        in_tx.send(r).unwrap();
+    }
+    drop(in_tx);
+
+    let report = seg.join().unwrap();
+    assert_eq!(report.records_in as usize, expected_total);
+    assert_eq!(report.migrations.len(), 1);
+    assert_eq!(report.final_host, "b");
+    let out: Vec<Record> = out_rx.iter().collect();
+    validate_scopes(&out).unwrap();
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration: synthesis → extraction → featurization →
+//! MESO classification, across crate boundaries.
+
+use acoustic_ensembles::core::classify::{paper_meso_config, SpeciesClassifier};
+use acoustic_ensembles::core::prelude::*;
+use acoustic_ensembles::meso::crossval::{leave_one_out, resubstitution, CrossValConfig, LooMode};
+
+fn corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        clips_per_species: 3,
+        seed: 404,
+        synth: SynthConfig {
+            clip_seconds: 15.0,
+            ..SynthConfig::paper()
+        },
+        extractor: ExtractorConfig::paper(),
+    }
+}
+
+#[test]
+fn corpus_to_classification_round_trip() {
+    let cfg = corpus_config();
+    let corpus = Corpus::build(cfg);
+    assert!(
+        corpus.ensembles.len() >= 20,
+        "too few ensembles: {}",
+        corpus.ensembles.len()
+    );
+
+    let bundle = DatasetBundle::build(&corpus);
+    assert_eq!(bundle.paa_ensemble.dim(), 105);
+
+    let cv = CrossValConfig {
+        iterations: 1,
+        seed: 1,
+        loo_mode: LooMode::Removal,
+        meso: paper_meso_config(),
+    };
+    let loo = leave_one_out(&bundle.paa_ensemble, &cv);
+    let resub = resubstitution(&bundle.paa_ensemble, &cv);
+    // Ten classes: chance is 10%. Even this tiny corpus must do far
+    // better, and resubstitution must dominate leave-one-out.
+    assert!(
+        loo.mean_accuracy() > 0.4,
+        "LOO accuracy {:.2}",
+        loo.mean_accuracy()
+    );
+    assert!(resub.mean_accuracy() >= loo.mean_accuracy() - 0.02);
+}
+
+#[test]
+fn paper_shape_holds_ensembles_beat_patterns() {
+    let corpus = Corpus::build(corpus_config());
+    let bundle = DatasetBundle::build(&corpus);
+    let cv = CrossValConfig {
+        iterations: 2,
+        seed: 5,
+        loo_mode: LooMode::Removal,
+        meso: paper_meso_config(),
+    };
+    let ens = leave_one_out(&bundle.paa_ensemble, &cv);
+    let pat = leave_one_out(&bundle.paa_pattern, &cv);
+    // Voting across an ensemble's patterns beats single-pattern tests
+    // (paper Table 2: 82.2% vs 80.4%). Allow slack for the small corpus.
+    assert!(
+        ens.mean_accuracy() >= pat.mean_accuracy() - 0.05,
+        "ensemble {:.2} vs pattern {:.2}",
+        ens.mean_accuracy(),
+        pat.mean_accuracy()
+    );
+}
+
+#[test]
+fn data_reduction_matches_paper_ballpark() {
+    let corpus = Corpus::build(corpus_config());
+    let r = corpus.reduction.reduction_percent();
+    // Paper: 80.6%. Synthetic corpus lands in the same regime.
+    assert!((60.0..99.0).contains(&r), "reduction {r:.1}%");
+}
+
+#[test]
+fn classifier_recognizes_unseen_clips() {
+    let cfg = corpus_config();
+    let corpus = Corpus::build(cfg);
+    let bundle = DatasetBundle::build(&corpus);
+    let clf = SpeciesClassifier::train(&bundle.paa_ensemble, cfg);
+
+    let synth = ClipSynthesizer::new(cfg.synth);
+    let extractor = EnsembleExtractor::new(cfg.extractor);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &species in &SpeciesCode::ALL {
+        for seed in [31_000u64, 32_000] {
+            let clip = synth.clip(species, seed + species.label() as u64);
+            for e in extractor.extract(&clip.samples) {
+                if clip.label_for_range(e.start, e.end) != Some(species) {
+                    continue;
+                }
+                if let Some(predicted) = clf.recognize(&e.samples) {
+                    total += 1;
+                    if predicted == species {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(total >= 10, "too few test ensembles: {total}");
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.35, "unseen-clip accuracy {acc:.2} ({correct}/{total})");
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade must expose all five subsystems.
+    let _ = acoustic_ensembles::dsp::Fft::new(8);
+    let _ = acoustic_ensembles::sax::SaxEncoder::new(4, 4);
+    let _ = acoustic_ensembles::meso::Meso::new(2, acoustic_ensembles::meso::MesoConfig::default());
+    let _ = acoustic_ensembles::river::Pipeline::new();
+    let _ = acoustic_ensembles::core::ExtractorConfig::default();
+}
