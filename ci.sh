@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, docs, bench compile.
+#
+#   ./ci.sh         # everything (tier-1 + docs + bench compile)
+#   ./ci.sh quick   # tier-1 only (build --release && test -q)
+#
+# Requires only a Rust toolchain — the workspace has no network
+# dependencies (see DESIGN.md § Shims).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "${1:-}" != "quick" ]; then
+    echo "==> cargo doc --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+    echo "==> cargo bench --no-run (benches must compile)"
+    cargo bench --no-run --quiet
+fi
+
+echo "==> ci.sh: all green"

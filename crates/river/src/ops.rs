@@ -168,7 +168,7 @@ where
 /// per-stage statistics.
 #[derive(Debug, Default)]
 pub struct RecordCounter {
-    stats: std::sync::Arc<parking_lot::Mutex<CounterStats>>,
+    stats: std::sync::Arc<std::sync::Mutex<CounterStats>>,
 }
 
 /// Totals accumulated by a [`RecordCounter`].
@@ -197,20 +197,20 @@ impl CounterStats {
 /// pipeline has run.
 #[derive(Debug, Clone, Default)]
 pub struct CounterHandle {
-    stats: std::sync::Arc<parking_lot::Mutex<CounterStats>>,
+    stats: std::sync::Arc<std::sync::Mutex<CounterStats>>,
 }
 
 impl CounterHandle {
     /// Snapshot of the totals.
     pub fn snapshot(&self) -> CounterStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("counter lock poisoned")
     }
 }
 
 impl RecordCounter {
     /// Creates a counter and its read handle.
     pub fn new() -> (Self, CounterHandle) {
-        let stats = std::sync::Arc::new(parking_lot::Mutex::new(CounterStats::default()));
+        let stats = std::sync::Arc::new(std::sync::Mutex::new(CounterStats::default()));
         (
             RecordCounter {
                 stats: stats.clone(),
@@ -227,7 +227,7 @@ impl Operator for RecordCounter {
 
     fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         {
-            let mut s = self.stats.lock();
+            let mut s = self.stats.lock().expect("counter lock poisoned");
             match record.kind {
                 RecordKind::Data => {
                     s.data_records += 1;
@@ -357,14 +357,14 @@ mod tests {
 
     #[test]
     fn inspect_sees_every_record() {
-        let seen = std::sync::Arc::new(parking_lot::Mutex::new(0usize));
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(0usize));
         let seen2 = seen.clone();
         let mut p = Pipeline::new();
         p.add(Inspect::new("count", move |_r| {
-            *seen2.lock() += 1;
+            *seen2.lock().expect("lock poisoned") += 1;
         }));
         p.run(scoped_stream()).unwrap();
-        assert_eq!(*seen.lock(), 4);
+        assert_eq!(*seen.lock().expect("lock poisoned"), 4);
     }
 
     #[test]

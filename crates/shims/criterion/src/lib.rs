@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset the
+//! `ensemble_bench` benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`Throughput`], [`BenchmarkId`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! No statistics, warm-up tuning, plots or HTML reports — each benchmark
+//! is timed over a few auto-scaled batches and the best per-iteration
+//! time is printed, which is enough to compare hot paths between
+//! commits. Passing `--bench-fast` (or setting `CRITERION_FAST=1`) caps
+//! measurement at one batch for CI smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation attached to a group; reported per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion's two-part id.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter id, used inside a named group.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Best observed per-iteration time.
+    best: Option<Duration>,
+    fast: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the batch size so the measured
+    /// window is long enough for the clock to resolve.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters: u64 = 1;
+        let budget = if self.fast {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(200)
+        };
+        let deadline = Instant::now() + budget;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed / iters as u32;
+            self.best = Some(match self.best {
+                Some(b) if b <= per_iter => b,
+                _ => per_iter,
+            });
+            if Instant::now() >= deadline || self.fast && elapsed > Duration::ZERO {
+                break;
+            }
+            if elapsed < Duration::from_millis(5) {
+                iters = iters.saturating_mul(4).max(2);
+            }
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("CRITERION_FAST").is_some()
+        || std::env::args().any(|a| a == "--bench-fast")
+}
+
+fn report(group: &str, id: &str, best: Option<Duration>, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        id.to_string()
+    } else if id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match best {
+        Some(t) => {
+            let ns = t.as_secs_f64() * 1e9;
+            let rate = throughput.map(|tp| match tp {
+                Throughput::Elements(n) => {
+                    format!("  ({:.1} Melem/s)", n as f64 / t.as_secs_f64() / 1e6)
+                }
+                Throughput::Bytes(n) => {
+                    format!("  ({:.1} MiB/s)", n as f64 / t.as_secs_f64() / (1 << 20) as f64)
+                }
+            });
+            println!("bench  {name:<48} {ns:>14.1} ns/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("bench  {name:<48}        (not measured)"),
+    }
+}
+
+/// Top-level benchmark driver; mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            best: None,
+            fast: fast_mode(),
+        };
+        f(&mut b);
+        report("", &id.to_string(), b.best, None);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; this harness has no sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this harness auto-scales timing.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            best: None,
+            fast: fast_mode(),
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.best, self.throughput);
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            best: None,
+            fast: fast_mode(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.best, self.throughput);
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter(4), |b| {
+            b.iter(|| black_box(2u64 + 2))
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+    }
+}

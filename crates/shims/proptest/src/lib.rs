@@ -1,0 +1,675 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset the workspace's property tests use, against
+//! a deterministic seed derived from each test's module path:
+//!
+//! - the [`proptest!`] macro (`name in strategy` bindings, optional
+//!   `#![proptest_config(...)]` header, early `return Ok(())`);
+//! - [`prop_assert!`] / [`prop_assert_eq!`] returning
+//!   [`test_runner::TestCaseError`];
+//! - strategies: numeric ranges, tuples, [`strategy::Just`],
+//!   [`collection::vec`], [`any`], [`prop_oneof!`] unions (optionally
+//!   weighted), `.prop_map`, boxed strategies, and string literals as a
+//!   character-class regex subset (`"[a-z0-9]{1,8}"`);
+//! - [`sample::Index`] for in-bounds index generation.
+//!
+//! There is **no shrinking**: a failing case panics with the generated
+//! inputs printed, which is enough to reproduce (generation is
+//! deterministic per test name).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-case plumbing: config, RNG, and failure type.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+    use std::hash::{Hash, Hasher};
+
+    /// How many cases to run, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property; carries the assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Convenience alias for property bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic generator used by all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a test identifier (so every test
+        /// has its own reproducible stream).
+        pub fn deterministic(test_name: &str) -> TestRng {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            test_name.hash(&mut hasher);
+            TestRng {
+                inner: StdRng::seed_from_u64(hasher.finish()),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{RngExt, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy; see [`Strategy::boxed`].
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V> {
+        inner: std::rc::Rc<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the held value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between strategies of one value type; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        entries: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(entries: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+            let total_weight: u64 = entries.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! requires a positive total weight");
+            Union {
+                entries,
+                total_weight,
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.random_range(0..self.total_weight);
+            for (weight, strat) in &self.entries {
+                if pick < *weight as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weight bookkeeping is exhaustive")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// String literals act as a character-class regex subset:
+    /// `"[chars]{min,max}"`, where `chars` may contain `a-z` ranges and
+    /// literal (including non-ASCII) characters. A bare `[chars]`
+    /// generates exactly one character.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, min, max) = parse_char_class_regex(self);
+            let len = rng.random_range(min..=max);
+            (0..len)
+                .map(|_| class[rng.random_range(0..class.len())])
+                .collect()
+        }
+    }
+
+    fn parse_char_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+        let mut chars = pattern.chars().peekable();
+        assert_eq!(
+            chars.next(),
+            Some('['),
+            "unsupported regex {pattern:?}: this shim only supports \"[class]{{min,max}}\""
+        );
+        let mut class: Vec<char> = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+            if c == ']' {
+                break;
+            }
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next(); // the '-'
+                match lookahead.peek() {
+                    Some(&hi) if hi != ']' => {
+                        chars = lookahead;
+                        let hi = chars.next().expect("peeked");
+                        for v in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                class.push(ch);
+                            }
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            class.push(c);
+        }
+        assert!(!class.is_empty(), "empty character class in {pattern:?}");
+        let rest: String = chars.collect();
+        if rest.is_empty() {
+            return (class, 1, 1);
+        }
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported regex suffix {rest:?} in {pattern:?}"));
+        match counts.split_once(',') {
+            Some((lo, hi)) => (
+                class,
+                lo.trim().parse().expect("regex repeat min"),
+                hi.trim().parse().expect("regex repeat max"),
+            ),
+            None => {
+                let n = counts.trim().parse().expect("regex repeat count");
+                (class, n, n)
+            }
+        }
+    }
+}
+
+/// Types with a canonical "generate anything" strategy; see [`any`].
+pub trait Arbitrary {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> f64 {
+        use rand::RngExt;
+        // Finite, sign-balanced, spanning many magnitudes.
+        rng.random_range(-1e12..1e12)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point: a strategy for arbitrary `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a
+    /// [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length falls within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    /// An abstract index resolved against a concrete length with
+    /// [`Index::index`], mirroring `proptest::sample::Index`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this abstract index into `[0, len)`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl crate::Arbitrary for Index {
+        fn arbitrary(rng: &mut crate::test_runner::TestRng) -> Index {
+            use rand::RngCore;
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` path prefix (`prop::collection::vec`, `prop::sample`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each `name in strategy` binding is generated
+/// per case; the body runs once per case and may `return Ok(())` early.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Strategies are built once; each case only draws from them.
+                let __strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    // Snapshot the RNG so the failing case's inputs can be
+                    // regenerated for the report — the passing path then
+                    // skips Debug-formatting entirely.
+                    let rng_at_case = rng.clone();
+                    let ($(ref $arg,)+) = __strategies;
+                    $( let $arg = $crate::strategy::Strategy::generate($arg, &mut rng); )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        let mut replay = rng_at_case;
+                        let ($(ref $arg,)+) = __strategies;
+                        $( let $arg = $crate::strategy::Strategy::generate($arg, &mut replay); )+
+                        let inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}; ",)+),
+                            $(&$arg),+
+                        );
+                        panic!(
+                            "property failed at case {}/{}: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            err,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a [`proptest!`] body, failing the case (not panicking
+/// directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies with a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_in_class() {
+        let mut rng = crate::test_runner::TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c9 ä]{2,5}", &mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "len {n}");
+            assert!(s.chars().all(|c| "abc9 ä".contains(c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_and_values() {
+        let mut rng = crate::test_runner::TestRng::deterministic("union");
+        let strat = prop_oneof![
+            9 => Just(1u8),
+            1 => Just(2u8),
+        ];
+        let picks: Vec<u8> = (0..1000).map(|_| strat.generate(&mut rng)).collect();
+        let ones = picks.iter().filter(|&&v| v == 1).count();
+        assert!(ones > 800, "expected mostly 1s, got {ones}");
+        assert!(picks.iter().all(|&v| v == 1 || v == 2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_bindings(
+            xs in prop::collection::vec(-10.0f64..10.0, 1..20),
+            n in 1usize..5,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!((1..5).contains(&n));
+            if flag {
+                return Ok(());
+            }
+            prop_assert_eq!(n, n);
+            prop_assert_ne!(n, n + 1);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u8..4, "[x-z]{1,3}").prop_map(|(k, s)| (k, s.len())),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..=3).contains(&pair.1));
+        }
+
+        #[test]
+        fn index_is_in_bounds(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        /// The failure path regenerates and reports the case's inputs
+        /// (they are only formatted on failure).
+        #[test]
+        #[should_panic(expected = "inputs: n = 1")]
+        fn failure_reports_regenerated_inputs(n in 10usize..20) {
+            prop_assert!(n < 10);
+        }
+    }
+}

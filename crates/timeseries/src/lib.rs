@@ -5,7 +5,7 @@
 //!
 //! - [`znorm`] — Z-normalization, "equalizing similar acoustic patterns
 //!   that differ in signal strength";
-//! - [`paa`] — Piecewise Aggregate Approximation (Keogh et al.; Yi &
+//! - [`paa`](mod@paa) — Piecewise Aggregate Approximation (Keogh et al.; Yi &
 //!   Faloutsos), which "smoothes intra-signal variation and reduces
 //!   pattern dimensionality";
 //! - [`sax`] — Symbolic Aggregate approXimation (Lin et al.), mapping PAA

@@ -14,13 +14,14 @@
 //!
 //! See `examples/quickstart.rs`:
 //!
-//! ```no_run
+//! ```
 //! use acoustic_ensembles::core::prelude::*;
 //!
 //! let synth = ClipSynthesizer::new(SynthConfig::paper());
 //! let clip = synth.clip(SpeciesCode::Noca, 42);
 //! let extractor = EnsembleExtractor::new(ExtractorConfig::default());
 //! let ensembles = extractor.extract(&clip.samples);
+//! assert!(!ensembles.is_empty());
 //! println!("{} ensembles", ensembles.len());
 //! ```
 
