@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: build, test, docs, bench compile.
 #
-#   ./ci.sh         # everything (tier-1 + docs + bench compile)
+#   ./ci.sh         # everything (tier-1 + docs + bench compile + examples)
 #   ./ci.sh quick   # tier-1 only (build --release && test -q)
 #
 # Requires only a Rust toolchain — the workspace has no network
@@ -21,6 +21,12 @@ if [ "${1:-}" != "quick" ]; then
 
     echo "==> cargo bench --no-run (benches must compile)"
     cargo bench --no-run --quiet
+
+    # Exercise the streaming execution path end-to-end: both examples
+    # drive real pipelines through the fused streaming executor.
+    echo "==> examples (release)"
+    cargo run --release --quiet --example quickstart
+    cargo run --release --quiet --example anomaly_monitor
 fi
 
 echo "==> ci.sh: all green"

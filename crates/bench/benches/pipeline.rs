@@ -3,7 +3,8 @@
 //! graph — in samples per second.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ensemble_core::ops::clip_to_records;
+use dynamic_river::CountingSink;
+use ensemble_core::ops::{clip_record_source, clip_to_records};
 use ensemble_core::pipeline::{extraction_segment, featurize_ensemble, full_pipeline};
 use ensemble_core::prelude::*;
 use std::hint::black_box;
@@ -40,7 +41,27 @@ fn bench_record_pipeline(c: &mut Criterion) {
     group.bench_function("full_figure5", |b| {
         b.iter(|| {
             let mut p = full_pipeline(cfg, true);
-            black_box(p.run(records.clone()).unwrap().len())
+            black_box(p.run_batch(records.clone()).unwrap().len())
+        })
+    });
+    // The fused streaming executor over a lazy source: no record
+    // vector, no inter-stage materialization.
+    group.bench_function("full_figure5_streaming", |b| {
+        b.iter(|| {
+            let mut p = full_pipeline(cfg, true);
+            let mut sink = CountingSink::default();
+            let stats = p
+                .run_streaming(
+                    clip_record_source(
+                        clip.samples[..usable].iter().copied(),
+                        cfg.sample_rate,
+                        cfg.record_len,
+                        &[],
+                    ),
+                    &mut sink,
+                )
+                .unwrap();
+            black_box(stats.sink_records)
         })
     });
     group.finish();

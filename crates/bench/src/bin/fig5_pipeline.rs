@@ -1,18 +1,16 @@
 //! Regenerates **Figure 5** of the paper as an executable artifact: the
 //! block diagram of pipeline operators for converting acoustic clips
-//! into ensembles, with per-stage record statistics from a real run.
+//! into ensembles, with per-stage record statistics from a real run of
+//! the fused streaming executor.
 //!
 //! ```text
 //! cargo run -p ensemble-bench --release --bin fig5_pipeline [-- --seed N]
 //! ```
 
-use dynamic_river::ops::RecordCounter;
-use dynamic_river::Pipeline;
+use dynamic_river::CountingSink;
 use ensemble_bench::{header, Scale};
-use ensemble_core::ops::{
-    clip_to_records, Cabs, Cutout, Cutter, Dft, Float2Cplx, LogScale, PaaOp, Rec2Vect,
-    SaxAnomaly, TriggerOp, WelchWindow,
-};
+use ensemble_core::ops::clip_record_source;
+use ensemble_core::pipeline::full_pipeline;
 use ensemble_core::prelude::*;
 
 fn main() {
@@ -22,70 +20,43 @@ fn main() {
     let clip = synth.clip(SpeciesCode::Noca, scale.seed);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
 
-    // Build the full Figure 5 graph with a counter after every stage.
-    let stages: [&str; 10] = [
-        "saxanomaly",
-        "trigger",
-        "cutter",
-        "welchwindow",
-        "float2cplx",
-        "dft",
-        "cabs",
-        "cutout",
-        "paa",
-        "rec2vect",
-    ];
-    let mut p = Pipeline::new();
-    let mut handles = Vec::new();
-    macro_rules! stage {
-        ($op:expr) => {{
-            p.add($op);
-            let (counter, handle) = RecordCounter::new();
-            p.add(counter);
-            handles.push(handle);
-        }};
-    }
-    stage!(SaxAnomaly::new(cfg));
-    stage!(TriggerOp::new(cfg));
-    stage!(Cutter::new(cfg));
-    stage!(WelchWindow::new());
-    stage!(Float2Cplx::new());
-    stage!(Dft::new());
-    stage!(Cabs::new());
-    stage!(Cutout::new(cfg.cutout_low_hz, cfg.cutout_high_hz, cfg.sample_rate));
-    stage!(PaaOp::new(cfg.paa_factor));
-    stage!(LogScale::new());
-    // rec2vect shares the final counter with logscale's output.
-    p.add(Rec2Vect::new(cfg.pattern_records));
-    let (final_counter, final_handle) = RecordCounter::new();
-    p.add(final_counter);
-
-    let input = clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
-    let input_records = input.len();
-    let out = p.run(input).expect("pipeline run");
+    // The full Figure 5 graph; the streaming driver itself supplies the
+    // per-stage statistics the figure annotates.
+    let mut p = full_pipeline(cfg, true);
+    let mut sink = CountingSink::default();
+    let stats = p
+        .run_streaming(
+            clip_record_source(
+                clip.samples[..usable].iter().copied(),
+                cfg.sample_rate,
+                cfg.record_len,
+                &[],
+            ),
+            &mut sink,
+        )
+        .expect("pipeline run");
 
     header("Figure 5: pipeline operators converting acoustic clips into ensembles");
     println!("sensor platform -> readout -> storage -> wav2rec -> (this run starts here)\n");
     println!(
-        "{:<14} {:>10} {:>12} {:>14}",
-        "operator", "records", "data bytes", "(after stage)"
+        "{:<14} {:>10} {:>12} {:>8}   (records/bytes leaving the stage)",
+        "operator", "records", "data bytes", "burst"
     );
-    println!("{:<14} {:>10} {:>12}", "input", input_records, "");
-    for (name, handle) in stages.iter().zip(&handles) {
-        let s = handle.snapshot();
+    println!(
+        "{:<14} {:>10} {:>12}",
+        "input", stats.source_records, ""
+    );
+    for s in &stats.stages {
         println!(
-            "{:<14} {:>10} {:>12}",
-            name,
-            s.total_records(),
-            s.payload_bytes
+            "{:<14} {:>10} {:>12} {:>8}",
+            s.name, s.records_out, s.bytes_out, s.peak_burst
         );
     }
-    let s = final_handle.snapshot();
-    println!("{:<14} {:>10} {:>12}", "rec2vect", s.total_records(), s.payload_bytes);
     println!(
-        "\nfinal output: {} records, of which {} are {}-dim patterns -> MESO",
-        out.len(),
-        s.data_records,
-        cfg.paa_pattern_features()
+        "\nfinal output: {} records ({} bytes) -> MESO; {}-dim patterns; peak stage burst {}",
+        sink.records,
+        sink.bytes,
+        cfg.paa_pattern_features(),
+        stats.max_peak_burst()
     );
 }

@@ -198,40 +198,21 @@ impl EnsembleExtractor {
     /// Extracts ensembles and returns the full per-sample traces
     /// (Figure 6).
     pub fn extract_with_trace(&self, samples: &[f64]) -> ExtractionTrace {
-        let c = &self.config;
-        let mut detector = BitmapAnomaly::new(c.anomaly_config());
-        let mut smoother = MovingAverage::new(c.ma_window);
-        // Let the detector windows fill and the smoother settle before
-        // the trigger may fire.
-        let warmup = (2 * c.anomaly_window + c.ma_window) as u64;
-        let mut trigger =
-            AdaptiveTrigger::with_hold(c.trigger_sigmas, warmup, c.trigger_hold as u64);
-
+        let mut stream = self.extract_stream();
         let mut scores = Vec::with_capacity(samples.len());
         let mut trig = Vec::with_capacity(samples.len());
         let mut ensembles = Vec::new();
-        let mut open_start: Option<usize> = None;
-
-        for (i, &x) in samples.iter().enumerate() {
-            let raw = detector.push(x);
-            let smoothed = smoother.push(raw);
-            scores.push(smoothed);
-            let state = trigger.push(smoothed);
-            trig.push(state as u8);
-            match (open_start, state) {
-                (None, true) => open_start = Some(i),
-                (Some(start), false) => {
-                    self.finish(&mut ensembles, samples, start, i);
-                    open_start = None;
-                }
-                _ => {}
+        for &x in samples {
+            let step = stream.push_sample(x);
+            scores.push(step.score);
+            trig.push(u8::from(step.triggered));
+            if let Some(e) = step.completed {
+                ensembles.push(e);
             }
         }
         // Trigger still high at end of clip: close the dangling ensemble
         // (the record pipeline emits CloseScope at clip close).
-        if let Some(start) = open_start {
-            self.finish(&mut ensembles, samples, start, samples.len());
-        }
+        ensembles.extend(stream.finish());
         ExtractionTrace {
             scores,
             trigger: trig,
@@ -239,15 +220,154 @@ impl EnsembleExtractor {
         }
     }
 
-    fn finish(&self, out: &mut Vec<Ensemble>, samples: &[f64], start: usize, end: usize) {
-        if end - start < self.config.min_ensemble_samples {
-            return; // too short to be a vocalization
+    /// Starts an incremental extraction over a stream of sample chunks.
+    ///
+    /// The returned [`StreamingExtractor`] ingests samples as they
+    /// arrive and yields each ensemble the moment its trigger releases,
+    /// so a sensor feed of unbounded length is processed with memory
+    /// bounded by the detector windows plus the currently open ensemble
+    /// — never by stream length. [`extract`](Self::extract) and
+    /// [`extract_with_trace`](Self::extract_with_trace) are wrappers
+    /// over this same state machine, so the two paths agree
+    /// sample-for-sample whatever the chunking.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ensemble_core::prelude::*;
+    ///
+    /// let clip = ClipSynthesizer::new(SynthConfig::short_test()).clip(SpeciesCode::Rwbl, 3);
+    /// let extractor = EnsembleExtractor::new(ExtractorConfig::default());
+    ///
+    /// let mut stream = extractor.extract_stream();
+    /// let mut streamed = Vec::new();
+    /// for chunk in clip.samples.chunks(512) {
+    ///     stream.push_chunk(chunk, &mut streamed);
+    /// }
+    /// streamed.extend(stream.finish());
+    /// assert_eq!(streamed, extractor.extract(&clip.samples));
+    /// ```
+    pub fn extract_stream(&self) -> StreamingExtractor {
+        let c = self.config;
+        // Let the detector windows fill and the smoother settle before
+        // the trigger may fire.
+        let warmup = (2 * c.anomaly_window + c.ma_window) as u64;
+        StreamingExtractor {
+            config: c,
+            detector: BitmapAnomaly::new(c.anomaly_config()),
+            smoother: MovingAverage::new(c.ma_window),
+            trigger: AdaptiveTrigger::with_hold(c.trigger_sigmas, warmup, c.trigger_hold as u64),
+            pos: 0,
+            open: None,
         }
-        out.push(Ensemble {
-            start,
-            end,
-            samples: samples[start..end].to_vec(),
-        });
+    }
+}
+
+/// The outcome of feeding one sample to a [`StreamingExtractor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStep {
+    /// Smoothed anomaly score for the sample.
+    pub score: f64,
+    /// Trigger value after the sample.
+    pub triggered: bool,
+    /// An ensemble completed by this sample (its trigger released and
+    /// it met the minimum length), if any.
+    pub completed: Option<Ensemble>,
+}
+
+/// Incremental ensemble extraction over a stream of samples — the
+/// `saxanomaly` → `trigger` → `cutter` chain as a resumable state
+/// machine ([`EnsembleExtractor::extract_stream`]).
+///
+/// State is the SAX/normalization windows, the moving average, the
+/// trigger estimate, and the currently open ensemble's samples;
+/// completed ensembles are handed to the caller immediately, so nothing
+/// grows with stream length.
+#[derive(Debug, Clone)]
+pub struct StreamingExtractor {
+    config: ExtractorConfig,
+    detector: BitmapAnomaly,
+    smoother: MovingAverage,
+    trigger: AdaptiveTrigger,
+    /// Absolute index of the next sample (monotonic across chunks and
+    /// clips — ensemble positions are stream positions).
+    pos: usize,
+    open: Option<OpenEnsemble>,
+}
+
+#[derive(Debug, Clone)]
+struct OpenEnsemble {
+    start: usize,
+    samples: Vec<f64>,
+}
+
+impl StreamingExtractor {
+    /// Feeds one sample, returning its score, trigger state, and any
+    /// ensemble it completed.
+    pub fn push_sample(&mut self, x: f64) -> StreamStep {
+        let raw = self.detector.push(x);
+        let score = self.smoother.push(raw);
+        let triggered = self.trigger.push(score);
+        let completed = if triggered {
+            match &mut self.open {
+                Some(open) => open.samples.push(x),
+                None => {
+                    self.open = Some(OpenEnsemble {
+                        start: self.pos,
+                        samples: vec![x],
+                    })
+                }
+            }
+            None
+        } else {
+            self.take_open()
+        };
+        self.pos += 1;
+        StreamStep {
+            score,
+            triggered,
+            completed,
+        }
+    }
+
+    /// Feeds a chunk of samples, appending completed ensembles to
+    /// `out`.
+    pub fn push_chunk(&mut self, chunk: &[f64], out: &mut Vec<Ensemble>) {
+        for &x in chunk {
+            if let Some(e) = self.push_sample(x).completed {
+                out.push(e);
+            }
+        }
+    }
+
+    /// Ends the stream: closes a still-open ensemble (the batch path's
+    /// dangling-ensemble rule). The extractor remains usable, but the
+    /// trigger keeps its learned state — create a fresh one per
+    /// independent stream.
+    pub fn finish(&mut self) -> Option<Ensemble> {
+        self.take_open()
+    }
+
+    /// Samples consumed so far — the absolute stream clock.
+    pub fn samples_seen(&self) -> usize {
+        self.pos
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    fn take_open(&mut self) -> Option<Ensemble> {
+        let open = self.open.take()?;
+        if open.samples.len() < self.config.min_ensemble_samples {
+            return None; // too short to be a vocalization
+        }
+        Some(Ensemble {
+            start: open.start,
+            end: open.start + open.samples.len(),
+            samples: open.samples,
+        })
     }
 }
 
@@ -385,5 +505,79 @@ mod tests {
         let a = extractor().extract(&clip.samples);
         let b = extractor().extract(&clip.samples);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_any_chunking() {
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(SpeciesCode::Noca, 11);
+        let ex = extractor();
+        let batch = ex.extract(&clip.samples);
+        for chunk_len in [1usize, 17, 840, 4_096, clip.samples.len()] {
+            let mut stream = ex.extract_stream();
+            let mut streamed = Vec::new();
+            for chunk in clip.samples.chunks(chunk_len) {
+                stream.push_chunk(chunk, &mut streamed);
+            }
+            streamed.extend(stream.finish());
+            assert_eq!(streamed, batch, "chunk_len={chunk_len}");
+            assert_eq!(stream.samples_seen(), clip.samples.len());
+        }
+    }
+
+    #[test]
+    fn streaming_yields_ensembles_before_finish() {
+        let synth = ClipSynthesizer::new(SynthConfig::paper());
+        let clip = synth.clip(SpeciesCode::Noca, 42);
+        let ex = extractor();
+        let batch = ex.extract(&clip.samples);
+        assert!(!batch.is_empty());
+        // Every ensemble whose trigger released inside the clip arrives
+        // incrementally, not at finish().
+        let mut stream = ex.extract_stream();
+        let mut incremental = Vec::new();
+        stream.push_chunk(&clip.samples, &mut incremental);
+        let at_finish = stream.finish();
+        assert_eq!(
+            incremental.len() + usize::from(at_finish.is_some()),
+            batch.len()
+        );
+        for (a, b) in incremental.iter().zip(&batch) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn streaming_positions_are_absolute_across_chunks() {
+        // Two clips fed back-to-back: ensemble positions land on the
+        // concatenated stream's clock.
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let a = synth.clip(SpeciesCode::Hofi, 1);
+        let b = synth.clip(SpeciesCode::Hofi, 2);
+        let mut joined = a.samples.clone();
+        joined.extend_from_slice(&b.samples);
+        let batch = extractor().extract(&joined);
+
+        let mut stream = extractor().extract_stream();
+        let mut streamed = Vec::new();
+        stream.push_chunk(&a.samples, &mut streamed);
+        stream.push_chunk(&b.samples, &mut streamed);
+        streamed.extend(stream.finish());
+        assert_eq!(streamed, batch);
+        assert_eq!(stream.samples_seen(), joined.len());
+    }
+
+    #[test]
+    fn streaming_trace_matches_extract_with_trace() {
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(SpeciesCode::Wbnu, 8);
+        let ex = extractor();
+        let trace = ex.extract_with_trace(&clip.samples);
+        let mut stream = ex.extract_stream();
+        for (i, &x) in clip.samples.iter().enumerate() {
+            let step = stream.push_sample(x);
+            assert_eq!(step.score, trace.scores[i], "score at {i}");
+            assert_eq!(u8::from(step.triggered), trace.trigger[i], "trigger at {i}");
+        }
     }
 }

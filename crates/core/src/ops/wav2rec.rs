@@ -7,6 +7,7 @@
 //! fixed-length audio records.
 
 use crate::{context_key, scope_type, subtype};
+use dynamic_river::source::ChunkedF64Source;
 use dynamic_river::{Operator, Payload, PipelineError, Record, Sink};
 use river_dsp::wav::WavReader;
 
@@ -51,6 +52,50 @@ pub fn clip_to_records(
     }
     out.push(Record::close_scope(scope_type::CLIP).with_depth(0));
     out
+}
+
+/// Streaming equivalent of [`clip_to_records`]: wraps a sample
+/// iterator as a [`ChunkedF64Source`] emitting the same clip scope and
+/// audio-record geometry, without ever materializing the record vector
+/// — the feed for [`Pipeline::run_streaming`] over arbitrarily long
+/// streams.
+///
+/// # Panics
+///
+/// Panics if `record_len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ensemble_core::ops::clip_record_source;
+/// use dynamic_river::prelude::*;
+///
+/// // A lazily generated 100-record stream, never held in memory.
+/// let samples = (0..84_000).map(|i| (i as f64 * 0.01).sin());
+/// let src = clip_record_source(samples, 20_160.0, 840, &[]);
+/// let mut sink = CountingSink::default();
+/// let stats = Pipeline::new().run_streaming(src, &mut sink).unwrap();
+/// assert_eq!(stats.sink_records, 102); // open + 100 audio + close
+/// ```
+///
+/// [`Pipeline::run_streaming`]: dynamic_river::Pipeline::run_streaming
+pub fn clip_record_source<I>(
+    samples: I,
+    sample_rate: f64,
+    record_len: usize,
+    extra_context: &[(String, String)],
+) -> ChunkedF64Source<I::IntoIter>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut context = vec![(
+        context_key::SAMPLE_RATE.to_string(),
+        format!("{sample_rate}"),
+    )];
+    context.extend_from_slice(extra_context);
+    ChunkedF64Source::new(samples, record_len)
+        .with_subtype(subtype::AUDIO)
+        .with_scope(scope_type::CLIP, context)
 }
 
 /// The `wav2rec` operator: each incoming `Bytes` data record is parsed

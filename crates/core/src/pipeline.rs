@@ -65,29 +65,8 @@ pub fn featurization_segment(config: ExtractorConfig, with_paa: bool) -> Pipelin
 /// );
 /// ```
 pub fn full_pipeline(config: ExtractorConfig, with_paa: bool) -> Pipeline {
-    let mut p = Pipeline::new();
-    p.add(SaxAnomaly::new(config));
-    p.add(TriggerOp::new(config));
-    p.add(Cutter::new(config));
-    if config.reslice {
-        p.add(Reslice::new());
-    }
-    p.add(WelchWindow::new());
-    p.add(Float2Cplx::new());
-    p.add(Dft::new());
-    p.add(Cabs::new());
-    p.add(Cutout::new(
-        config.cutout_low_hz,
-        config.cutout_high_hz,
-        config.sample_rate,
-    ));
-    if with_paa {
-        p.add(PaaOp::new(config.paa_factor));
-    }
-    if config.log_scale {
-        p.add(LogScale::new());
-    }
-    p.add(Rec2Vect::new(config.pattern_records));
+    let mut p = extraction_segment(config);
+    p.extend(featurization_segment(config, with_paa));
     p
 }
 
@@ -176,6 +155,28 @@ mod tests {
             featurization_segment(resliced, false).names()[0],
             "reslice"
         );
+    }
+
+    #[test]
+    fn full_pipeline_is_the_two_segments_composed() {
+        for (with_paa, reslice) in [(false, false), (true, false), (true, true)] {
+            let cfg = ExtractorConfig {
+                reslice,
+                ..ExtractorConfig::default()
+            };
+            let mut expected: Vec<String> = extraction_segment(cfg)
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            expected.extend(
+                featurization_segment(cfg, with_paa)
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+            assert_eq!(full_pipeline(cfg, with_paa).names(), expected);
+        }
     }
 
     #[test]

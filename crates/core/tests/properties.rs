@@ -78,6 +78,30 @@ proptest! {
         }
     }
 
+    /// Chunk-at-a-time streaming extraction is identical to the batch
+    /// path whatever the chunk size — the chunking of a sensor feed
+    /// must never change what is extracted.
+    #[test]
+    fn extract_stream_chunking_invariant(
+        seed in 0u64..3_000,
+        species_idx in 0usize..10,
+        chunk_len in 1usize..10_000,
+    ) {
+        let species = SpeciesCode::ALL[species_idx];
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clip = synth.clip(species, seed);
+        let ex = EnsembleExtractor::new(ExtractorConfig::default());
+        let batch = ex.extract(&clip.samples);
+
+        let mut stream = ex.extract_stream();
+        let mut streamed = Vec::new();
+        for chunk in clip.samples.chunks(chunk_len) {
+            stream.push_chunk(chunk, &mut streamed);
+        }
+        streamed.extend(stream.finish());
+        prop_assert_eq!(streamed, batch);
+    }
+
     /// The adaptive trigger never fires during warm-up and always
     /// recovers to 0 on a long constant input.
     #[test]

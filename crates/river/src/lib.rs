@@ -22,7 +22,13 @@
 //!   `CloseScope` — or a `BadCloseScope` when an upstream failure forces
 //!   closure before the intended point ([`scope::ScopeTracker`]).
 //! - [`operator::Operator`] — the processing trait; [`pipeline`] runs
-//!   operator chains synchronously or with one thread per operator.
+//!   operator chains as a fused streaming chain
+//!   ([`pipeline::Pipeline::run_streaming`], constant memory over
+//!   unbounded streams, per-stage counters), stage-by-stage in batch,
+//!   or with one thread per operator.
+//! - [`source::Source`] — pull-based record producers feeding the
+//!   streaming driver: iterators, fallible closures, and chunked
+//!   sample sources.
 //! - [`codec`] — the length-prefixed, CRC-32-protected wire format used
 //!   by [`net::StreamOut`] / [`net::StreamIn`] across TCP.
 //! - [`segment`] — named operator chains on in-process *hosts*, with a
@@ -64,19 +70,22 @@ pub mod pipeline;
 pub mod record;
 pub mod scope;
 pub mod segment;
+pub mod source;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::error::PipelineError;
-    pub use crate::operator::{Operator, Sink};
+    pub use crate::operator::{CountingSink, FnSink, NullSink, Operator, Sink};
     pub use crate::ops::{FnOp, Inspect, MapPayload, Passthrough, RecordCounter, RecordFilter};
-    pub use crate::pipeline::Pipeline;
+    pub use crate::pipeline::{Pipeline, StageStats, StreamStats};
     pub use crate::record::{Payload, Record, RecordKind};
     pub use crate::scope::{ScopeEvent, ScopeTracker};
+    pub use crate::source::{ChunkedF64Source, FnSource, Source};
 }
 
 pub use error::PipelineError;
-pub use operator::{Operator, Sink};
-pub use pipeline::Pipeline;
+pub use operator::{CountingSink, Operator, Sink};
+pub use pipeline::{Pipeline, StageStats, StreamStats};
+pub use source::Source;
 pub use record::{Payload, Record, RecordKind};
 pub use scope::ScopeTracker;

@@ -38,6 +38,25 @@ impl Sink for NullSink {
     }
 }
 
+/// A sink that counts records and payload bytes but stores nothing —
+/// the natural terminator for unbounded streaming runs where the
+/// output only needs accounting, not retention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Records received.
+    pub records: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+}
+
+impl Sink for CountingSink {
+    fn push(&mut self, record: Record) -> Result<(), PipelineError> {
+        self.records += 1;
+        self.bytes += record.byte_len() as u64;
+        Ok(())
+    }
+}
+
 /// A sink adapter that invokes a closure per record.
 pub struct FnSink<F>(pub F);
 

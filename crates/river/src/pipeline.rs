@@ -1,10 +1,19 @@
 //! Pipeline composition and execution.
 //!
-//! Two runners are provided:
+//! Three runners are provided:
 //!
-//! - [`Pipeline::run`] — synchronous, single-threaded, stage-by-stage;
-//!   deterministic and allocation-friendly, used by tests and the
-//!   experiment harnesses.
+//! - [`Pipeline::run_streaming`] — the fused, push-based streaming
+//!   driver: each record pulled from a [`Source`] flows depth-first
+//!   through the whole operator chain into the final [`Sink`] before
+//!   the next record is pulled. Peak buffering is bounded by
+//!   operator-internal state (a cutter's open ensemble, a merger's
+//!   group), never by stream length, so unbounded streams run in
+//!   constant memory. Per-stage record/byte counters come back as
+//!   [`StreamStats`].
+//! - [`Pipeline::run`] / [`Pipeline::run_count`] — thin wrappers over
+//!   the streaming driver that collect (or count) the final stage's
+//!   output; [`Pipeline::run_batch`] keeps the old stage-barrier
+//!   semantics as a reference implementation for differential tests.
 //! - [`Pipeline::run_threaded`] — one OS thread per operator connected
 //!   by bounded crossbeam channels, the execution model of the Dynamic
 //!   River prototype ("the network operators enable record processing to
@@ -14,11 +23,144 @@
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
 use crate::record::Record;
+use crate::source::Source;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::thread;
 
 /// Default bounded-channel capacity between threaded stages.
-const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+/// Per-stage counters collected by the streaming driver.
+///
+/// `peak_burst` is the observability hook for memory accounting: in the
+/// fused driver the only buffering is operator-internal, and whatever an
+/// operator holds eventually leaves as a burst of pushes during a single
+/// `on_record` or `on_eos` call. A `peak_burst` that stays constant as
+/// the stream grows is therefore direct evidence that the stage's
+/// buffering is bounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Operator name, as in [`Pipeline::names`].
+    pub name: String,
+    /// Records that entered the stage.
+    pub records_in: u64,
+    /// Payload bytes that entered the stage.
+    pub bytes_in: u64,
+    /// Records the stage emitted.
+    pub records_out: u64,
+    /// Payload bytes the stage emitted.
+    pub bytes_out: u64,
+    /// Most records emitted while processing one input record (or
+    /// during the end-of-stream flush).
+    pub peak_burst: u64,
+    current_burst: u64,
+}
+
+impl StageStats {
+    fn new(name: &str) -> Self {
+        StageStats {
+            name: name.to_string(),
+            records_in: 0,
+            bytes_in: 0,
+            records_out: 0,
+            bytes_out: 0,
+            peak_burst: 0,
+            current_burst: 0,
+        }
+    }
+
+    fn note_in(&mut self, record: &Record) {
+        self.records_in += 1;
+        self.bytes_in += record.byte_len() as u64;
+        self.current_burst = 0;
+    }
+
+    fn note_out(&mut self, record: &Record) {
+        self.records_out += 1;
+        self.bytes_out += record.byte_len() as u64;
+        self.current_burst += 1;
+        self.peak_burst = self.peak_burst.max(self.current_burst);
+    }
+
+    fn begin_flush(&mut self) {
+        self.current_burst = 0;
+    }
+}
+
+/// Whole-run statistics returned by [`Pipeline::run_streaming`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// One entry per operator, in pipeline order.
+    pub stages: Vec<StageStats>,
+    /// Records pulled from the source.
+    pub source_records: u64,
+    /// Records that reached the final sink.
+    pub sink_records: u64,
+    /// Payload bytes that reached the final sink.
+    pub sink_bytes: u64,
+}
+
+impl StreamStats {
+    /// The largest `peak_burst` across all stages — the constant that
+    /// bounds driver-visible buffering for the whole run.
+    pub fn max_peak_burst(&self) -> u64 {
+        self.stages.iter().map(|s| s.peak_burst).max().unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct SinkTotals {
+    records: u64,
+    bytes: u64,
+}
+
+/// Pushes `record` into the first operator of `ops`, whose output feeds
+/// the next, and so on down to `final_sink` — the fused depth-first
+/// step of the streaming driver.
+fn feed_chain(
+    ops: &mut [Box<dyn Operator>],
+    stats: &mut [StageStats],
+    record: Record,
+    totals: &mut SinkTotals,
+    final_sink: &mut dyn Sink,
+) -> Result<(), PipelineError> {
+    match ops.split_first_mut() {
+        None => {
+            totals.records += 1;
+            totals.bytes += record.byte_len() as u64;
+            final_sink.push(record)
+        }
+        Some((op, rest_ops)) => {
+            let (st, rest_stats) = stats.split_first_mut().expect("stats parallel ops");
+            st.note_in(&record);
+            let mut sink = ChainSink {
+                ops: rest_ops,
+                stats: rest_stats,
+                emitter: st,
+                totals,
+                final_sink,
+            };
+            op.on_record(record, &mut sink)
+        }
+    }
+}
+
+/// The sink handed to operator N: forwards each push into operator N+1
+/// (recursively down the chain), crediting N's output counters.
+struct ChainSink<'a> {
+    ops: &'a mut [Box<dyn Operator>],
+    stats: &'a mut [StageStats],
+    emitter: &'a mut StageStats,
+    totals: &'a mut SinkTotals,
+    final_sink: &'a mut dyn Sink,
+}
+
+impl Sink for ChainSink<'_> {
+    fn push(&mut self, record: Record) -> Result<(), PipelineError> {
+        self.emitter.note_out(&record);
+        feed_chain(self.ops, self.stats, record, self.totals, self.final_sink)
+    }
+}
 
 /// An ordered chain of operators.
 ///
@@ -37,15 +179,25 @@ const DEFAULT_CHANNEL_CAPACITY: usize = 256;
 /// let out = p.run(vec![Record::data(0, Payload::F64(vec![1.0]))]).unwrap();
 /// assert_eq!(out[0].payload.as_f64().unwrap(), &[10.0]);
 /// ```
-#[derive(Default)]
 pub struct Pipeline {
     ops: Vec<Box<dyn Operator>>,
+    channel_capacity: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            ops: Vec::new(),
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+        }
+    }
 }
 
 impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
             .field("operators", &self.names())
+            .field("channel_capacity", &self.channel_capacity)
             .finish()
     }
 }
@@ -68,6 +220,42 @@ impl Pipeline {
         self
     }
 
+    /// Appends every operator of `other`, in order — composes pipeline
+    /// segments into longer chains without repeating their recipes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dynamic_river::prelude::*;
+    ///
+    /// let mut front = Pipeline::new();
+    /// front.add(Passthrough);
+    /// let mut back = Pipeline::new();
+    /// back.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+    /// front.extend(back);
+    /// assert_eq!(front.names(), vec!["passthrough", "evens"]);
+    /// ```
+    pub fn extend(&mut self, other: Pipeline) -> &mut Self {
+        self.ops.extend(other.ops);
+        self
+    }
+
+    /// Sets the bounded-channel capacity used between stages by
+    /// [`run_threaded`](Self::run_threaded) (default
+    /// [`DEFAULT_CHANNEL_CAPACITY`]). Capacity 0 is a rendezvous
+    /// channel: every hop blocks until the downstream stage takes the
+    /// record.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// The channel capacity [`run_threaded`](Self::run_threaded) will
+    /// use.
+    pub fn channel_capacity(&self) -> usize {
+        self.channel_capacity
+    }
+
     /// Number of operators.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -83,13 +271,103 @@ impl Pipeline {
         self.ops.iter().map(|o| o.name()).collect()
     }
 
-    /// Runs the pipeline synchronously over `input`, collecting the
-    /// final stage's output.
+    /// Runs the pipeline as a fused streaming chain: every record
+    /// pulled from `source` is pushed depth-first through all operators
+    /// into `sink` before the next pull, then `on_eos` flushes cascade
+    /// in stage order. Returns per-stage counters.
+    ///
+    /// Peak memory is the source's read-ahead plus each operator's
+    /// internal state — independent of stream length, which is what
+    /// lets unbounded monitoring streams flow through the Figure 5
+    /// graph.
+    ///
+    /// The output seen by `sink` is record-for-record identical to
+    /// [`run_batch`](Self::run_batch): each operator observes the same
+    /// input sequence in the same order either way, only the
+    /// interleaving across operators differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first source or operator error.
+    pub fn run_streaming(
+        &mut self,
+        mut source: impl Source,
+        sink: &mut dyn Sink,
+    ) -> Result<StreamStats, PipelineError> {
+        let mut stats: Vec<StageStats> = self.ops.iter().map(|op| StageStats::new(op.name())).collect();
+        let mut totals = SinkTotals::default();
+        let mut source_records = 0u64;
+        while let Some(record) = source.next_record()? {
+            source_records += 1;
+            feed_chain(&mut self.ops, &mut stats, record, &mut totals, sink)?;
+        }
+        // End of stream: flush each stage into the remainder of the
+        // chain, upstream first, so a flushed record still traverses
+        // every later operator.
+        for i in 0..self.ops.len() {
+            let (op, rest_ops) = self.ops[i..].split_first_mut().expect("index in range");
+            let (st, rest_stats) = stats[i..].split_first_mut().expect("stats parallel ops");
+            st.begin_flush();
+            let mut chain = ChainSink {
+                ops: rest_ops,
+                stats: rest_stats,
+                emitter: st,
+                totals: &mut totals,
+                final_sink: sink,
+            };
+            op.on_eos(&mut chain)?;
+        }
+        Ok(StreamStats {
+            stages: stats,
+            source_records,
+            sink_records: totals.records,
+            sink_bytes: totals.bytes,
+        })
+    }
+
+    /// Runs the pipeline over `input`, collecting the final stage's
+    /// output — a thin wrapper over [`run_streaming`](Self::run_streaming).
     ///
     /// # Errors
     ///
     /// Returns the first operator error.
     pub fn run<I>(&mut self, input: I) -> Result<Vec<Record>, PipelineError>
+    where
+        I: IntoIterator<Item = Record>,
+    {
+        let mut out = Vec::new();
+        self.run_streaming(input.into_iter(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Runs the pipeline, discarding output but returning the record
+    /// count that reached the sink. Streams through a counting sink —
+    /// the full output vector is never materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operator error.
+    pub fn run_count<I>(&mut self, input: I) -> Result<usize, PipelineError>
+    where
+        I: IntoIterator<Item = Record>,
+    {
+        let stats = self.run_streaming(input.into_iter(), &mut crate::operator::NullSink)?;
+        Ok(stats.sink_records as usize)
+    }
+
+    /// Runs the pipeline stage by stage with a barrier between stages:
+    /// operator N processes the *entire* stream (including its `on_eos`
+    /// flush) before operator N+1 sees a record, materializing the full
+    /// intermediate vector at every hop.
+    ///
+    /// Memory scales with stream length × stage count, so this is only
+    /// suitable for clip-sized inputs; it is kept as the reference
+    /// semantics the fused driver is differentially tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operator error.
+    pub fn run_batch<I>(&mut self, input: I) -> Result<Vec<Record>, PipelineError>
     where
         I: IntoIterator<Item = Record>,
     {
@@ -105,24 +383,13 @@ impl Pipeline {
         Ok(records)
     }
 
-    /// Runs the pipeline synchronously, discarding output but returning
-    /// the record count that reached the sink.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first operator error.
-    pub fn run_count<I>(&mut self, input: I) -> Result<usize, PipelineError>
-    where
-        I: IntoIterator<Item = Record>,
-    {
-        Ok(self.run(input)?.len())
-    }
-
     /// Runs the pipeline with one thread per operator, consuming the
     /// pipeline. Returns the final output records.
     ///
-    /// Bounded channels apply backpressure between stages. If any stage
-    /// fails, the failure propagates and the first error is returned.
+    /// Bounded channels (capacity
+    /// [`channel_capacity`](Self::channel_capacity)) apply backpressure
+    /// between stages. If any stage fails, the failure propagates and
+    /// the first error is returned.
     ///
     /// # Errors
     ///
@@ -132,7 +399,8 @@ impl Pipeline {
         I: IntoIterator<Item = Record> + Send + 'static,
         I::IntoIter: Send,
     {
-        let (handles, feed_tx, out_rx) = self.spawn_threaded(DEFAULT_CHANNEL_CAPACITY);
+        let capacity = self.channel_capacity;
+        let (handles, feed_tx, out_rx) = self.spawn_threaded(capacity);
 
         // Feed input from this thread (bounded channel applies
         // backpressure).
@@ -211,13 +479,36 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::operator::{CountingSink, NullSink};
     use crate::ops::{FnOp, MapPayload, Passthrough, RecordFilter};
     use crate::record::{Payload, RecordKind};
+    use crate::source::FnSource;
 
     fn numbered(n: usize) -> Vec<Record> {
         (0..n)
             .map(|i| Record::data(0, Payload::F64(vec![i as f64])).with_seq(i as u64))
             .collect()
+    }
+
+    /// Holds every record until end-of-stream, then replays them — the
+    /// worst case for flush ordering.
+    struct Buffering {
+        held: Vec<Record>,
+    }
+    impl Operator for Buffering {
+        fn name(&self) -> &str {
+            "buffering"
+        }
+        fn on_record(&mut self, record: Record, _out: &mut dyn Sink) -> Result<(), PipelineError> {
+            self.held.push(record);
+            Ok(())
+        }
+        fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
+            for r in self.held.drain(..) {
+                out.push(r)?;
+            }
+            Ok(())
+        }
     }
 
     #[test]
@@ -246,6 +537,25 @@ mod tests {
     }
 
     #[test]
+    fn extend_composes_segments() {
+        let mut front = Pipeline::new();
+        front.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+            v.iter_mut().for_each(|x| *x += 1.0);
+            v
+        }));
+        let mut back = Pipeline::new();
+        back.add(MapPayload::new("times2", |mut v: Vec<f64>| {
+            v.iter_mut().for_each(|x| *x *= 2.0);
+            v
+        }));
+        back.add(Passthrough);
+        front.extend(back);
+        assert_eq!(front.names(), vec!["plus1", "times2", "passthrough"]);
+        let out = front.run(numbered(2)).unwrap();
+        assert_eq!(out[1].payload.as_f64().unwrap(), &[4.0]);
+    }
+
+    #[test]
     fn run_count_matches_run() {
         let mut p = Pipeline::new();
         p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
@@ -254,28 +564,6 @@ mod tests {
 
     #[test]
     fn on_eos_flushes_in_stage_order() {
-        struct Buffering {
-            held: Vec<Record>,
-        }
-        impl Operator for Buffering {
-            fn name(&self) -> &str {
-                "buffering"
-            }
-            fn on_record(
-                &mut self,
-                record: Record,
-                _out: &mut dyn Sink,
-            ) -> Result<(), PipelineError> {
-                self.held.push(record);
-                Ok(())
-            }
-            fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
-                for r in self.held.drain(..) {
-                    out.push(r)?;
-                }
-                Ok(())
-            }
-        }
         let mut p = Pipeline::new();
         p.add(Buffering { held: Vec::new() });
         p.add(Passthrough);
@@ -295,6 +583,137 @@ mod tests {
         }));
         let err = p.run(numbered(5)).unwrap_err();
         assert!(matches!(err, PipelineError::Operator { .. }));
+    }
+
+    #[test]
+    fn source_error_aborts_run() {
+        let mut fed = 0;
+        let src = FnSource(move || {
+            fed += 1;
+            if fed > 3 {
+                Err(PipelineError::Disconnected("sensor feed died".into()))
+            } else {
+                Ok(Some(Record::data(0, Payload::Empty)))
+            }
+        });
+        let mut p = Pipeline::new();
+        p.add(Passthrough);
+        let mut sink = CountingSink::default();
+        let err = p.run_streaming(src, &mut sink).unwrap_err();
+        assert!(matches!(err, PipelineError::Disconnected(_)));
+        assert_eq!(sink.records, 3); // everything before the failure flowed
+    }
+
+    #[test]
+    fn streaming_matches_batch_with_eos_buffering() {
+        let build = || {
+            let mut p = Pipeline::new();
+            p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+                v.iter_mut().for_each(|x| *x += 1.0);
+                v
+            }));
+            p.add(Buffering { held: Vec::new() });
+            p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            p
+        };
+        let batch = build().run_batch(numbered(20)).unwrap();
+        let mut streamed = Vec::new();
+        build()
+            .run_streaming(numbered(20).into_iter(), &mut streamed)
+            .unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn stream_stats_account_for_every_record() {
+        let mut p = Pipeline::new();
+        p.add(FnOp::new("triple", |r: Record, out: &mut dyn Sink| {
+            out.push(r.clone())?;
+            out.push(r.clone())?;
+            out.push(r)
+        }));
+        p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+        let stats = p
+            .run_streaming(numbered(10).into_iter(), &mut NullSink)
+            .unwrap();
+        assert_eq!(stats.source_records, 10);
+        assert_eq!(stats.stages[0].name, "triple");
+        assert_eq!(stats.stages[0].records_in, 10);
+        assert_eq!(stats.stages[0].records_out, 30);
+        assert_eq!(stats.stages[0].peak_burst, 3);
+        assert_eq!(stats.stages[1].records_in, 30);
+        assert_eq!(stats.stages[1].records_out, 15);
+        assert_eq!(stats.stages[1].peak_burst, 1);
+        assert_eq!(stats.sink_records, 15);
+        assert_eq!(stats.max_peak_burst(), 3);
+        // Each record payload is one f64.
+        assert_eq!(stats.stages[0].bytes_in, 80);
+        assert_eq!(stats.sink_bytes, 15 * 8);
+    }
+
+    #[test]
+    fn eos_burst_is_counted() {
+        let mut p = Pipeline::new();
+        p.add(Buffering { held: Vec::new() });
+        let stats = p
+            .run_streaming(numbered(7).into_iter(), &mut NullSink)
+            .unwrap();
+        // All 7 records leave in one flush burst.
+        assert_eq!(stats.stages[0].peak_burst, 7);
+        assert_eq!(stats.sink_records, 7);
+    }
+
+    #[test]
+    fn fused_driver_interleaves_streams_without_materializing() {
+        // A pipeline whose sink observes that record N arrives before
+        // record N+1 is even pulled from the source — depth-first flow.
+        let pulled = std::cell::Cell::new(0u64);
+        let mut arrived_at_pull = Vec::new();
+        {
+            let mut n = 0u64;
+            let src = FnSource(|| {
+                n += 1;
+                pulled.set(n);
+                Ok((n <= 5).then(|| Record::data(0, Payload::Empty).with_seq(n)))
+            });
+            let mut p = Pipeline::new();
+            p.add(Passthrough);
+            p.add(Passthrough);
+            let mut sink = crate::operator::FnSink(|r: Record| {
+                arrived_at_pull.push((r.seq, pulled.get()));
+                Ok(())
+            });
+            p.run_streaming(src, &mut sink).unwrap();
+        }
+        // Record N reaches the sink while the source has only produced N.
+        assert_eq!(
+            arrived_at_pull,
+            vec![(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]
+        );
+    }
+
+    #[test]
+    fn default_channel_capacity_is_256() {
+        assert_eq!(Pipeline::new().channel_capacity(), DEFAULT_CHANNEL_CAPACITY);
+        assert_eq!(DEFAULT_CHANNEL_CAPACITY, 256);
+    }
+
+    #[test]
+    fn channel_capacity_is_configurable() {
+        // A rendezvous (capacity 0) and a tiny channel both produce the
+        // same output as the default — capacity only shapes scheduling.
+        for capacity in [0usize, 1, 4] {
+            let mut p = Pipeline::new().with_channel_capacity(capacity);
+            p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+                v.iter_mut().for_each(|x| *x += 1.0);
+                v
+            }));
+            p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            assert_eq!(p.channel_capacity(), capacity);
+            let out = p.run_threaded(numbered(50)).unwrap();
+            assert_eq!(out.len(), 25);
+            assert_eq!(out[0].payload.as_f64().unwrap(), &[1.0]);
+        }
     }
 
     #[test]

@@ -69,7 +69,8 @@ fn spawn_instance(
     output: Sender<Record>,
     host: String,
 ) -> Instance {
-    let (stages, feed_tx, out_rx) = pipeline.spawn_threaded(64);
+    let capacity = pipeline.channel_capacity();
+    let (stages, feed_tx, out_rx) = pipeline.spawn_threaded(capacity);
     // Continuous drainer: forwards the instance's output so bounded
     // channels never deadlock between relocations.
     let drainer = thread::spawn(move || -> Result<(), PipelineError> {

@@ -157,6 +157,77 @@ proptest! {
         prop_assert!(validate_scopes(&sink).is_ok());
     }
 
+    /// The fused streaming driver agrees record-for-record with the
+    /// batch (stage-barrier) runner for arbitrary record streams —
+    /// including scope records and operators that buffer until
+    /// end-of-stream — and its counters account for every record.
+    #[test]
+    fn streaming_equals_batch(
+        stream in arb_stream(),
+        gain in -3.0f64..3.0,
+        keep_even in any::<bool>(),
+    ) {
+        /// Holds everything until EOS, then replays — the worst case
+        /// for flush-order equivalence.
+        struct Buffering(Vec<Record>);
+        impl Operator for Buffering {
+            fn name(&self) -> &str {
+                "buffering"
+            }
+            fn on_record(&mut self, r: Record, _out: &mut dyn Sink) -> Result<(), PipelineError> {
+                self.0.push(r);
+                Ok(())
+            }
+            fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
+                for r in self.0.drain(..) {
+                    out.push(r)?;
+                }
+                Ok(())
+            }
+        }
+        let build = move || {
+            let mut p = Pipeline::new();
+            p.add(MapPayload::new("gain", move |mut v: Vec<f64>| {
+                v.iter_mut().for_each(|x| *x *= gain);
+                v
+            }));
+            p.add(Buffering(Vec::new()));
+            if keep_even {
+                p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            }
+            p
+        };
+        let batch = build().run_batch(stream.clone()).unwrap();
+        let mut streamed = Vec::new();
+        let stats = build()
+            .run_streaming(stream.clone().into_iter(), &mut streamed)
+            .unwrap();
+        prop_assert_eq!(&batch, &streamed);
+        prop_assert_eq!(stats.source_records as usize, stream.len());
+        prop_assert_eq!(stats.sink_records as usize, streamed.len());
+        prop_assert_eq!(stats.stages[0].records_in as usize, stream.len());
+        // The buffering stage's burst is its whole holdings — exactly
+        // what the batch path would have materialized.
+        prop_assert_eq!(stats.stages[1].peak_burst as usize, stream.len());
+    }
+
+    /// `run` (the streaming wrapper) and `run_count` agree with the
+    /// batch reference for arbitrary streams.
+    #[test]
+    fn run_and_run_count_match_batch(stream in arb_stream(), keep_even in any::<bool>()) {
+        let build = move || {
+            let mut p = Pipeline::new();
+            if keep_even {
+                p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            }
+            p.add(MapPayload::new("id", |v| v));
+            p
+        };
+        let batch = build().run_batch(stream.clone()).unwrap();
+        prop_assert_eq!(&build().run(stream.clone()).unwrap(), &batch);
+        prop_assert_eq!(build().run_count(stream).unwrap(), batch.len());
+    }
+
     /// The threaded runner agrees with the synchronous runner for
     /// arbitrary map/filter chains.
     #[test]

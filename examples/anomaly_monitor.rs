@@ -1,16 +1,17 @@
 //! Continuous anomaly monitor: feeds a long acoustic stream through the
-//! single-scan detector sample by sample — the "timely, automated
+//! streaming ensemble extractor chunk by chunk — the "timely, automated
 //! processing of continuous streams" the paper targets (§5) — and
-//! reports events as the trigger fires.
+//! reports each ensemble the moment its trigger releases.
+//!
+//! The extractor's state is the SAX/normalization windows, the
+//! moving-average window, the trigger estimate, and the currently open
+//! ensemble: O(window), however long the stream runs.
 //!
 //! ```text
 //! cargo run --release --example anomaly_monitor
 //! ```
 
-use acoustic_ensembles::core::extract::AdaptiveTrigger;
 use acoustic_ensembles::core::prelude::*;
-use acoustic_ensembles::dsp::MovingAverage;
-use acoustic_ensembles::sax::anomaly::BitmapAnomaly;
 
 fn main() {
     let cfg = ExtractorConfig::default();
@@ -24,13 +25,8 @@ fn main() {
         (SpeciesCode::Modo, 3),
     ];
 
-    let mut detector = BitmapAnomaly::new(cfg.anomaly_config());
-    let mut smoother = MovingAverage::new(cfg.ma_window);
-    let warmup = (2 * cfg.anomaly_window + cfg.ma_window) as u64;
-    let mut trigger = AdaptiveTrigger::with_hold(cfg.trigger_sigmas, warmup, cfg.trigger_hold as u64);
-
-    let mut t = 0u64; // absolute sample clock
-    let mut event_start: Option<u64> = None;
+    let extractor = EnsembleExtractor::new(cfg);
+    let mut stream = extractor.extract_stream();
     let mut events = 0usize;
     println!("monitoring stream (single scan, O(window) state)...\n");
     for (species, seed) in sequence {
@@ -44,30 +40,34 @@ fn main() {
                 .map(|e| format!("{:.1}s", e.start as f64 / clip.sample_rate))
                 .collect::<Vec<_>>()
         );
-        for &x in &clip.samples {
-            let score = smoother.push(detector.push(x));
-            let high = trigger.push(score);
-            match (event_start, high) {
-                (None, true) => event_start = Some(t),
-                (Some(start), false) => {
-                    let dur = (t - start) as f64 / cfg.sample_rate;
-                    if (t - start) as usize >= cfg.min_ensemble_samples {
-                        events += 1;
-                        println!(
-                            "   EVENT {events}: {:.1}s..{:.1}s ({dur:.2}s) score peak ~{score:.3}",
-                            start as f64 / cfg.sample_rate,
-                            t as f64 / cfg.sample_rate,
-                        );
-                    }
-                    event_start = None;
-                }
-                _ => {}
+        // Record-sized chunks, reported as soon as they complete — no
+        // per-clip batch, no buffering beyond the open ensemble.
+        let mut completed = Vec::new();
+        for chunk in clip.samples.chunks(cfg.record_len) {
+            stream.push_chunk(chunk, &mut completed);
+            for e in completed.drain(..) {
+                events += 1;
+                println!(
+                    "   EVENT {events}: {:.1}s..{:.1}s ({:.2}s, {} samples)",
+                    e.start as f64 / cfg.sample_rate,
+                    e.end as f64 / cfg.sample_rate,
+                    e.duration(cfg.sample_rate),
+                    e.len(),
+                );
             }
-            t += 1;
         }
     }
+    // End of monitoring session: close a still-open ensemble.
+    if let Some(e) = stream.finish() {
+        events += 1;
+        println!(
+            "   EVENT {events}: {:.1}s.. (open at shutdown, {} samples)",
+            e.start as f64 / cfg.sample_rate,
+            e.len()
+        );
+    }
     println!(
-        "\nmonitored {:.0} s of audio, detected {events} events; detector state stayed O(window).",
-        t as f64 / cfg.sample_rate
+        "\nmonitored {:.0} s of audio, detected {events} events; extractor state stayed O(window).",
+        stream.samples_seen() as f64 / cfg.sample_rate
     );
 }
