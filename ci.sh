@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: build, test, docs, bench compile.
 #
-#   ./ci.sh         # everything (tier-1 + docs + bench compile + examples)
+#   ./ci.sh         # everything (tier-1 + fmt + docs + bench compile + examples + perf json)
 #   ./ci.sh quick   # tier-1 only (build --release && test -q)
 #
 # Requires only a Rust toolchain — the workspace has no network
@@ -9,13 +9,23 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
+# The whole pipeline compiles warning-free; keep it that way.
+export RUSTFLAGS="-D warnings"
+
+echo "==> cargo build --release (RUSTFLAGS=-D warnings)"
 cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
 
 if [ "${1:-}" != "quick" ]; then
+    if cargo fmt --version >/dev/null 2>&1; then
+        echo "==> cargo fmt --check"
+        cargo fmt --check
+    else
+        echo "==> cargo fmt --check (skipped: rustfmt unavailable)"
+    fi
+
     echo "==> cargo doc --no-deps (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
@@ -27,6 +37,12 @@ if [ "${1:-}" != "quick" ]; then
     echo "==> examples (release)"
     cargo run --release --quiet --example quickstart
     cargo run --release --quiet --example anomaly_monitor
+
+    # Perf trajectory: one Figure 5 streaming run, machine-readable, at
+    # the repo root so successive commits can be compared.
+    echo "==> BENCH_fig5.json"
+    cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- --json \
+        | tee BENCH_fig5.json
 fi
 
 echo "==> ci.sh: all green"

@@ -9,7 +9,11 @@ use std::hint::black_box;
 fn audio_record(samples: usize) -> Record {
     Record::data(
         1,
-        Payload::F64((0..samples).map(|i| (i as f64 * 0.1).sin()).collect()),
+        Payload::f64(
+            (0..samples)
+                .map(|i| (i as f64 * 0.1).sin())
+                .collect::<Vec<f64>>(),
+        ),
     )
     .with_seq(42)
 }

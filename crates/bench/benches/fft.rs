@@ -46,5 +46,10 @@ fn bench_plan_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sizes, bench_naive_comparison, bench_plan_reuse);
+criterion_group!(
+    benches,
+    bench_sizes,
+    bench_naive_comparison,
+    bench_plan_reuse
+);
 criterion_main!(benches);

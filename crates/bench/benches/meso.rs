@@ -107,5 +107,10 @@ fn bench_loo_removal_vs_retrain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_train, bench_query, bench_loo_removal_vs_retrain);
+criterion_group!(
+    benches,
+    bench_train,
+    bench_query,
+    bench_loo_removal_vs_retrain
+);
 criterion_main!(benches);

@@ -20,9 +20,7 @@ fn bench_factor_sweep(c: &mut Criterion) {
 fn bench_fractional_vs_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("paa/boundaries");
     let exact: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
-    group.bench_function("exact_division", |b| {
-        b.iter(|| black_box(paa(&exact, 10)))
-    });
+    group.bench_function("exact_division", |b| b.iter(|| black_box(paa(&exact, 10))));
     let fractional: Vec<f64> = (0..1_003).map(|i| i as f64).collect();
     group.bench_function("fractional_division", |b| {
         b.iter(|| black_box(paa(&fractional, 10)))

@@ -27,7 +27,12 @@ fn bench_record_pipeline(c: &mut Criterion) {
     let synth = ClipSynthesizer::new(SynthConfig::paper());
     let clip = synth.clip(SpeciesCode::Noca, 5);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-    let records = clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
+    let records = clip_to_records(
+        &clip.samples[..usable],
+        cfg.sample_rate,
+        cfg.record_len,
+        &[],
+    );
 
     let mut group = c.benchmark_group("pipeline/records");
     group.sample_size(10);

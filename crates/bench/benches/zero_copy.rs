@@ -1,0 +1,122 @@
+//! Clone-vs-view: measures the zero-copy payload redesign against the
+//! owned-`Vec` baseline it replaced.
+//!
+//! Three comparisons, each pairing an `owned_vec` variant (what the
+//! pre-`SampleBuf` record model had to do: deep-copy samples) with a
+//! `shared_view` variant (what the `Arc`-backed buffers do: bump a
+//! refcount or adjust an offset):
+//!
+//! - `clone`: duplicating one production-sized audio record;
+//! - `fanout`: a pipeline stage that fans every record out to four
+//!   consumers, over a full clip of records;
+//! - `rewindow`: slicing 50 %-overlap windows out of a clip buffer
+//!   (the `reslice` access pattern).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dynamic_river::prelude::*;
+use std::hint::black_box;
+
+const RECORD_LEN: usize = 840;
+const RECORDS: usize = 72; // one 30 s clip at paper geometry / 10
+
+fn audio_records() -> Vec<Record> {
+    let clip: SampleBuf = (0..RECORD_LEN * RECORDS)
+        .map(|i| (i as f64 * 0.01).sin())
+        .collect();
+    (0..RECORDS)
+        .map(|i| {
+            Record::data(
+                1,
+                Payload::F64(clip.slice(i * RECORD_LEN..(i + 1) * RECORD_LEN)),
+            )
+            .with_seq(i as u64)
+        })
+        .collect()
+}
+
+/// Rebuilds a record by deep-copying its sample payload — the cost
+/// every `Record::clone` paid before the shared-buffer redesign.
+fn deep_clone(r: &Record) -> Record {
+    let payload = match &r.payload {
+        Payload::F64(v) => Payload::f64(v.to_vec()),
+        Payload::Complex(v) => Payload::complex(v.to_vec()),
+        other => other.clone(),
+    };
+    Record {
+        payload,
+        ..r.clone()
+    }
+}
+
+fn bench_clone(c: &mut Criterion) {
+    let rec = audio_records().remove(0);
+    let mut group = c.benchmark_group("zero_copy/clone");
+    group.throughput(Throughput::Bytes((RECORD_LEN * 8) as u64));
+    group.bench_function("owned_vec", |b| b.iter(|| black_box(deep_clone(&rec))));
+    group.bench_function("shared_view", |b| b.iter(|| black_box(rec.clone())));
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let records = audio_records();
+    let total_bytes = (RECORD_LEN * RECORDS * 8) as u64;
+    let run = |fan: fn(&Record) -> Record, input: &[Record]| {
+        let mut p = Pipeline::new();
+        p.add(dynamic_river::ops::FnOp::new(
+            "fan4",
+            move |r: Record, out: &mut dyn dynamic_river::Sink| {
+                for _ in 0..3 {
+                    out.push(fan(&r))?;
+                }
+                out.push(r)
+            },
+        ));
+        let mut sink = CountingSink::default();
+        p.run_streaming(input.iter().cloned(), &mut sink).unwrap();
+        sink.records
+    };
+    let mut group = c.benchmark_group("zero_copy/fanout_x4");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("owned_vec", |b| {
+        b.iter(|| black_box(run(deep_clone, &records)))
+    });
+    group.bench_function("shared_view", |b| {
+        b.iter(|| black_box(run(Record::clone, &records)))
+    });
+    group.finish();
+}
+
+fn bench_rewindow(c: &mut Criterion) {
+    let clip: SampleBuf = (0..RECORD_LEN * RECORDS)
+        .map(|i| (i as f64 * 0.01).sin())
+        .collect();
+    let windows = RECORDS * 2 - 1;
+    let mut group = c.benchmark_group("zero_copy/rewindow_50pct");
+    group.throughput(Throughput::Bytes((windows * RECORD_LEN * 8) as u64));
+    group.bench_function("owned_vec", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in 0..windows {
+                let start = w * RECORD_LEN / 2;
+                let copied: Vec<f64> = clip[start..start + RECORD_LEN].to_vec();
+                total += black_box(&copied).len();
+            }
+            total
+        })
+    });
+    group.bench_function("shared_view", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in 0..windows {
+                let start = w * RECORD_LEN / 2;
+                let view = clip.slice(start..start + RECORD_LEN);
+                total += black_box(&view).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clone, bench_fanout, bench_rewindow);
+criterion_main!(benches);

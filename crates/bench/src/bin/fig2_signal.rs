@@ -34,7 +34,10 @@ fn main() {
     let spec = Spectrogram::compute(&clip.samples, SpectrogramConfig::production());
     println!("\nkHz (0 at bottom, {:.1} at top)", clip.sample_rate / 2e3);
     print!("{}", spec.render_ascii(20));
-    println!("{}", seconds_ruler(clip.duration(), spec.columns().min(96), 5.0));
+    println!(
+        "{}",
+        seconds_ruler(clip.duration(), spec.columns().min(96), 5.0)
+    );
 
     let pgm = render_pgm(&spec.clone().into_inner());
     std::fs::write("fig2_spectrogram.pgm", &pgm).expect("write pgm");

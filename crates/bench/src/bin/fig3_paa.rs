@@ -30,7 +30,10 @@ fn main() {
         reduced.first().map_or(0, Vec::len),
     );
     print!("{}", render_ascii(&reduced, 20));
-    println!("{}", seconds_ruler(clip.duration(), spec.columns().min(96), 5.0));
+    println!(
+        "{}",
+        seconds_ruler(clip.duration(), spec.columns().min(96), 5.0)
+    );
 
     std::fs::write("fig3_paa_spectrogram.pgm", render_pgm(&reduced)).expect("write pgm");
     println!("\nwrote fig3_paa_spectrogram.pgm");

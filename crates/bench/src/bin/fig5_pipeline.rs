@@ -4,8 +4,13 @@
 //! the fused streaming executor.
 //!
 //! ```text
-//! cargo run -p ensemble-bench --release --bin fig5_pipeline [-- --seed N]
+//! cargo run -p ensemble-bench --release --bin fig5_pipeline [-- --seed N] [-- --json]
 //! ```
+//!
+//! With `--json`, prints a single machine-readable line
+//! (`{"records_per_sec": …, "bytes_in": …, "bytes_out": …,
+//! "peak_burst": …}`) instead of the figure — `ci.sh` captures it as
+//! `BENCH_fig5.json`, the repo's pipeline-throughput trajectory.
 
 use dynamic_river::CountingSink;
 use ensemble_bench::{header, Scale};
@@ -14,6 +19,7 @@ use ensemble_core::pipeline::full_pipeline;
 use ensemble_core::prelude::*;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let scale = Scale::from_args();
     let cfg = ExtractorConfig::paper();
     let synth = ClipSynthesizer::new(SynthConfig::paper());
@@ -24,6 +30,7 @@ fn main() {
     // per-stage statistics the figure annotates.
     let mut p = full_pipeline(cfg, true);
     let mut sink = CountingSink::default();
+    let t0 = std::time::Instant::now();
     let stats = p
         .run_streaming(
             clip_record_source(
@@ -35,6 +42,19 @@ fn main() {
             &mut sink,
         )
         .expect("pipeline run");
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    if json {
+        let bytes_in = stats.stages.first().map_or(0, |s| s.bytes_in);
+        println!(
+            "{{\"records_per_sec\": {:.1}, \"bytes_in\": {}, \"bytes_out\": {}, \"peak_burst\": {}}}",
+            stats.source_records as f64 / elapsed,
+            bytes_in,
+            stats.sink_bytes,
+            stats.max_peak_burst()
+        );
+        return;
+    }
 
     header("Figure 5: pipeline operators converting acoustic clips into ensembles");
     println!("sensor platform -> readout -> storage -> wav2rec -> (this run starts here)\n");
@@ -42,10 +62,7 @@ fn main() {
         "{:<14} {:>10} {:>12} {:>8}   (records/bytes leaving the stage)",
         "operator", "records", "data bytes", "burst"
     );
-    println!(
-        "{:<14} {:>10} {:>12}",
-        "input", stats.source_records, ""
-    );
+    println!("{:<14} {:>10} {:>12}", "input", stats.source_records, "");
     for s in &stats.stages {
         println!(
             "{:<14} {:>10} {:>12} {:>8}",

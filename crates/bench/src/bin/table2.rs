@@ -39,7 +39,13 @@ fn main() {
     header("Table 2: MESO classification results");
     println!(
         "{:<14} {:>16} {:>16} {:>10} {:>10}   {:>14} {:>14}",
-        "Data set", "Leave-one-out", "Resubstitution", "Train(s)", "Test(s)", "Paper LOO", "Paper resub"
+        "Data set",
+        "Leave-one-out",
+        "Resubstitution",
+        "Train(s)",
+        "Test(s)",
+        "Paper LOO",
+        "Paper resub"
     );
     for ((name, ds), paper) in datasets.iter().zip(PAPER) {
         let cv_loo = CrossValConfig {

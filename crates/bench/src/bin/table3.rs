@@ -11,9 +11,7 @@ use ensemble_core::SpeciesCode;
 use meso::crossval::{leave_one_out, CrossValConfig, LooMode};
 
 /// The paper's Table 3 main diagonal (percent correct per species).
-const PAPER_DIAGONAL: [f64; 10] = [
-    70.3, 69.2, 86.0, 90.5, 79.3, 67.0, 90.8, 94.7, 90.5, 86.1,
-];
+const PAPER_DIAGONAL: [f64; 10] = [70.3, 69.2, 86.0, 90.5, 79.3, 67.0, 90.8, 94.7, 90.5, 86.1];
 
 fn main() {
     let scale = Scale::from_args();
@@ -30,7 +28,10 @@ fn main() {
     header("Table 3: Confusion matrix using PAA ensembles (row %, actual x predicted)");
     let names: Vec<&str> = SpeciesCode::ALL.iter().map(|s| s.code()).collect();
     println!("{}", stats.confusion.render(&names));
-    println!("overall accuracy: {:.1}%", 100.0 * stats.confusion.accuracy());
+    println!(
+        "overall accuracy: {:.1}%",
+        100.0 * stats.confusion.accuracy()
+    );
 
     println!("\ndiagonal vs paper:");
     println!("{:<6} {:>10} {:>10}", "Code", "This run", "Paper");

@@ -98,7 +98,9 @@ impl SpeciesClassifier {
 
     /// Classifies a single pattern vector directly.
     pub fn classify_pattern(&self, features: &[f64]) -> Option<SpeciesCode> {
-        self.memory.classify(features).and_then(SpeciesCode::from_label)
+        self.memory
+            .classify(features)
+            .and_then(SpeciesCode::from_label)
     }
 }
 

@@ -332,10 +332,8 @@ mod tests {
         let bundle = DatasetBundle::build(&corpus);
         let members = bundle.ensemble.group_members();
         for group in members {
-            let labels: std::collections::HashSet<usize> = group
-                .iter()
-                .map(|&i| bundle.ensemble.label(i))
-                .collect();
+            let labels: std::collections::HashSet<usize> =
+                group.iter().map(|&i| bundle.ensemble.label(i)).collect();
             assert!(labels.len() <= 1);
         }
     }

@@ -13,6 +13,7 @@
 //! that correspond to when the trigger value is 1" (paper §3).
 
 use crate::config::ExtractorConfig;
+use dynamic_river::SampleBuf;
 use river_dsp::stats::{MovingAverage, Welford};
 use river_sax::anomaly::BitmapAnomaly;
 
@@ -23,8 +24,10 @@ pub struct Ensemble {
     pub start: usize,
     /// One past the last sample.
     pub end: usize,
-    /// The ensemble's samples (copied out of the clip).
-    pub samples: Vec<f64>,
+    /// The ensemble's samples, as a shared buffer: cloning an
+    /// `Ensemble` (dataset construction, cross-validation resampling)
+    /// is O(1) and never copies audio. Dereferences to `&[f64]`.
+    pub samples: SampleBuf,
 }
 
 impl Ensemble {
@@ -366,7 +369,9 @@ impl StreamingExtractor {
         Some(Ensemble {
             start: open.start,
             end: open.start + open.samples.len(),
-            samples: open.samples,
+            // One conversion into the shared buffer; every later clone
+            // or hand-off of this ensemble is O(1).
+            samples: open.samples.into(),
         })
     }
 }

@@ -24,11 +24,8 @@ impl Operator for Cabs {
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data && record.subtype == subtype::SPECTRUM {
             if let Payload::Complex(v) = &record.payload {
-                let mags: Vec<f64> = v
-                    .chunks_exact(2)
-                    .map(|c| c[0].hypot(c[1]))
-                    .collect();
-                record.payload = Payload::F64(mags);
+                let mags: Vec<f64> = v.chunks_exact(2).map(|c| c[0].hypot(c[1])).collect();
+                record.payload = Payload::f64(mags);
                 record.subtype = subtype::POWER;
             }
         }
@@ -48,7 +45,7 @@ mod tests {
         let out = p
             .run(vec![Record::data(
                 subtype::SPECTRUM,
-                Payload::Complex(vec![3.0, 4.0, 0.0, -2.0]),
+                Payload::complex(vec![3.0, 4.0, 0.0, -2.0]),
             )])
             .unwrap();
         assert_eq!(out[0].subtype, subtype::POWER);
@@ -59,7 +56,7 @@ mod tests {
     fn other_records_pass() {
         let mut p = Pipeline::new();
         p.add(Cabs::new());
-        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![1.0]))];
+        let input = vec![Record::data(subtype::AUDIO, Payload::f64(vec![1.0]))];
         assert_eq!(p.run(input.clone()).unwrap(), input);
     }
 }

@@ -68,7 +68,9 @@ impl Operator for Cutout {
             RecordKind::Data if record.subtype == subtype::POWER => {
                 if let Payload::F64(v) = &record.payload {
                     let (lo, hi) = self.bin_range(v.len());
-                    record.payload = Payload::F64(v[lo..hi].to_vec());
+                    // Band selection is a pure view: the kept bins share
+                    // the spectral record's allocation, no copy.
+                    record.payload = Payload::F64(v.slice(lo..hi));
                 }
                 out.push(record)
             }
@@ -100,6 +102,27 @@ mod tests {
     }
 
     #[test]
+    fn band_selection_is_a_view_into_the_spectrum() {
+        use dynamic_river::SampleBuf;
+        let spectrum = SampleBuf::from((0..840).map(|i| i as f64).collect::<Vec<f64>>());
+        let mut p = Pipeline::new();
+        p.add(Cutout::new(1_200.0, 9_600.0, 20_160.0));
+        let out = p
+            .run(vec![Record::data(
+                subtype::POWER,
+                Payload::F64(spectrum.clone()),
+            )])
+            .unwrap();
+        let kept = out[0].payload.as_f64_buf().unwrap();
+        assert!(
+            SampleBuf::shares_backing(kept, &spectrum),
+            "cutout copied the kept band"
+        );
+        assert_eq!(kept.offset(), 50);
+        assert_eq!(kept.len(), 350);
+    }
+
+    #[test]
     fn rate_from_scope_context_overrides_default() {
         let mut p = Pipeline::new();
         p.add(Cutout::new(1_200.0, 9_600.0, 20_160.0));
@@ -109,7 +132,7 @@ mod tests {
                     scope_type::CLIP,
                     vec![(context_key::SAMPLE_RATE.into(), "40320".into())],
                 ),
-                Record::data(subtype::POWER, Payload::F64(vec![0.0; 840])),
+                Record::data(subtype::POWER, Payload::f64(vec![0.0; 840])),
                 Record::close_scope(scope_type::CLIP),
             ])
             .unwrap();
@@ -124,7 +147,10 @@ mod tests {
         // At a 4 kHz rate the upper band edge exceeds the spectrum; the
         // kept range is clamped.
         let out = p
-            .run(vec![Record::data(subtype::POWER, Payload::F64(vec![1.0; 100]))])
+            .run(vec![Record::data(
+                subtype::POWER,
+                Payload::f64(vec![1.0; 100]),
+            )])
             .unwrap();
         let kept = out[0].payload.as_f64().unwrap();
         assert!(kept.len() <= 100);
@@ -135,7 +161,7 @@ mod tests {
     fn non_power_records_pass() {
         let mut p = Pipeline::new();
         p.add(Cutout::new(1_200.0, 9_600.0, 20_160.0));
-        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 16]))];
+        let input = vec![Record::data(subtype::AUDIO, Payload::f64(vec![0.0; 16]))];
         assert_eq!(p.run(input.clone()).unwrap(), input);
     }
 

@@ -14,10 +14,17 @@
 //! dropped. Ensembles shorter than `min_ensemble_samples` are
 //! suppressed entirely (the `OpenScope` is emitted lazily, so a
 //! suppressed ensemble leaves no trace).
+//!
+//! Slicing is zero-copy: triggered stretches are taken as
+//! [`SampleBuf`] views into the incoming audio records, adjacent views
+//! into the same clip allocation are merged, and full ensemble records
+//! are sliced straight out of the merged run. Samples are copied only
+//! when a record genuinely spans two unrelated allocations or needs
+//! zero-padding at ensemble close.
 
 use crate::config::ExtractorConfig;
 use crate::{context_key, scope_type, subtype};
-use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
+use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, SampleBuf, Sink};
 use std::collections::VecDeque;
 
 /// The `cutter` operator.
@@ -36,11 +43,43 @@ pub struct Cutter {
 struct OpenEnsemble {
     start_sample: usize,
     total_samples: usize,
-    /// Samples accumulated toward the next full record.
-    chunk: Vec<f64>,
+    /// Triggered sample runs not yet assembled into full records.
+    /// Adjacent views into the same backing allocation are pre-merged on
+    /// push, so within one clip this usually holds a single contiguous
+    /// view. Total length stays below `record_len` between pushes.
+    pending: VecDeque<SampleBuf>,
+    pending_len: usize,
     /// Records buffered until the ensemble proves long enough to emit.
     buffered: Vec<Record>,
     emitted_open: bool,
+}
+
+/// Takes exactly `n` samples off the front of `pending`: a pure view
+/// slice when the front run is long enough (the zero-copy fast path),
+/// one copy when the record spans runs from different allocations.
+fn take_chunk(pending: &mut VecDeque<SampleBuf>, n: usize) -> SampleBuf {
+    let front = pending.front_mut().expect("pending samples available");
+    if front.len() > n {
+        let chunk = front.slice(..n);
+        *front = front.slice(n..);
+        return chunk;
+    }
+    if front.len() == n {
+        return pending.pop_front().expect("non-empty");
+    }
+    let mut buf = Vec::with_capacity(n);
+    while buf.len() < n {
+        let need = n - buf.len();
+        let front = pending.front_mut().expect("enough pending samples");
+        if front.len() <= need {
+            buf.extend_from_slice(front);
+            pending.pop_front();
+        } else {
+            buf.extend_from_slice(&front.slice(..need));
+            *front = front.slice(need..);
+        }
+    }
+    buf.into()
 }
 
 impl Cutter {
@@ -64,31 +103,40 @@ impl Cutter {
         self.open = Some(OpenEnsemble {
             start_sample,
             total_samples: 0,
-            chunk: Vec::with_capacity(self.config.record_len),
+            pending: VecDeque::new(),
+            pending_len: 0,
             buffered: Vec::new(),
             emitted_open: false,
         });
     }
 
-    /// Pushes one triggered sample into the open ensemble, emitting any
-    /// completed record into the buffer.
-    fn push_sample(&mut self, x: f64, out: &mut dyn Sink) -> Result<(), PipelineError> {
+    /// Pushes one run of consecutively triggered samples (a view into
+    /// the audio record) into the open ensemble, assembling full records
+    /// and streaming the buffer out once the ensemble proves long
+    /// enough.
+    fn push_run(&mut self, run: SampleBuf, out: &mut dyn Sink) -> Result<(), PipelineError> {
         let record_len = self.config.record_len;
         let min_len = self.config.min_ensemble_samples;
         let ensemble = self.open.as_mut().expect("ensemble open");
-        ensemble.chunk.push(x);
-        ensemble.total_samples += 1;
-        if ensemble.chunk.len() == record_len {
+        ensemble.total_samples += run.len();
+        ensemble.pending_len += run.len();
+        match ensemble.pending.back_mut() {
+            Some(last) => match last.merged_with(&run) {
+                Some(joined) => *last = joined,
+                None => ensemble.pending.push_back(run),
+            },
+            None => ensemble.pending.push_back(run),
+        }
+        while ensemble.pending_len >= record_len {
+            let chunk = take_chunk(&mut ensemble.pending, record_len);
+            ensemble.pending_len -= record_len;
             let seq = self.out_seq;
             self.out_seq += 1;
-            let rec = Record::data(
-                subtype::AUDIO,
-                Payload::F64(std::mem::take(&mut ensemble.chunk)),
-            )
-            .with_seq(seq)
-            .with_depth(2);
-            ensemble.chunk = Vec::with_capacity(record_len);
-            ensemble.buffered.push(rec);
+            ensemble.buffered.push(
+                Record::data(subtype::AUDIO, Payload::F64(chunk))
+                    .with_seq(seq)
+                    .with_depth(2),
+            );
         }
         // Once the ensemble is long enough, stream its buffer out.
         if ensemble.total_samples >= min_len && !ensemble.buffered.is_empty() {
@@ -114,16 +162,21 @@ impl Cutter {
     /// Closes the open ensemble (if emitted) with a `CloseScope`.
     fn close_ensemble(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
         let record_len = self.config.record_len;
-        let Some(mut ensemble) = self.open.take() else {
+        let Some(ensemble) = self.open.take() else {
             return Ok(());
         };
-        // Final partial chunk: zero-pad when at least half full.
-        if ensemble.emitted_open && ensemble.chunk.len() >= record_len / 2 {
-            ensemble.chunk.resize(record_len, 0.0);
+        // Final partial chunk: zero-pad when at least half full (padding
+        // forces the one honest copy on this path).
+        if ensemble.emitted_open && ensemble.pending_len >= record_len / 2 {
+            let mut chunk = Vec::with_capacity(record_len);
+            for run in &ensemble.pending {
+                chunk.extend_from_slice(run);
+            }
+            chunk.resize(record_len, 0.0);
             let seq = self.out_seq;
             self.out_seq += 1;
             out.push(
-                Record::data(subtype::AUDIO, Payload::F64(ensemble.chunk))
+                Record::data(subtype::AUDIO, Payload::f64(chunk))
                     .with_seq(seq)
                     .with_depth(2),
             )?;
@@ -134,16 +187,18 @@ impl Cutter {
         Ok(())
     }
 
-    /// Processes one matched (audio, trigger) record pair.
+    /// Processes one matched (audio, trigger) record pair: scans the
+    /// trigger for maximal high/low runs and turns each high run into a
+    /// view of the audio record — samples are inspected, never copied.
     fn process_pair(
         &mut self,
-        audio: Record,
+        audio: &Record,
         trigger: &[f64],
         out: &mut dyn Sink,
     ) -> Result<(), PipelineError> {
         let samples = audio
             .payload
-            .as_f64()
+            .as_f64_buf()
             .ok_or_else(|| PipelineError::operator("cutter", "audio record without F64 payload"))?;
         if samples.len() != trigger.len() {
             return Err(PipelineError::operator(
@@ -156,19 +211,25 @@ impl Cutter {
                 ),
             ));
         }
-        for (&x, &t) in samples.iter().zip(trigger) {
-            let high = t >= 0.5;
-            match (self.open.is_some(), high) {
-                (false, true) => {
-                    self.open_ensemble(self.clip_sample);
-                    self.push_sample(x, out)?;
-                }
-                (true, true) => self.push_sample(x, out)?,
-                (true, false) => self.close_ensemble(out)?,
-                (false, false) => {}
+        let base = self.clip_sample;
+        let mut i = 0;
+        while i < trigger.len() {
+            let high = trigger[i] >= 0.5;
+            let mut j = i + 1;
+            while j < trigger.len() && (trigger[j] >= 0.5) == high {
+                j += 1;
             }
-            self.clip_sample += 1;
+            if high {
+                if self.open.is_none() {
+                    self.open_ensemble(base + i);
+                }
+                self.push_run(samples.slice(i..j), out)?;
+            } else {
+                self.close_ensemble(out)?;
+            }
+            i = j;
         }
+        self.clip_sample = base + trigger.len();
         Ok(())
     }
 }
@@ -206,14 +267,20 @@ impl Operator for Cutter {
                 if audio.seq != record.seq {
                     return Err(PipelineError::operator(
                         "cutter",
-                        format!("trigger seq {} does not match audio seq {}", record.seq, audio.seq),
+                        format!(
+                            "trigger seq {} does not match audio seq {}",
+                            record.seq, audio.seq
+                        ),
                     ));
                 }
-                let trigger = record.payload.as_f64().ok_or_else(|| {
-                    PipelineError::operator("cutter", "trigger record without F64 payload")
-                })?;
-                let trigger = trigger.to_vec();
-                self.process_pair(audio, &trigger, out)
+                let trigger = record
+                    .payload
+                    .as_f64_buf()
+                    .ok_or_else(|| {
+                        PipelineError::operator("cutter", "trigger record without F64 payload")
+                    })?
+                    .clone(); // O(1): a view, not a copy of the trigger
+                self.process_pair(&audio, &trigger, out)
             }
             // Scores or anything else inside the clip are dropped; outer
             // scope records pass through.
@@ -230,8 +297,8 @@ impl Operator for Cutter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{SaxAnomaly, TriggerOp};
     use crate::ops::wav2rec::clip_to_records;
+    use crate::ops::{SaxAnomaly, TriggerOp};
     use crate::prelude::*;
     use dynamic_river::scope::validate_scopes;
     use dynamic_river::Pipeline;
@@ -247,7 +314,12 @@ mod tests {
     fn run_extraction(samples: &[f64]) -> Vec<Record> {
         let cfg = ExtractorConfig::default();
         extraction_pipeline(cfg)
-            .run(clip_to_records(samples, cfg.sample_rate, cfg.record_len, &[]))
+            .run(clip_to_records(
+                samples,
+                cfg.sample_rate,
+                cfg.record_len,
+                &[],
+            ))
             .unwrap()
     }
 
@@ -309,21 +381,16 @@ mod tests {
         for seed in [7u64, 21] {
             let clip = synth.clip(SpeciesCode::Bcch, seed);
             let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-            let direct = crate::extract::EnsembleExtractor::new(cfg)
-                .extract(&clip.samples[..usable]);
+            let direct =
+                crate::extract::EnsembleExtractor::new(cfg).extract(&clip.samples[..usable]);
             let out = run_extraction(&clip.samples[..usable]);
             let record_count = out
                 .iter()
-                .filter(|r| {
-                    r.kind == RecordKind::OpenScope && r.scope_type == scope_type::ENSEMBLE
-                })
+                .filter(|r| r.kind == RecordKind::OpenScope && r.scope_type == scope_type::ENSEMBLE)
                 .count();
             // Chunk-dropping can suppress an ensemble whose length is
             // under one record; allow that slack but no more.
-            let direct_full = direct
-                .iter()
-                .filter(|e| e.len() >= cfg.record_len)
-                .count();
+            let direct_full = direct.iter().filter(|e| e.len() >= cfg.record_len).count();
             assert!(
                 record_count <= direct.len() && record_count >= direct_full.saturating_sub(1),
                 "record pipeline {record_count} vs direct {} (full {direct_full})",
@@ -343,9 +410,7 @@ mod tests {
         // verbatim at start_sample in the source.
         let mut i = 0;
         while i < out.len() {
-            if out[i].kind == RecordKind::OpenScope
-                && out[i].scope_type == scope_type::ENSEMBLE
-            {
+            if out[i].kind == RecordKind::OpenScope && out[i].scope_type == scope_type::ENSEMBLE {
                 let start: usize = out[i]
                     .payload
                     .context(context_key::START_SAMPLE)
@@ -364,6 +429,42 @@ mod tests {
     }
 
     #[test]
+    fn ensemble_records_are_views_into_the_clip() {
+        // Zero-copy cutting: when the trigger stays high across whole
+        // audio records that are views into one clip allocation, the
+        // emitted ensemble records are views into that same allocation.
+        use dynamic_river::SampleBuf;
+        let cfg = ExtractorConfig::default();
+        let n = cfg.record_len;
+        let clip = SampleBuf::from(
+            (0..n * 3)
+                .map(|i| (i as f64 * 0.01).sin())
+                .collect::<Vec<f64>>(),
+        );
+        let mut input = vec![Record::open_scope(scope_type::CLIP, vec![])];
+        for i in 0..3u64 {
+            let k = i as usize;
+            input.push(
+                Record::data(subtype::AUDIO, Payload::F64(clip.slice(k * n..(k + 1) * n)))
+                    .with_seq(i),
+            );
+            input.push(Record::data(subtype::TRIGGER, Payload::f64(vec![1.0; n])).with_seq(i));
+        }
+        input.push(Record::close_scope(scope_type::CLIP));
+        let mut p = Pipeline::new();
+        p.add(Cutter::new(cfg));
+        let out = p.run(input).unwrap();
+        validate_scopes(&out).unwrap();
+        let data: Vec<&Record> = out.iter().filter(|r| r.kind == RecordKind::Data).collect();
+        assert_eq!(data.len(), 3);
+        for (i, r) in data.iter().enumerate() {
+            let buf = r.payload.as_f64_buf().unwrap();
+            assert!(SampleBuf::shares_backing(buf, &clip), "record {i} copied");
+            assert_eq!(&buf[..], &clip[i * n..(i + 1) * n]);
+        }
+    }
+
+    #[test]
     fn unmatched_trigger_is_error() {
         let cfg = ExtractorConfig::default();
         let mut p = Pipeline::new();
@@ -371,7 +472,7 @@ mod tests {
         let err = p
             .run(vec![
                 Record::open_scope(scope_type::CLIP, vec![]),
-                Record::data(subtype::TRIGGER, Payload::F64(vec![0.0; 840])),
+                Record::data(subtype::TRIGGER, Payload::f64(vec![0.0; 840])),
             ])
             .unwrap_err();
         assert!(matches!(err, PipelineError::Operator { .. }));
@@ -385,8 +486,8 @@ mod tests {
         let err = p
             .run(vec![
                 Record::open_scope(scope_type::CLIP, vec![]),
-                Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 840])).with_seq(0),
-                Record::data(subtype::TRIGGER, Payload::F64(vec![0.0; 840])).with_seq(5),
+                Record::data(subtype::AUDIO, Payload::f64(vec![0.0; 840])).with_seq(0),
+                Record::data(subtype::TRIGGER, Payload::f64(vec![0.0; 840])).with_seq(5),
             ])
             .unwrap_err();
         assert!(matches!(err, PipelineError::Operator { .. }));

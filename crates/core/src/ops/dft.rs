@@ -27,7 +27,7 @@ impl Operator for Dft {
 
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data && record.subtype == subtype::SPECTRUM {
-            if let Payload::Complex(v) = &record.payload {
+            if let Payload::Complex(v) = &mut record.payload {
                 if v.len() % 2 != 0 {
                     return Err(PipelineError::operator(
                         "dft",
@@ -41,12 +41,25 @@ impl Operator for Dft {
                     .map(|c| Complex64::new(c[0], c[1]))
                     .collect();
                 plan.forward_in_place(&mut buf);
-                let mut interleaved = Vec::with_capacity(v.len());
-                for z in buf {
-                    interleaved.push(z.re);
-                    interleaved.push(z.im);
+                // Every sample gets overwritten, so a shared buffer
+                // should not pay make_mut's copy of doomed data — build
+                // the output directly instead. Uniquely owned buffers
+                // (the float2cplx output always is) are rewritten in
+                // place with no allocation at all.
+                if v.is_shared() {
+                    let mut interleaved = Vec::with_capacity(2 * n);
+                    for z in &buf {
+                        interleaved.push(z.re);
+                        interleaved.push(z.im);
+                    }
+                    record.payload = Payload::complex(interleaved);
+                } else {
+                    let samples = v.make_mut();
+                    for (i, z) in buf.iter().enumerate() {
+                        samples[2 * i] = z.re;
+                        samples[2 * i + 1] = z.im;
+                    }
                 }
-                record.payload = Payload::Complex(interleaved);
             }
         }
         out.push(record)
@@ -73,7 +86,7 @@ mod tests {
         let out = p
             .run(vec![Record::data(
                 subtype::SPECTRUM,
-                Payload::Complex(interleaved),
+                Payload::complex(interleaved),
             )])
             .unwrap();
         let spec = out[0].payload.as_complex().unwrap();
@@ -83,12 +96,34 @@ mod tests {
     }
 
     #[test]
+    fn shared_input_buffer_is_never_mutated() {
+        use dynamic_river::SampleBuf;
+        let shared = SampleBuf::from(vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+        let keep = shared.clone();
+        let mut p = Pipeline::new();
+        p.add(Dft::new());
+        let out = p
+            .run(vec![Record::data(
+                subtype::SPECTRUM,
+                Payload::Complex(shared),
+            )])
+            .unwrap();
+        // The sibling view still holds the pre-transform samples …
+        assert_eq!(&keep[..], &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+        // … and the output is a fresh buffer, not a COW copy of stale
+        // data that was then overwritten.
+        let spec = out[0].payload.as_complex_buf().unwrap();
+        assert!(!SampleBuf::shares_backing(spec, &keep));
+        assert_eq!(spec[0], 10.0); // DC bin = 1+2+3+4
+    }
+
+    #[test]
     fn plan_cache_handles_multiple_lengths() {
         let mut op = Dft::new();
         let mut sink: Vec<Record> = Vec::new();
         for n in [8usize, 840, 8] {
             op.on_record(
-                Record::data(subtype::SPECTRUM, Payload::Complex(vec![0.0; n * 2])),
+                Record::data(subtype::SPECTRUM, Payload::complex(vec![0.0; n * 2])),
                 &mut sink,
             )
             .unwrap();
@@ -103,7 +138,7 @@ mod tests {
         let err = p
             .run(vec![Record::data(
                 subtype::SPECTRUM,
-                Payload::Complex(vec![0.0; 3]),
+                Payload::complex(vec![0.0; 3]),
             )])
             .unwrap_err();
         assert!(matches!(err, PipelineError::Operator { .. }));
@@ -113,7 +148,7 @@ mod tests {
     fn non_spectrum_records_pass() {
         let mut p = Pipeline::new();
         p.add(Dft::new());
-        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 4]))];
+        let input = vec![Record::data(subtype::AUDIO, Payload::f64(vec![0.0; 4]))];
         assert_eq!(p.run(input.clone()).unwrap(), input);
     }
 }

@@ -24,13 +24,13 @@ impl Operator for Float2Cplx {
 
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data && record.subtype == subtype::AUDIO {
-            if let Payload::F64(v) = record.payload {
+            if let Payload::F64(v) = &record.payload {
                 let mut complex = Vec::with_capacity(v.len() * 2);
-                for x in v {
+                for &x in v.iter() {
                     complex.push(x);
                     complex.push(0.0);
                 }
-                record.payload = Payload::Complex(complex);
+                record.payload = Payload::complex(complex);
                 record.subtype = subtype::SPECTRUM;
             }
         }
@@ -50,7 +50,7 @@ mod tests {
         let out = p
             .run(vec![Record::data(
                 subtype::AUDIO,
-                Payload::F64(vec![1.0, -2.0]),
+                Payload::f64(vec![1.0, -2.0]),
             )])
             .unwrap();
         assert_eq!(out[0].subtype, subtype::SPECTRUM);

@@ -39,7 +39,9 @@ impl Operator for LogScale {
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data && record.subtype == subtype::POWER {
             if let Payload::F64(ref mut v) = record.payload {
-                for x in v.iter_mut() {
+                // Copy-on-write: in place for uniquely owned spectra
+                // (the common case after cabs/cutout).
+                for x in v.make_mut().iter_mut() {
                     *x = log_scale_value(*x);
                 }
             }
@@ -60,7 +62,7 @@ mod tests {
         let out = p
             .run(vec![Record::data(
                 subtype::POWER,
-                Payload::F64(vec![0.0, 0.01, 1.0]),
+                Payload::f64(vec![0.0, 0.01, 1.0]),
             )])
             .unwrap();
         let v = out[0].payload.as_f64().unwrap();
@@ -93,7 +95,7 @@ mod tests {
     fn audio_records_untouched() {
         let mut p = Pipeline::new();
         p.add(LogScale::new());
-        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.5]))];
+        let input = vec![Record::data(subtype::AUDIO, Payload::f64(vec![0.5]))];
         assert_eq!(p.run(input.clone()).unwrap(), input);
     }
 }

@@ -32,7 +32,7 @@ impl Operator for PaaOp {
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data && record.subtype == subtype::POWER {
             if let Payload::F64(v) = &record.payload {
-                record.payload = Payload::F64(paa_by_factor(v, self.factor));
+                record.payload = Payload::f64(paa_by_factor(v, self.factor));
             }
         }
         out.push(record)
@@ -49,7 +49,10 @@ mod tests {
         let mut p = Pipeline::new();
         p.add(PaaOp::new(10));
         let out = p
-            .run(vec![Record::data(subtype::POWER, Payload::F64(vec![2.0; 350]))])
+            .run(vec![Record::data(
+                subtype::POWER,
+                Payload::f64(vec![2.0; 350]),
+            )])
             .unwrap();
         let v = out[0].payload.as_f64().unwrap();
         assert_eq!(v.len(), 35);
@@ -60,7 +63,7 @@ mod tests {
     fn audio_records_pass() {
         let mut p = Pipeline::new();
         p.add(PaaOp::new(10));
-        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![1.0; 20]))];
+        let input = vec![Record::data(subtype::AUDIO, Payload::f64(vec![1.0; 20]))];
         assert_eq!(p.run(input.clone()).unwrap(), input);
     }
 }

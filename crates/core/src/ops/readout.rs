@@ -60,7 +60,7 @@ mod tests {
     fn archive_replays_identically() {
         let input = vec![
             Record::open_scope(1, vec![("sample_rate".into(), "20160".into())]),
-            Record::data(1, Payload::F64(vec![1.0, 2.0])),
+            Record::data(1, Payload::f64(vec![1.0, 2.0])),
             Record::close_scope(1),
         ];
         let mut archive = Vec::new();

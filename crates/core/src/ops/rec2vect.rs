@@ -78,7 +78,7 @@ impl Operator for Rec2Vect {
                     self.pattern_seq += 1;
                     self.buffered_records = 0;
                     out.push(
-                        Record::data(subtype::PATTERN, Payload::F64(features))
+                        Record::data(subtype::PATTERN, Payload::f64(features))
                             .with_seq(seq)
                             .with_depth(record.scope_depth),
                     )?;
@@ -100,8 +100,7 @@ mod tests {
         let mut v = vec![Record::open_scope(scope_type::ENSEMBLE, vec![])];
         for i in 0..records {
             v.push(
-                Record::data(subtype::POWER, Payload::F64(vec![i as f64; bins]))
-                    .with_seq(i as u64),
+                Record::data(subtype::POWER, Payload::f64(vec![i as f64; bins])).with_seq(i as u64),
             );
         }
         v.push(Record::close_scope(scope_type::ENSEMBLE));

@@ -50,24 +50,36 @@ impl Operator for Reslice {
                 out.push(record)
             }
             RecordKind::Data if self.in_ensemble && record.subtype == subtype::AUDIO => {
-                let Some(cur) = record.payload.as_f64() else {
+                let Some(cur) = record.payload.as_f64_buf() else {
                     return Err(PipelineError::operator(
                         "reslice",
                         "audio record without F64 payload",
                     ));
                 };
                 if let Some(prev_rec) = self.held.take() {
-                    let prev = prev_rec.payload.as_f64().expect("held record is F64");
+                    let prev = prev_rec.payload.as_f64_buf().expect("held record is F64");
                     if prev.len() != cur.len() {
                         return Err(PipelineError::operator(
                             "reslice",
                             format!("record length change {} -> {}", prev.len(), cur.len()),
                         ));
                     }
-                    let half = prev.len() / 2;
-                    let mut overlap = Vec::with_capacity(prev.len());
-                    overlap.extend_from_slice(&prev[prev.len() - half..]);
-                    overlap.extend_from_slice(&cur[..prev.len() - half]);
+                    let n = prev.len();
+                    let half = n / 2;
+                    // When the two records are adjacent views into one
+                    // clip allocation (the wav2rec / cutter fast path),
+                    // the overlap window is itself just a view — no
+                    // samples are copied. Records from unrelated
+                    // allocations fall back to one copy.
+                    let overlap = match prev.merged_with(cur) {
+                        Some(joined) => joined.slice(n - half..2 * n - half),
+                        None => {
+                            let mut v = Vec::with_capacity(n);
+                            v.extend_from_slice(&prev[n - half..]);
+                            v.extend_from_slice(&cur[..n - half]);
+                            v.into()
+                        }
+                    };
                     let overlap_rec = Record::data(subtype::AUDIO, Payload::F64(overlap))
                         .with_seq(prev_rec.seq)
                         .with_depth(prev_rec.scope_depth);
@@ -101,7 +113,7 @@ mod tests {
     fn ensemble_stream(records: &[Vec<f64>]) -> Vec<Record> {
         let mut v = vec![Record::open_scope(scope_type::ENSEMBLE, vec![])];
         for (i, r) in records.iter().enumerate() {
-            v.push(Record::data(subtype::AUDIO, Payload::F64(r.clone())).with_seq(i as u64));
+            v.push(Record::data(subtype::AUDIO, Payload::f64(r.clone())).with_seq(i as u64));
         }
         v.push(Record::close_scope(scope_type::ENSEMBLE));
         v
@@ -119,6 +131,31 @@ mod tests {
         assert_eq!(out.len(), 5);
         let overlap = out[2].payload.as_f64().unwrap();
         assert_eq!(overlap, &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn adjacent_views_yield_zero_copy_overlaps() {
+        use dynamic_river::SampleBuf;
+        // Records sliced out of one clip buffer (as wav2rec emits them):
+        // the inserted overlap must be a view into that same buffer.
+        let clip = SampleBuf::from((0..16).map(|i| i as f64).collect::<Vec<f64>>());
+        let input = vec![
+            Record::open_scope(scope_type::ENSEMBLE, vec![]),
+            Record::data(subtype::AUDIO, Payload::F64(clip.slice(0..8))).with_seq(0),
+            Record::data(subtype::AUDIO, Payload::F64(clip.slice(8..16))).with_seq(1),
+            Record::close_scope(scope_type::ENSEMBLE),
+        ];
+        let mut p = Pipeline::new();
+        p.add(Reslice::new());
+        let out = p.run(input).unwrap();
+        assert_eq!(out.len(), 5);
+        let overlap = out[2].payload.as_f64_buf().unwrap();
+        assert!(
+            SampleBuf::shares_backing(overlap, &clip),
+            "overlap window copied samples"
+        );
+        assert_eq!(overlap.offset(), 4);
+        assert_eq!(&overlap[..], &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
     }
 
     #[test]
@@ -153,7 +190,7 @@ mod tests {
 
     #[test]
     fn records_outside_ensembles_pass_through() {
-        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 4]))];
+        let input = vec![Record::data(subtype::AUDIO, Payload::f64(vec![0.0; 4]))];
         let mut p = Pipeline::new();
         p.add(Reslice::new());
         assert_eq!(p.run(input.clone()).unwrap(), input);

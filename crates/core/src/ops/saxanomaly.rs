@@ -62,7 +62,7 @@ impl Operator for SaxAnomaly {
                     .iter()
                     .map(|&x| self.smoother.push(self.detector.push(x)))
                     .collect();
-                let score_record = Record::data(subtype::SCORE, Payload::F64(scores))
+                let score_record = Record::data(subtype::SCORE, Payload::f64(scores))
                     .with_seq(record.seq)
                     .with_depth(record.scope_depth);
                 out.push(record)?;
@@ -84,8 +84,13 @@ mod tests {
         let cfg = ExtractorConfig::default();
         let mut p = Pipeline::new();
         p.add(SaxAnomaly::new(cfg));
-        p.run(clip_to_records(samples, cfg.sample_rate, cfg.record_len, &[]))
-            .unwrap()
+        p.run(clip_to_records(
+            samples,
+            cfg.sample_rate,
+            cfg.record_len,
+            &[],
+        ))
+        .unwrap()
     }
 
     #[test]
@@ -143,13 +148,23 @@ mod tests {
         let mut one_clip = Pipeline::new();
         one_clip.add(SaxAnomaly::new(cfg));
         let single = one_clip
-            .run(clip_to_records(&samples, cfg.sample_rate, cfg.record_len, &[]))
+            .run(clip_to_records(
+                &samples,
+                cfg.sample_rate,
+                cfg.record_len,
+                &[],
+            ))
             .unwrap();
 
         let mut two_clips = Pipeline::new();
         two_clips.add(SaxAnomaly::new(cfg));
         let mut input = clip_to_records(&samples, cfg.sample_rate, cfg.record_len, &[]);
-        input.extend(clip_to_records(&samples, cfg.sample_rate, cfg.record_len, &[]));
+        input.extend(clip_to_records(
+            &samples,
+            cfg.sample_rate,
+            cfg.record_len,
+            &[],
+        ));
         let double = two_clips.run(input).unwrap();
 
         // Second clip's scores equal the first clip's (state was reset).
@@ -175,7 +190,10 @@ mod tests {
         let mut p = Pipeline::new();
         p.add(SaxAnomaly::new(ExtractorConfig::default()));
         let err = p
-            .run(vec![Record::data(subtype::AUDIO, Payload::Text("x".into()))])
+            .run(vec![Record::data(
+                subtype::AUDIO,
+                Payload::Text("x".into()),
+            )])
             .unwrap_err();
         assert!(matches!(err, PipelineError::Operator { .. }));
     }

@@ -59,7 +59,7 @@ impl Operator for TriggerOp {
                     .map(|&s| if self.trigger.push(s) { 1.0 } else { 0.0 })
                     .collect();
                 out.push(
-                    Record::data(subtype::TRIGGER, Payload::F64(values))
+                    Record::data(subtype::TRIGGER, Payload::f64(values))
                         .with_seq(record.seq)
                         .with_depth(record.scope_depth),
                 )
@@ -82,8 +82,13 @@ mod tests {
         let mut p = Pipeline::new();
         p.add(SaxAnomaly::new(cfg));
         p.add(TriggerOp::new(cfg));
-        p.run(clip_to_records(samples, cfg.sample_rate, cfg.record_len, &[]))
-            .unwrap()
+        p.run(clip_to_records(
+            samples,
+            cfg.sample_rate,
+            cfg.record_len,
+            &[],
+        ))
+        .unwrap()
     }
 
     #[test]
@@ -117,7 +122,14 @@ mod tests {
         let record_trigger: Vec<u8> = out
             .iter()
             .filter(|r| r.subtype == subtype::TRIGGER && r.kind == RecordKind::Data)
-            .flat_map(|r| r.payload.as_f64().unwrap().iter().map(|&v| v as u8).collect::<Vec<u8>>())
+            .flat_map(|r| {
+                r.payload
+                    .as_f64()
+                    .unwrap()
+                    .iter()
+                    .map(|&v| v as u8)
+                    .collect::<Vec<u8>>()
+            })
             .collect();
         let trace =
             crate::extract::EnsembleExtractor::new(cfg).extract_with_trace(&clip.samples[..usable]);
@@ -126,7 +138,9 @@ mod tests {
 
     #[test]
     fn audio_passes_through_unmodified() {
-        let samples: Vec<f64> = (0..840 * 2).map(|i| (i as f64 * 0.3).sin() * 0.01).collect();
+        let samples: Vec<f64> = (0..840 * 2)
+            .map(|i| (i as f64 * 0.3).sin() * 0.01)
+            .collect();
         let out = run_chain(&samples);
         let audio: Vec<f64> = out
             .iter()

@@ -8,13 +8,18 @@
 
 use crate::{context_key, scope_type, subtype};
 use dynamic_river::source::ChunkedF64Source;
-use dynamic_river::{Operator, Payload, PipelineError, Record, Sink};
+use dynamic_river::{Operator, Payload, PipelineError, Record, SampleBuf, Sink};
 use river_dsp::wav::WavReader;
 
 /// Splits raw clip samples into a scoped record stream: an `OpenScope`
 /// (type `CLIP`, carrying the sample rate), `record_len`-sample audio
 /// records, and a `CloseScope`. Trailing samples that do not fill a
 /// record are dropped (the sensor platform sends whole records).
+///
+/// The samples are copied **once** into a shared clip buffer; every
+/// audio record is then an O(1) view into that single allocation
+/// ([`clip_buf_to_records`]), so downstream fan-out, re-windowing and
+/// cloning never copy sample data again.
 ///
 /// # Panics
 ///
@@ -35,19 +40,44 @@ pub fn clip_to_records(
     record_len: usize,
     extra_context: &[(String, String)],
 ) -> Vec<Record> {
+    clip_buf_to_records(
+        SampleBuf::from(samples),
+        sample_rate,
+        record_len,
+        extra_context,
+    )
+}
+
+/// [`clip_to_records`] over an already-shared clip buffer: emits the
+/// same scoped stream with **zero** sample copies — each audio record is
+/// a `record_len` view sliced out of `samples`' backing allocation.
+///
+/// # Panics
+///
+/// Panics if `record_len == 0`.
+pub fn clip_buf_to_records(
+    samples: SampleBuf,
+    sample_rate: f64,
+    record_len: usize,
+    extra_context: &[(String, String)],
+) -> Vec<Record> {
     assert!(record_len > 0, "record_len must be non-zero");
     let mut context = vec![(
         context_key::SAMPLE_RATE.to_string(),
         format!("{sample_rate}"),
     )];
     context.extend_from_slice(extra_context);
-    let mut out = Vec::with_capacity(samples.len() / record_len + 2);
+    let full = samples.len() / record_len;
+    let mut out = Vec::with_capacity(full + 2);
     out.push(Record::open_scope(scope_type::CLIP, context).with_depth(0));
-    for (i, chunk) in samples.chunks_exact(record_len).enumerate() {
+    for i in 0..full {
         out.push(
-            Record::data(subtype::AUDIO, Payload::F64(chunk.to_vec()))
-                .with_seq(i as u64)
-                .with_depth(1),
+            Record::data(
+                subtype::AUDIO,
+                Payload::F64(samples.slice(i * record_len..(i + 1) * record_len)),
+            )
+            .with_seq(i as u64)
+            .with_depth(1),
         );
     }
     out.push(Record::close_scope(scope_type::CLIP).with_depth(0));
@@ -130,8 +160,10 @@ impl Operator for Wav2Rec {
         };
         let wav = WavReader::read(bytes)
             .map_err(|e| PipelineError::operator("wav2rec", format!("bad wav payload: {e}")))?;
-        let mono = wav.to_mono();
-        for r in clip_to_records(&mono, wav.spec.sample_rate as f64, self.record_len, &[]) {
+        // One conversion into the shared clip buffer; the emitted
+        // records are views into it, not per-record copies.
+        let mono = SampleBuf::from(wav.to_mono());
+        for r in clip_buf_to_records(mono, wav.spec.sample_rate as f64, self.record_len, &[]) {
             out.push(r)?;
         }
         Ok(())
@@ -160,6 +192,23 @@ mod tests {
         assert_eq!(records[1].seq, 0);
         assert_eq!(records[2].seq, 1);
         validate_scopes(&records).unwrap();
+    }
+
+    #[test]
+    fn audio_records_are_views_into_one_clip_buffer() {
+        // Zero-copy chunking: every audio record shares the single clip
+        // allocation; nothing was copied per record.
+        let clip = SampleBuf::from(vec![0.25; 840 * 3]);
+        let records = clip_buf_to_records(clip.clone(), 20_160.0, 840, &[]);
+        let bufs: Vec<&SampleBuf> = records
+            .iter()
+            .filter_map(|r| r.payload.as_f64_buf())
+            .collect();
+        assert_eq!(bufs.len(), 3);
+        for (i, b) in bufs.iter().enumerate() {
+            assert!(SampleBuf::shares_backing(b, &clip), "record {i} copied");
+            assert_eq!(b.offset(), i * 840);
+        }
     }
 
     #[test]
@@ -198,7 +247,7 @@ mod tests {
     fn non_bytes_records_pass_through() {
         let mut p = Pipeline::new();
         p.add(Wav2Rec::new(840));
-        let input = vec![Record::data(subtype::AUDIO, Payload::F64(vec![0.0; 4]))];
+        let input = vec![Record::data(subtype::AUDIO, Payload::f64(vec![0.0; 4]))];
         let out = p.run(input.clone()).unwrap();
         assert_eq!(out, input);
     }

@@ -30,7 +30,11 @@ impl Operator for WelchWindow {
                 if self.coeffs.len() != v.len() {
                     self.coeffs = WindowKind::Welch.coefficients(v.len());
                 }
-                for (x, w) in v.iter_mut().zip(&self.coeffs) {
+                // Copy-on-write: records that share a clip allocation
+                // (views from wav2rec/cutter/reslice) are copied once
+                // here — the first stage that rewrites samples —
+                // uniquely owned buffers are windowed in place.
+                for (x, w) in v.make_mut().iter_mut().zip(&self.coeffs) {
                     *x *= w;
                 }
             }
@@ -51,7 +55,7 @@ mod tests {
         let out = p
             .run(vec![Record::data(
                 subtype::AUDIO,
-                Payload::F64(vec![1.0; 11]),
+                Payload::f64(vec![1.0; 11]),
             )])
             .unwrap();
         let v = out[0].payload.as_f64().unwrap();
@@ -64,7 +68,7 @@ mod tests {
     fn non_audio_untouched() {
         let mut p = Pipeline::new();
         p.add(WelchWindow::new());
-        let input = vec![Record::data(subtype::SCORE, Payload::F64(vec![1.0; 4]))];
+        let input = vec![Record::data(subtype::SCORE, Payload::f64(vec![1.0; 4]))];
         assert_eq!(p.run(input.clone()).unwrap(), input);
     }
 
@@ -74,12 +78,15 @@ mod tests {
         p.add(WelchWindow::new());
         let out = p
             .run(vec![
-                Record::data(subtype::AUDIO, Payload::F64(vec![1.0; 8])),
-                Record::data(subtype::AUDIO, Payload::F64(vec![1.0; 16])),
+                Record::data(subtype::AUDIO, Payload::f64(vec![1.0; 8])),
+                Record::data(subtype::AUDIO, Payload::f64(vec![1.0; 16])),
             ])
             .unwrap();
         assert_eq!(out[0].payload.as_f64().unwrap().len(), 8);
         assert_eq!(out[1].payload.as_f64().unwrap().len(), 16);
-        assert!((out[1].payload.as_f64().unwrap()[8] - WindowKind::Welch.coefficient(8, 16)).abs() < 1e-12);
+        assert!(
+            (out[1].payload.as_f64().unwrap()[8] - WindowKind::Welch.coefficient(8, 16)).abs()
+                < 1e-12
+        );
     }
 }

@@ -145,16 +145,22 @@ mod tests {
         );
         assert_eq!(
             featurization_segment(cfg, true).names(),
-            ["welchwindow", "float2cplx", "dft", "cabs", "cutout", "paa", "logscale", "rec2vect"]
+            [
+                "welchwindow",
+                "float2cplx",
+                "dft",
+                "cabs",
+                "cutout",
+                "paa",
+                "logscale",
+                "rec2vect"
+            ]
         );
         let resliced = ExtractorConfig {
             reslice: true,
             ..cfg
         };
-        assert_eq!(
-            featurization_segment(resliced, false).names()[0],
-            "reslice"
-        );
+        assert_eq!(featurization_segment(resliced, false).names()[0], "reslice");
     }
 
     #[test]
@@ -216,7 +222,7 @@ mod tests {
             ];
             for (i, chunk) in samples.chunks_exact(cfg.record_len).enumerate() {
                 records.push(
-                    Record::data(subtype::AUDIO, dynamic_river::Payload::F64(chunk.to_vec()))
+                    Record::data(subtype::AUDIO, dynamic_river::Payload::f64(chunk.to_vec()))
                         .with_seq(i as u64),
                 );
             }

@@ -64,13 +64,7 @@ pub fn ascii_trigger(trigger: &[u8], width: usize) -> String {
     let chunk = trigger.len().div_ceil(width);
     trigger
         .chunks(chunk)
-        .map(|c| {
-            if c.iter().any(|&t| t > 0) {
-                '^'
-            } else {
-                '_'
-            }
-        })
+        .map(|c| if c.iter().any(|&t| t > 0) { '^' } else { '_' })
         .collect()
 }
 

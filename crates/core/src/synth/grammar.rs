@@ -146,7 +146,12 @@ pub fn song(species: SpeciesCode, fs: f64, rng: &mut StdRng) -> Vec<f64> {
         }
         // "conk-la-ree": two short tonal notes then a buzzy AM trill.
         SpeciesCode::Rwbl => concat(&[
-            harmonic_tone(rng.random_range(900.0..1_100.0), &[(2.0, 0.9), (3.0, 0.5)], 0.12, fs),
+            harmonic_tone(
+                rng.random_range(900.0..1_100.0),
+                &[(2.0, 0.9), (3.0, 0.5)],
+                0.12,
+                fs,
+            ),
             silence(0.04, fs),
             harmonic_tone(rng.random_range(1_100.0..1_300.0), &[(2.0, 0.8)], 0.1, fs),
             silence(0.03, fs),
@@ -224,10 +229,7 @@ mod tests {
                 "{species}: too short ({} samples)",
                 s.len()
             );
-            assert!(
-                river_dsp::signal::rms(&s) > 0.01,
-                "{species}: too quiet"
-            );
+            assert!(river_dsp::signal::rms(&s) > 0.01, "{species}: too quiet");
             assert!(river_dsp::signal::peak(&s) <= 1.0 + 1e-9);
         }
     }

@@ -190,8 +190,14 @@ impl ClipSynthesizer {
         let n = c.clip_samples();
         let fs = c.sample_rate;
 
-        let mut samples =
-            noise::ambient_bed(n, fs, c.wind_level, c.floor_level, c.activity_level, &mut rng);
+        let mut samples = noise::ambient_bed(
+            n,
+            fs,
+            c.wind_level,
+            c.floor_level,
+            c.activity_level,
+            &mut rng,
+        );
 
         let bouts = rng.random_range(c.min_songs..=c.max_songs);
         let mut events: Vec<SongEvent> = Vec::with_capacity(bouts);
@@ -207,9 +213,9 @@ impl ClipSynthesizer {
             for _ in 0..40 {
                 let start = rng.random_range(0..n - song.len());
                 let end = start + song.len();
-                let clash = events.iter().any(|e| {
-                    e.overlap(start.saturating_sub(guard), end + guard) > 0
-                });
+                let clash = events
+                    .iter()
+                    .any(|e| e.overlap(start.saturating_sub(guard), end + guard) > 0);
                 if !clash {
                     let gain = rng.random_range(c.song_gain.0..=c.song_gain.1);
                     mix_into(&mut samples, &song, start, gain);

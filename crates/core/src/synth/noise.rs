@@ -79,7 +79,10 @@ pub fn ambient_bed(
     for (b, f) in bed.iter_mut().zip(floor(n, floor_level, rng)) {
         *b += f;
     }
-    for (b, h) in bed.iter_mut().zip(human_activity(n, fs, activity_level, rng)) {
+    for (b, h) in bed
+        .iter_mut()
+        .zip(human_activity(n, fs, activity_level, rng))
+    {
         *b += h;
     }
     bed

@@ -18,7 +18,12 @@ fn figure5_streaming_equals_batch() {
     let synth = ClipSynthesizer::new(SynthConfig::short_test());
     let clip = synth.clip(SpeciesCode::Rwbl, 42);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-    let records = clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
+    let records = clip_to_records(
+        &clip.samples[..usable],
+        cfg.sample_rate,
+        cfg.record_len,
+        &[],
+    );
 
     for with_paa in [false, true] {
         let batch = full_pipeline(cfg, with_paa)
@@ -102,7 +107,12 @@ fn unbounded_stream_runs_in_constant_memory() {
         let mut sink = CountingSink::default();
         let stats = p
             .run_streaming(
-                clip_record_source(sensor_stream(n, cfg.sample_rate), cfg.sample_rate, cfg.record_len, &[]),
+                clip_record_source(
+                    sensor_stream(n, cfg.sample_rate),
+                    cfg.sample_rate,
+                    cfg.record_len,
+                    &[],
+                ),
                 &mut sink,
             )
             .unwrap();
@@ -173,7 +183,12 @@ fn run_count_agrees_with_run_on_extraction() {
     let synth = ClipSynthesizer::new(SynthConfig::short_test());
     let clip = synth.clip(SpeciesCode::Noca, 3);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-    let records = clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
+    let records = clip_to_records(
+        &clip.samples[..usable],
+        cfg.sample_rate,
+        cfg.record_len,
+        &[],
+    );
 
     let collected = extraction_segment(cfg).run(records.clone()).unwrap();
     let counted = extraction_segment(cfg).run_count(records).unwrap();

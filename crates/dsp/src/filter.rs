@@ -131,7 +131,9 @@ mod tests {
     use crate::signal::rms;
 
     fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / fs).sin())
+            .collect()
     }
 
     /// Measure steady-state gain of a filter at a frequency (skipping the

@@ -81,7 +81,10 @@ mod tests {
         let n = 512;
         let fs = 512.0;
         let x: Vec<f64> = (0..n)
-            .map(|i| (2.0 * PI * 40.0 * i as f64 / fs).sin() + 0.3 * (2.0 * PI * 100.0 * i as f64 / fs).cos())
+            .map(|i| {
+                (2.0 * PI * 40.0 * i as f64 / fs).sin()
+                    + 0.3 * (2.0 * PI * 100.0 * i as f64 / fs).cos()
+            })
             .collect();
         let spec = Fft::new(n).forward_real(&x);
         for &k in &[40usize, 100, 7] {

@@ -83,10 +83,15 @@ mod tests {
         let from = 22_050.0;
         let to = 20_160.0;
         let n = 22_050;
-        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * 400.0 * i as f64 / from).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 400.0 * i as f64 / from).sin())
+            .collect();
         let y = resample_linear(&x, from, to);
         // Count zero crossings; a 400 Hz tone over 1 s has ~800.
-        let crossings = y.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
+        let crossings = y
+            .windows(2)
+            .filter(|w| w[0].signum() != w[1].signum())
+            .count();
         assert!((crossings as i64 - 800).abs() <= 2, "crossings {crossings}");
     }
 

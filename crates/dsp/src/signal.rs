@@ -97,7 +97,9 @@ mod tests {
 
     #[test]
     fn oscillogram_normalization_bounds() {
-        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin() * 3.0 + 1.0).collect();
+        let samples: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.1).sin() * 3.0 + 1.0)
+            .collect();
         let norm = normalize_oscillogram(&samples);
         let max = norm.iter().cloned().fold(f64::MIN, f64::max);
         let min = norm.iter().cloned().fold(f64::MAX, f64::min);

@@ -241,7 +241,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(freq: f64, rate: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / rate).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / rate).sin())
+            .collect()
     }
 
     #[test]

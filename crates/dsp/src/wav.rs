@@ -177,13 +177,12 @@ impl WavData {
 }
 
 fn read_exact_or_malformed<R: Read>(mut r: R, buf: &mut [u8], what: &str) -> Result<(), WavError> {
-    r.read_exact(buf)
-        .map_err(|e| match e.kind() {
-            io::ErrorKind::UnexpectedEof => {
-                WavError::Malformed(format!("truncated while reading {what}"))
-            }
-            _ => WavError::Io(e),
-        })
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => {
+            WavError::Malformed(format!("truncated while reading {what}"))
+        }
+        _ => WavError::Io(e),
+    })
 }
 
 fn u16_le(b: &[u8]) -> u16 {
@@ -298,10 +297,7 @@ impl WavReader {
             )));
         }
         let samples = match spec.sample_format {
-            SampleFormat::Pcm8 => bytes
-                .iter()
-                .map(|&b| (b as f64 - 128.0) / 128.0)
-                .collect(),
+            SampleFormat::Pcm8 => bytes.iter().map(|&b| (b as f64 - 128.0) / 128.0).collect(),
             SampleFormat::Pcm16 => bytes
                 .chunks_exact(2)
                 .map(|c| i16::from_le_bytes([c[0], c[1]]) as f64 / 32768.0)

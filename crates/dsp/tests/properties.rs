@@ -9,8 +9,11 @@ use river_dsp::window::WindowKind;
 use river_dsp::Complex64;
 
 fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect()
+    })
 }
 
 proptest! {

@@ -265,10 +265,7 @@ impl Meso {
     where
         I: IntoIterator<Item = (&'a [f64], Label)>,
     {
-        items
-            .into_iter()
-            .map(|(f, l)| self.train(f, l))
-            .collect()
+        items.into_iter().map(|(f, l)| self.train(f, l)).collect()
     }
 
     /// Removes a training pattern from memory (its sphere's center and
@@ -488,10 +485,13 @@ mod tests {
         m.train(&[1.0], 1);
         assert_eq!(m.sphere_count(), 1);
         assert_eq!(m.classify(&[0.9]), Some(1));
-        let majority = Meso::new(1, MesoConfig {
-            query_mode: QueryMode::SphereMajority,
-            ..cfg
-        });
+        let majority = Meso::new(
+            1,
+            MesoConfig {
+                query_mode: QueryMode::SphereMajority,
+                ..cfg
+            },
+        );
         let _ = majority; // majority mode covered by other tests
     }
 

@@ -166,8 +166,7 @@ pub fn leave_one_out(ds: &Dataset, cfg: &CrossValConfig) -> RunStats {
                         .iter()
                         .filter_map(|&p| memory.classify(ds.features(p)))
                         .collect();
-                    if let (Some(predicted), Some(actual)) =
-                        (vote(&predictions), ds.group_label(g))
+                    if let (Some(predicted), Some(actual)) = (vote(&predictions), ds.group_label(g))
                     {
                         stats.confusion.record(actual, predicted);
                         tested += 1;
@@ -180,9 +179,11 @@ pub fn leave_one_out(ds: &Dataset, cfg: &CrossValConfig) -> RunStats {
                     }
                 }
                 stats.test_time += t1.elapsed();
-                stats
-                    .accuracies
-                    .push(if tested == 0 { 0.0 } else { correct as f64 / tested as f64 });
+                stats.accuracies.push(if tested == 0 {
+                    0.0
+                } else {
+                    correct as f64 / tested as f64
+                });
             }
             LooMode::Retrain => {
                 let mut correct = 0usize;
@@ -219,9 +220,11 @@ pub fn leave_one_out(ds: &Dataset, cfg: &CrossValConfig) -> RunStats {
                     }
                     stats.test_time += t1.elapsed();
                 }
-                stats
-                    .accuracies
-                    .push(if tested == 0 { 0.0 } else { correct as f64 / tested as f64 });
+                stats.accuracies.push(if tested == 0 {
+                    0.0
+                } else {
+                    correct as f64 / tested as f64
+                });
             }
         }
     }
@@ -280,9 +283,11 @@ pub fn resubstitution(ds: &Dataset, cfg: &CrossValConfig) -> RunStats {
             }
         }
         stats.test_time += t1.elapsed();
-        stats
-            .accuracies
-            .push(if tested == 0 { 0.0 } else { correct as f64 / tested as f64 });
+        stats.accuracies.push(if tested == 0 {
+            0.0
+        } else {
+            correct as f64 / tested as f64
+        });
     }
     stats
 }
@@ -351,9 +356,11 @@ pub fn k_fold(ds: &Dataset, k: usize, cfg: &CrossValConfig) -> RunStats {
             }
             stats.test_time += t1.elapsed();
         }
-        stats
-            .accuracies
-            .push(if tested == 0 { 0.0 } else { correct as f64 / tested as f64 });
+        stats.accuracies.push(if tested == 0 {
+            0.0
+        } else {
+            correct as f64 / tested as f64
+        });
     }
     stats
 }

@@ -303,7 +303,11 @@ mod tests {
         let tree = SphereTree::build(entries.clone());
         for i in 0..50 {
             let q = vec![(i as f64) * 0.37 % 10.0, (i as f64) * 0.73 % 10.0];
-            assert_eq!(tree.nearest(&q), linear_nearest(&entries, &q), "query {q:?}");
+            assert_eq!(
+                tree.nearest(&q),
+                linear_nearest(&entries, &q),
+                "query {q:?}"
+            );
         }
     }
 

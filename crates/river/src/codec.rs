@@ -69,9 +69,13 @@ pub fn crc32(data: &[u8]) -> u32 {
 fn encode_payload(payload: &Payload, out: &mut BytesMut) {
     match payload {
         Payload::Empty => {}
+        // Views serialize transparently: only the viewed samples are
+        // framed, never the rest of the backing allocation, so a
+        // non-zero-offset slice and an owned buffer with equal content
+        // produce identical bytes.
         Payload::F64(v) | Payload::Complex(v) => {
             out.reserve(v.len() * 8);
-            for &x in v {
+            for &x in v.iter() {
                 out.put_f64_le(x);
             }
         }
@@ -105,14 +109,25 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Payload, PipelineError> {
                     bytes.len()
                 )));
             }
+            // Complex payloads are interleaved [re, im, …] pairs; an odd
+            // number of f64s cannot be produced by any in-process
+            // constructor and must not enter through the wire.
+            if tag == 2 && bytes.len() % 16 != 0 {
+                return Err(codec_err(format!(
+                    "complex payload length {} is not a whole number of (re, im) pairs",
+                    bytes.len()
+                )));
+            }
+            // Decoding always yields a canonical owned buffer: offset 0,
+            // view length == backing length.
             let v: Vec<f64> = bytes
                 .chunks_exact(8)
                 .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
                 .collect();
             Ok(if tag == 1 {
-                Payload::F64(v)
+                Payload::f64(v)
             } else {
-                Payload::Complex(v)
+                Payload::complex(v)
             })
         }
         3 => Ok(Payload::Bytes(Bytes::copy_from_slice(bytes))),
@@ -167,7 +182,7 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Payload, PipelineError> {
 /// use dynamic_river::codec::{decode_frame, encode_frame};
 /// use dynamic_river::record::{Payload, Record};
 ///
-/// let rec = Record::data(1, Payload::F64(vec![1.0, -1.0])).with_seq(5);
+/// let rec = Record::data(1, Payload::f64(vec![1.0, -1.0])).with_seq(5);
 /// let frame = encode_frame(&rec);
 /// let (decoded, used) = decode_frame(&frame).unwrap().unwrap();
 /// assert_eq!(decoded, rec);
@@ -326,8 +341,7 @@ pub fn read_record<R: Read>(mut reader: R) -> Result<ReadOutcome, PipelineError>
     let mut frame = Vec::with_capacity(HEADER_LEN + 64);
     frame.extend_from_slice(&magic);
     frame.extend_from_slice(&rest_header);
-    let payload_len =
-        u32::from_le_bytes(frame[24..28].try_into().expect("4 bytes")) as usize;
+    let payload_len = u32::from_le_bytes(frame[24..28].try_into().expect("4 bytes")) as usize;
     if payload_len > MAX_PAYLOAD {
         return Err(PipelineError::Codec(format!(
             "payload length {payload_len} exceeds maximum {MAX_PAYLOAD}"
@@ -382,13 +396,16 @@ mod tests {
     fn samples() -> Vec<Record> {
         vec![
             Record::data(1, Payload::Empty),
-            Record::data(2, Payload::F64(vec![1.5, -2.5, 0.0])).with_seq(99),
-            Record::data(3, Payload::Complex(vec![1.0, 2.0])),
+            Record::data(2, Payload::f64(vec![1.5, -2.5, 0.0])).with_seq(99),
+            Record::data(3, Payload::complex(vec![1.0, 2.0])),
             Record::data(4, Payload::Bytes(Bytes::from_static(b"hello"))),
             Record::data(5, Payload::Text("héllo wörld".into())),
             Record::open_scope(
                 7,
-                vec![("sample_rate".into(), "20160".into()), ("site".into(), "kbs".into())],
+                vec![
+                    ("sample_rate".into(), "20160".into()),
+                    ("site".into(), "kbs".into()),
+                ],
             )
             .with_depth(1),
             Record::close_scope(7),
@@ -404,6 +421,45 @@ mod tests {
             assert_eq!(decoded, rec);
             assert_eq!(used, frame.len());
         }
+    }
+
+    #[test]
+    fn offset_view_encodes_like_owned_buffer() {
+        // A non-zero-offset view frames byte-for-byte identically to an
+        // owned buffer with the same content, and decodes back to a
+        // canonical (offset 0) buffer equal to the view.
+        use crate::buf::SampleBuf;
+        let backing = SampleBuf::from((0..16).map(|i| i as f64).collect::<Vec<f64>>());
+        let view = backing.slice(5..11);
+        for make in [Payload::F64, Payload::Complex] {
+            let viewed = Record::data(2, make(view.clone())).with_seq(3);
+            let owned = Record::data(2, make(SampleBuf::from(view.to_vec()))).with_seq(3);
+            let frame_view = encode_frame(&viewed);
+            assert_eq!(frame_view, encode_frame(&owned));
+            let (decoded, _) = decode_frame(&frame_view).unwrap().unwrap();
+            assert_eq!(decoded, viewed);
+            let buf = decoded
+                .payload
+                .as_f64_buf()
+                .or_else(|| decoded.payload.as_complex_buf())
+                .unwrap();
+            assert_eq!(buf.offset(), 0, "decode yields a canonical buffer");
+            assert_eq!(buf.backing().len(), buf.len());
+        }
+    }
+
+    #[test]
+    fn odd_complex_payload_rejected() {
+        // Re-tag an F64 frame with 3 samples as Complex and fix the CRC:
+        // 24 bytes is a valid f64 count but not a whole (re, im) pair
+        // count, so decode must refuse it.
+        let mut frame = encode_frame(&Record::data(1, Payload::f64(vec![1.0, 2.0, 3.0])));
+        frame[14] = 2; // payload tag -> Complex
+        let body_end = frame.len() - 4;
+        let crc = crc32(&frame[..body_end]);
+        frame[body_end..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(m) if m.contains("pairs")));
     }
 
     #[test]

@@ -157,7 +157,7 @@ mod tests {
         for s in 0..3 {
             v.push(Record::open_scope(1, vec![]));
             for i in 0..4 {
-                v.push(Record::data(1, Payload::F64(vec![i as f64])).with_seq(s * 10 + i));
+                v.push(Record::data(1, Payload::f64(vec![i as f64])).with_seq(s * 10 + i));
             }
             v.push(Record::close_scope(1));
         }

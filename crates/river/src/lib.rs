@@ -15,7 +15,10 @@
 //! ## Key concepts
 //!
 //! - [`record::Record`] — the unit of flow. Records carry `subtype`,
-//!   `scope` (nesting depth) and `scope_type` header fields.
+//!   `scope` (nesting depth) and `scope_type` header fields. Sample
+//!   payloads are [`buf::SampleBuf`] views over shared `Arc<[f64]>`
+//!   buffers: cloning a record or slicing a window out of one is O(1)
+//!   and copies no samples (see `DESIGN.md` §10).
 //! - **Scopes** — "a sequence of records that share some contextual
 //!   meaning, such as having been produced from the same acoustic clip."
 //!   Every scope begins with an `OpenScope` record and ends with a
@@ -44,13 +47,12 @@
 //! // Scope a little stream, double every payload value, and count.
 //! let records = vec![
 //!     Record::open_scope(7, vec![]),
-//!     Record::data(1, Payload::F64(vec![1.0, 2.0])),
+//!     Record::data(1, Payload::f64(vec![1.0, 2.0])),
 //!     Record::close_scope(7),
 //! ];
 //! let mut pipeline = Pipeline::new();
-//! pipeline.add(MapPayload::new("double", |mut v: Vec<f64>| {
+//! pipeline.add(MapPayload::new("double", |v: &mut [f64]| {
 //!     v.iter_mut().for_each(|x| *x *= 2.0);
-//!     v
 //! }));
 //! let out = pipeline.run(records).unwrap();
 //! assert_eq!(out.len(), 3);
@@ -60,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod codec;
 pub mod error;
 pub mod fault;
@@ -74,6 +77,7 @@ pub mod source;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
+    pub use crate::buf::SampleBuf;
     pub use crate::error::PipelineError;
     pub use crate::operator::{CountingSink, FnSink, NullSink, Operator, Sink};
     pub use crate::ops::{FnOp, Inspect, MapPayload, Passthrough, RecordCounter, RecordFilter};
@@ -83,9 +87,10 @@ pub mod prelude {
     pub use crate::source::{ChunkedF64Source, FnSource, Source};
 }
 
+pub use buf::SampleBuf;
 pub use error::PipelineError;
 pub use operator::{CountingSink, Operator, Sink};
 pub use pipeline::{Pipeline, StageStats, StreamStats};
-pub use source::Source;
 pub use record::{Payload, Record, RecordKind};
 pub use scope::ScopeTracker;
+pub use source::Source;

@@ -169,10 +169,7 @@ impl<R: Read> StreamIn<R> {
 /// # Errors
 ///
 /// Propagates accept/read failures.
-pub fn serve_once(
-    listener: &TcpListener,
-    sink: &mut dyn Sink,
-) -> Result<StreamEnd, PipelineError> {
+pub fn serve_once(listener: &TcpListener, sink: &mut dyn Sink) -> Result<StreamEnd, PipelineError> {
     let (stream, _peer) = listener.accept()?;
     stream.set_nodelay(true)?;
     let mut streamin = StreamIn::new(stream);
@@ -206,7 +203,7 @@ mod tests {
     fn scoped_records(n: usize) -> Vec<Record> {
         let mut v = vec![Record::open_scope(1, vec![("rate".into(), "20160".into())])];
         for i in 0..n {
-            v.push(Record::data(1, Payload::F64(vec![i as f64])).with_seq(i as u64));
+            v.push(Record::data(1, Payload::f64(vec![i as f64])).with_seq(i as u64));
         }
         v.push(Record::close_scope(1));
         v
@@ -235,7 +232,7 @@ mod tests {
             let mut writer = BufWriter::new(stream);
             write_record(&mut writer, &Record::open_scope(3, vec![])).unwrap();
             write_record(&mut writer, &Record::open_scope(4, vec![])).unwrap();
-            write_record(&mut writer, &Record::data(1, Payload::F64(vec![1.0]))).unwrap();
+            write_record(&mut writer, &Record::data(1, Payload::f64(vec![1.0]))).unwrap();
             writer.flush().unwrap();
             // Drop without sentinel: simulated crash.
         });

@@ -23,8 +23,16 @@ impl Operator for Passthrough {
     }
 }
 
-/// Applies a function to the `F64` payload of data records (other
-/// records pass through untouched).
+/// Applies an in-place function to the `F64` payload of data records
+/// (other records pass through untouched).
+///
+/// The closure receives the samples as `&mut [f64]` through the
+/// payload's copy-on-write view ([`SampleBuf::make_mut`]): when the
+/// record is the sole owner of its buffer the mutation is in place,
+/// and when the buffer is shared with other records the view is copied
+/// first so no sibling observes the change.
+///
+/// [`SampleBuf::make_mut`]: crate::buf::SampleBuf::make_mut
 pub struct MapPayload<F> {
     name: String,
     f: F,
@@ -32,7 +40,7 @@ pub struct MapPayload<F> {
 
 impl<F> MapPayload<F>
 where
-    F: FnMut(Vec<f64>) -> Vec<f64> + Send,
+    F: FnMut(&mut [f64]) + Send,
 {
     /// Creates a payload mapper with a display name.
     pub fn new(name: impl Into<String>, f: F) -> Self {
@@ -45,7 +53,7 @@ where
 
 impl<F> Operator for MapPayload<F>
 where
-    F: FnMut(Vec<f64>) -> Vec<f64> + Send,
+    F: FnMut(&mut [f64]) + Send,
 {
     fn name(&self) -> &str {
         &self.name
@@ -53,8 +61,8 @@ where
 
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data {
-            if let Payload::F64(v) = record.payload {
-                record.payload = Payload::F64((self.f)(v));
+            if let Payload::F64(v) = &mut record.payload {
+                (self.f)(v.make_mut());
             }
         }
         out.push(record)
@@ -298,8 +306,8 @@ mod tests {
     fn scoped_stream() -> Vec<Record> {
         vec![
             Record::open_scope(1, vec![]),
-            Record::data(1, Payload::F64(vec![1.0, 2.0])),
-            Record::data(2, Payload::F64(vec![3.0])),
+            Record::data(1, Payload::f64(vec![1.0, 2.0])),
+            Record::data(2, Payload::f64(vec![3.0])),
             Record::close_scope(1),
         ]
     }
@@ -316,13 +324,38 @@ mod tests {
     #[test]
     fn map_payload_transforms_data_only() {
         let mut p = Pipeline::new();
-        p.add(MapPayload::new("negate", |mut v: Vec<f64>| {
+        p.add(MapPayload::new("negate", |v: &mut [f64]| {
             v.iter_mut().for_each(|x| *x = -*x);
-            v
         }));
         let out = p.run(scoped_stream()).unwrap();
         assert_eq!(out[1].payload.as_f64().unwrap(), &[-1.0, -2.0]);
         assert_eq!(out[0].kind, RecordKind::OpenScope); // untouched
+    }
+
+    #[test]
+    fn map_payload_copies_on_write_only_when_shared() {
+        use crate::buf::SampleBuf;
+        let shared = SampleBuf::from(vec![1.0, 2.0, 3.0]);
+        let keep = shared.clone();
+        let mut p = Pipeline::new();
+        p.add(MapPayload::new("negate", |v: &mut [f64]| {
+            v.iter_mut().for_each(|x| *x = -*x);
+        }));
+        let out = p
+            .run(vec![
+                Record::data(0, Payload::F64(shared)),
+                Record::data(1, Payload::f64(vec![5.0])),
+            ])
+            .unwrap();
+        // The shared buffer was copied before mutation …
+        assert_eq!(&keep[..], &[1.0, 2.0, 3.0]);
+        assert_eq!(out[0].payload.as_f64().unwrap(), &[-1.0, -2.0, -3.0]);
+        assert!(!SampleBuf::shares_backing(
+            &keep,
+            out[0].payload.as_f64_buf().unwrap()
+        ));
+        // … while the uniquely owned one was mutated in place.
+        assert_eq!(out[1].payload.as_f64().unwrap(), &[-5.0]);
     }
 
     #[test]

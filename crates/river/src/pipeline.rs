@@ -170,13 +170,12 @@ impl Sink for ChainSink<'_> {
 /// use dynamic_river::prelude::*;
 ///
 /// let mut p = Pipeline::new();
-/// p.add(MapPayload::new("gain", |mut v: Vec<f64>| {
+/// p.add(MapPayload::new("gain", |v: &mut [f64]| {
 ///     v.iter_mut().for_each(|x| *x *= 10.0);
-///     v
 /// }));
 /// p.add(RecordFilter::new("nonempty", |r: &Record| r.byte_len() > 0));
 /// assert_eq!(p.len(), 2);
-/// let out = p.run(vec![Record::data(0, Payload::F64(vec![1.0]))]).unwrap();
+/// let out = p.run(vec![Record::data(0, Payload::f64(vec![1.0]))]).unwrap();
 /// assert_eq!(out[0].payload.as_f64().unwrap(), &[10.0]);
 /// ```
 pub struct Pipeline {
@@ -294,7 +293,11 @@ impl Pipeline {
         mut source: impl Source,
         sink: &mut dyn Sink,
     ) -> Result<StreamStats, PipelineError> {
-        let mut stats: Vec<StageStats> = self.ops.iter().map(|op| StageStats::new(op.name())).collect();
+        let mut stats: Vec<StageStats> = self
+            .ops
+            .iter()
+            .map(|op| StageStats::new(op.name()))
+            .collect();
         let mut totals = SinkTotals::default();
         let mut source_records = 0u64;
         while let Some(record) = source.next_record()? {
@@ -486,7 +489,7 @@ mod tests {
 
     fn numbered(n: usize) -> Vec<Record> {
         (0..n)
-            .map(|i| Record::data(0, Payload::F64(vec![i as f64])).with_seq(i as u64))
+            .map(|i| Record::data(0, Payload::f64(vec![i as f64])).with_seq(i as u64))
             .collect()
     }
 
@@ -522,13 +525,11 @@ mod tests {
     #[test]
     fn stages_compose_in_order() {
         let mut p = Pipeline::new();
-        p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+        p.add(MapPayload::new("plus1", |v: &mut [f64]| {
             v.iter_mut().for_each(|x| *x += 1.0);
-            v
         }));
-        p.add(MapPayload::new("times2", |mut v: Vec<f64>| {
+        p.add(MapPayload::new("times2", |v: &mut [f64]| {
             v.iter_mut().for_each(|x| *x *= 2.0);
-            v
         }));
         let out = p.run(numbered(3)).unwrap();
         // (x + 1) * 2
@@ -539,14 +540,12 @@ mod tests {
     #[test]
     fn extend_composes_segments() {
         let mut front = Pipeline::new();
-        front.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+        front.add(MapPayload::new("plus1", |v: &mut [f64]| {
             v.iter_mut().for_each(|x| *x += 1.0);
-            v
         }));
         let mut back = Pipeline::new();
-        back.add(MapPayload::new("times2", |mut v: Vec<f64>| {
+        back.add(MapPayload::new("times2", |v: &mut [f64]| {
             v.iter_mut().for_each(|x| *x *= 2.0);
-            v
         }));
         back.add(Passthrough);
         front.extend(back);
@@ -608,9 +607,8 @@ mod tests {
     fn streaming_matches_batch_with_eos_buffering() {
         let build = || {
             let mut p = Pipeline::new();
-            p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+            p.add(MapPayload::new("plus1", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x += 1.0);
-                v
             }));
             p.add(Buffering { held: Vec::new() });
             p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
@@ -704,9 +702,8 @@ mod tests {
         // same output as the default — capacity only shapes scheduling.
         for capacity in [0usize, 1, 4] {
             let mut p = Pipeline::new().with_channel_capacity(capacity);
-            p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+            p.add(MapPayload::new("plus1", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x += 1.0);
-                v
             }));
             p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
             assert_eq!(p.channel_capacity(), capacity);
@@ -720,14 +717,12 @@ mod tests {
     fn threaded_matches_sync() {
         let build = || {
             let mut p = Pipeline::new();
-            p.add(MapPayload::new("plus1", |mut v: Vec<f64>| {
+            p.add(MapPayload::new("plus1", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x += 1.0);
-                v
             }));
             p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
-            p.add(MapPayload::new("times3", |mut v: Vec<f64>| {
+            p.add(MapPayload::new("times3", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x *= 3.0);
-                v
             }));
             p
         };
@@ -758,7 +753,7 @@ mod tests {
     fn threaded_preserves_order() {
         let mut p = Pipeline::new();
         for i in 0..4 {
-            p.add(MapPayload::new(format!("stage{i}"), |v| v));
+            p.add(MapPayload::new(format!("stage{i}"), |_: &mut [f64]| {}));
         }
         let out = p.run_threaded(numbered(500)).unwrap();
         for (i, r) in out.iter().enumerate() {

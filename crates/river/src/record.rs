@@ -9,6 +9,7 @@
 //! Optionally, `OpenScope` records may contain context information, such
 //! as the sampling rate of an acoustic clip." (paper §2)
 
+use crate::buf::SampleBuf;
 use bytes::Bytes;
 use std::fmt;
 
@@ -55,16 +56,28 @@ impl RecordKind {
 }
 
 /// Typed record payload.
+///
+/// Sample-carrying variants (`F64`, `Complex`) hold a [`SampleBuf`] —
+/// an `Arc`-backed view — so cloning a record never copies samples and
+/// re-windowing operators can emit O(1) sub-views of their input
+/// (`reslice`, `cutout`, `cutter`). Construct them from owned data with
+/// `Payload::F64(vec.into())` or the [`f64`](Self::f64) /
+/// [`complex`](Self::complex) helpers; equality is by sample content,
+/// not by allocation.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum Payload {
     /// No payload (scope records, markers).
     #[default]
     Empty,
-    /// 64-bit float samples (audio, anomaly scores, spectra).
-    F64(Vec<f64>),
+    /// 64-bit float samples (audio, anomaly scores, spectra) as a
+    /// shared, sliceable view.
+    F64(SampleBuf),
     /// Interleaved complex values as `[re, im, re, im, …]` (the
-    /// `float2cplx`/`dft` stages).
-    Complex(Vec<f64>),
+    /// `float2cplx`/`dft` stages), also a shared view. By contract the
+    /// length is a whole number of pairs: constructors do not enforce
+    /// it, but the wire codec rejects odd counts on decode and the
+    /// `dft` operator errors on them.
+    Complex(SampleBuf),
     /// Raw bytes (encapsulated file content, opaque blobs).
     Bytes(Bytes),
     /// UTF-8 text.
@@ -74,6 +87,18 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// Builds an `F64` payload from anything convertible to a
+    /// [`SampleBuf`] (`Vec<f64>`, `&[f64]`, an existing view).
+    pub fn f64(samples: impl Into<SampleBuf>) -> Payload {
+        Payload::F64(samples.into())
+    }
+
+    /// Builds a `Complex` payload (interleaved `[re, im, …]`) from
+    /// anything convertible to a [`SampleBuf`].
+    pub fn complex(interleaved: impl Into<SampleBuf>) -> Payload {
+        Payload::Complex(interleaved.into())
+    }
+
     /// Stable wire tag for the payload variant.
     pub fn tag(&self) -> u8 {
         match self {
@@ -89,13 +114,30 @@ impl Payload {
     /// Borrows the `F64` samples, if that is the variant.
     pub fn as_f64(&self) -> Option<&[f64]> {
         match self {
-            Payload::F64(v) => Some(v),
+            Payload::F64(v) => Some(v.as_slice()),
             _ => None,
         }
     }
 
     /// Borrows the interleaved complex values, if that is the variant.
     pub fn as_complex(&self) -> Option<&[f64]> {
+        match self {
+            Payload::Complex(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Borrows the `F64` sample view, if that is the variant — for
+    /// operators that slice or share the buffer rather than read it.
+    pub fn as_f64_buf(&self) -> Option<&SampleBuf> {
+        match self {
+            Payload::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the `Complex` sample view, if that is the variant.
+    pub fn as_complex_buf(&self) -> Option<&SampleBuf> {
         match self {
             Payload::Complex(v) => Some(v),
             _ => None,
@@ -225,18 +267,21 @@ impl Record {
     }
 
     /// Builder-style: sets the sequence number.
+    #[must_use = "with_seq returns the modified record; it does not mutate in place"]
     pub fn with_seq(mut self, seq: u64) -> Self {
         self.seq = seq;
         self
     }
 
     /// Builder-style: sets the scope depth.
+    #[must_use = "with_depth returns the modified record; it does not mutate in place"]
     pub fn with_depth(mut self, depth: u32) -> Self {
         self.scope_depth = depth;
         self
     }
 
     /// Builder-style: sets the subtype.
+    #[must_use = "with_subtype returns the modified record; it does not mutate in place"]
     pub fn with_subtype(mut self, subtype: u16) -> Self {
         self.subtype = subtype;
         self
@@ -258,8 +303,9 @@ impl fmt::Display for Record {
         match self.kind {
             RecordKind::Data => write!(
                 f,
-                "Data(subtype={}, depth={}, seq={}, {} bytes)",
+                "Data(subtype={}, scope_type={}, depth={}, seq={}, {} bytes)",
                 self.subtype,
+                self.scope_type,
                 self.scope_depth,
                 self.seq,
                 self.byte_len()
@@ -310,8 +356,15 @@ mod tests {
 
     #[test]
     fn payload_accessors() {
-        assert_eq!(Payload::F64(vec![1.0]).as_f64(), Some(&[1.0][..]));
-        assert_eq!(Payload::F64(vec![1.0]).as_text(), None);
+        assert_eq!(Payload::f64(vec![1.0]).as_f64(), Some(&[1.0][..]));
+        assert_eq!(Payload::f64(vec![1.0]).as_text(), None);
+        assert_eq!(
+            Payload::complex(vec![1.0, 2.0]).as_complex(),
+            Some(&[1.0, 2.0][..])
+        );
+        assert!(Payload::f64(vec![1.0]).as_f64_buf().is_some());
+        assert!(Payload::f64(vec![1.0]).as_complex_buf().is_none());
+        assert!(Payload::complex(vec![1.0, 0.0]).as_complex_buf().is_some());
         assert_eq!(Payload::Text("x".into()).as_text(), Some("x"));
         let pairs = Payload::Pairs(vec![("rate".into(), "20160".into())]);
         assert_eq!(pairs.context("rate"), Some("20160"));
@@ -322,14 +375,14 @@ mod tests {
     #[test]
     fn byte_len_accounting() {
         assert_eq!(Payload::Empty.byte_len(), 0);
-        assert_eq!(Payload::F64(vec![0.0; 10]).byte_len(), 80);
+        assert_eq!(Payload::f64(vec![0.0; 10]).byte_len(), 80);
         assert_eq!(Payload::Text("abc".into()).byte_len(), 3);
         assert_eq!(Payload::Bytes(Bytes::from_static(b"abcd")).byte_len(), 4);
     }
 
     #[test]
     fn constructors_and_builders() {
-        let r = Record::data(3, Payload::F64(vec![1.0]))
+        let r = Record::data(3, Payload::f64(vec![1.0]))
             .with_seq(9)
             .with_depth(2)
             .with_subtype(5);
@@ -355,6 +408,41 @@ mod tests {
             Record::bad_close_scope(1),
         ] {
             assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn data_display_includes_scope_type() {
+        // Inside an ensemble scope, trace output must disambiguate which
+        // scope type a data record belongs to.
+        let r = Record::data(2, Payload::f64(vec![0.0; 4]))
+            .with_depth(2)
+            .with_subtype(3);
+        let r = Record { scope_type: 9, ..r };
+        let s = r.to_string();
+        assert!(s.contains("scope_type=9"), "{s}");
+        assert!(s.contains("subtype=3"), "{s}");
+    }
+
+    #[test]
+    fn record_clone_shares_sample_backing() {
+        // The acceptance criterion for the zero-copy payload redesign:
+        // cloning an F64/Complex record copies no samples — the clone's
+        // payload is a view into the same backing allocation.
+        use crate::buf::SampleBuf;
+        for payload in [
+            Payload::f64((0..840).map(|i| i as f64).collect::<Vec<f64>>()),
+            Payload::complex(vec![1.0; 1_680]),
+        ] {
+            let rec = Record::data(1, payload).with_seq(7);
+            let cloned = rec.clone();
+            let (a, b) = match (&rec.payload, &cloned.payload) {
+                (Payload::F64(a), Payload::F64(b)) => (a, b),
+                (Payload::Complex(a), Payload::Complex(b)) => (a, b),
+                other => panic!("variant changed by clone: {other:?}"),
+            };
+            assert!(SampleBuf::shares_backing(a, b));
+            assert_eq!(rec, cloned);
         }
     }
 }

@@ -221,7 +221,7 @@ mod tests {
         let mut t = ScopeTracker::new();
         t.observe(&Record::open_scope(1, vec![])).unwrap();
         let e = t
-            .observe(&Record::data(0, Payload::F64(vec![0.0])))
+            .observe(&Record::data(0, Payload::f64(vec![0.0])))
             .unwrap();
         assert_eq!(e, ScopeEvent::Data(1));
     }

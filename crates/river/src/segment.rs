@@ -64,11 +64,7 @@ struct Instance {
     host: String,
 }
 
-fn spawn_instance(
-    pipeline: Pipeline,
-    output: Sender<Record>,
-    host: String,
-) -> Instance {
+fn spawn_instance(pipeline: Pipeline, output: Sender<Record>, host: String) -> Instance {
     let capacity = pipeline.channel_capacity();
     let (stages, feed_tx, out_rx) = pipeline.spawn_threaded(capacity);
     // Continuous drainer: forwards the instance's output so bounded
@@ -303,9 +299,7 @@ mod tests {
     fn scope_burst(scope_type: u16, n: usize, base_seq: u64) -> Vec<Record> {
         let mut v = vec![Record::open_scope(scope_type, vec![])];
         for i in 0..n {
-            v.push(
-                Record::data(1, Payload::F64(vec![i as f64])).with_seq(base_seq + i as u64),
-            );
+            v.push(Record::data(1, Payload::f64(vec![i as f64])).with_seq(base_seq + i as u64));
         }
         v.push(Record::close_scope(scope_type));
         v
@@ -318,9 +312,8 @@ mod tests {
         let seg = RelocatablePipeline::spawn(
             || {
                 let mut p = Pipeline::new();
-                p.add(MapPayload::new("x2", |mut v: Vec<f64>| {
+                p.add(MapPayload::new("x2", |v: &mut [f64]| {
                     v.iter_mut().for_each(|x| *x *= 2.0);
-                    v
                 }));
                 p
             },
@@ -475,9 +468,8 @@ mod tests {
         // Segment host: doubles payloads.
         let segment_thread = thread::spawn(move || {
             let mut p = Pipeline::new();
-            p.add(MapPayload::new("x2", |mut v: Vec<f64>| {
+            p.add(MapPayload::new("x2", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x *= 2.0);
-                v
             }));
             run_network_segment(&seg_listener, sink_addr, p).unwrap()
         });

@@ -163,7 +163,7 @@ where
         self.seq += 1;
         let depth = u32::from(self.scope.is_some());
         Some(
-            Record::data(self.subtype, Payload::F64(chunk))
+            Record::data(self.subtype, Payload::f64(chunk))
                 .with_seq(seq)
                 .with_depth(depth),
         )

@@ -115,8 +115,7 @@ impl Bencher {
 }
 
 fn fast_mode() -> bool {
-    std::env::var_os("CRITERION_FAST").is_some()
-        || std::env::args().any(|a| a == "--bench-fast")
+    std::env::var_os("CRITERION_FAST").is_some() || std::env::args().any(|a| a == "--bench-fast")
 }
 
 fn report(group: &str, id: &str, best: Option<Duration>, throughput: Option<Throughput>) {
@@ -135,10 +134,16 @@ fn report(group: &str, id: &str, best: Option<Duration>, throughput: Option<Thro
                     format!("  ({:.1} Melem/s)", n as f64 / t.as_secs_f64() / 1e6)
                 }
                 Throughput::Bytes(n) => {
-                    format!("  ({:.1} MiB/s)", n as f64 / t.as_secs_f64() / (1 << 20) as f64)
+                    format!(
+                        "  ({:.1} MiB/s)",
+                        n as f64 / t.as_secs_f64() / (1 << 20) as f64
+                    )
                 }
             });
-            println!("bench  {name:<48} {ns:>14.1} ns/iter{}", rate.unwrap_or_default());
+            println!(
+                "bench  {name:<48} {ns:>14.1} ns/iter{}",
+                rate.unwrap_or_default()
+            );
         }
         None => println!("bench  {name:<48}        (not measured)"),
     }

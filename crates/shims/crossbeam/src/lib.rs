@@ -169,8 +169,7 @@ pub mod channel {
                         None => return Ok(()), // a receiver took it
                         Some(idx) if state.receivers == 0 => {
                             // No receiver will ever take it; withdraw it.
-                            let (_, value) =
-                                state.queue.remove(idx).expect("position just found");
+                            let (_, value) = state.queue.remove(idx).expect("position just found");
                             return Err(SendError(value));
                         }
                         Some(_) => {

@@ -188,7 +188,10 @@ pub mod strategy {
         /// Builds a union; weights must not all be zero.
         pub fn new(entries: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
             let total_weight: u64 = entries.iter().map(|(w, _)| *w as u64).sum();
-            assert!(total_weight > 0, "prop_oneof! requires a positive total weight");
+            assert!(
+                total_weight > 0,
+                "prop_oneof! requires a positive total weight"
+            );
             Union {
                 entries,
                 total_weight,
@@ -584,7 +587,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *left != *right,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), left
+            stringify!($left),
+            stringify!($right),
+            left
         );
     }};
 }

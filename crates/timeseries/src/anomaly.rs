@@ -352,7 +352,12 @@ mod tests {
         let mut det = BitmapAnomaly::new(cfg);
         let mut max: f64 = 0.0;
         for i in 0..2_000 {
-            let x = noise(i) + if i > 1_500 { (i as f64 * 0.45).sin() } else { 0.0 };
+            let x = noise(i)
+                + if i > 1_500 {
+                    (i as f64 * 0.45).sin()
+                } else {
+                    0.0
+                };
             max = max.max(det.push(x));
         }
         assert!(max > 0.0);

@@ -162,11 +162,7 @@ mod tests {
     fn finds_injected_anomaly() {
         let s = series_with_anomaly();
         let d = find_discord(&s, 12).expect("discord");
-        assert!(
-            (138..=162).contains(&d.position),
-            "found at {}",
-            d.position
-        );
+        assert!((138..=162).contains(&d.position), "found at {}", d.position);
         assert!(d.distance > 0.0);
     }
 

@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn inv_cdf_is_odd_about_half() {
         for &p in &[0.01, 0.1, 0.25, 0.4] {
-            assert!((inv_norm_cdf(p) + inv_norm_cdf(1.0 - p)).abs() < 1e-9, "p={p}");
+            assert!(
+                (inv_norm_cdf(p) + inv_norm_cdf(1.0 - p)).abs() < 1e-9,
+                "p={p}"
+            );
         }
     }
 

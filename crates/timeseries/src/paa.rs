@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_variance() {
-        let q: Vec<f64> = (0..1000).map(|i| ((i * 2654435761usize) % 1000) as f64).collect();
+        let q: Vec<f64> = (0..1000)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64)
+            .collect();
         let r = paa(&q, 10);
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;

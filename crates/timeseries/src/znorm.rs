@@ -64,7 +64,9 @@ mod tests {
 
     #[test]
     fn normalized_has_zero_mean_unit_variance() {
-        let q: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 7.0 + 3.0).collect();
+        let q: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 7.0 + 3.0)
+            .collect();
         let z = znormalize(&q);
         let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
         let var: f64 = z.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / z.len() as f64;

@@ -23,7 +23,12 @@ fn main() {
     let synth = ClipSynthesizer::new(SynthConfig::paper());
     let clip = synth.clip(SpeciesCode::Rwbl, 11);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-    let records = clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
+    let records = clip_to_records(
+        &clip.samples[..usable],
+        cfg.sample_rate,
+        cfg.record_len,
+        &[],
+    );
     println!(
         "sensor host: one 30 s clip -> {} records ({} audio)",
         records.len(),
@@ -126,7 +131,10 @@ fn main() {
         report.final_host
     );
     for m in &report.migrations {
-        println!("  moved {} -> {} after record {}", m.from, m.to, m.at_record);
+        println!(
+            "  moved {} -> {} after record {}",
+            m.from, m.to, m.at_record
+        );
     }
     println!("output stream ({} records) is scope-balanced", out.len());
 }

@@ -36,7 +36,10 @@ fn main() {
     }
     ensembles.extend(stream.finish());
 
-    println!("\nextracted {} ensemble(s) while streaming:", ensembles.len());
+    println!(
+        "\nextracted {} ensemble(s) while streaming:",
+        ensembles.len()
+    );
     let mut kept = 0usize;
     for (i, e) in ensembles.iter().enumerate() {
         kept += e.len();

@@ -16,7 +16,10 @@ fn main() {
         clips_per_species: 4,
         ..CorpusConfig::paper_scale()
     };
-    println!("building training corpus ({} clips/species)...", corpus_cfg.clips_per_species);
+    println!(
+        "building training corpus ({} clips/species)...",
+        corpus_cfg.clips_per_species
+    );
     let corpus = Corpus::build(corpus_cfg);
     let bundle = DatasetBundle::build(&corpus);
     println!(
@@ -28,7 +31,10 @@ fn main() {
 
     // 2. Train the perceptual memory.
     let classifier = SpeciesClassifier::train(&bundle.paa_ensemble, corpus_cfg);
-    println!("  MESO trained: {} sensitivity spheres", classifier.sphere_count());
+    println!(
+        "  MESO trained: {} sensitivity spheres",
+        classifier.sphere_count()
+    );
 
     // 3. Survey fresh clips (seeds never seen in training).
     println!("\nsurveying fresh clips:");

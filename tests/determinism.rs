@@ -91,8 +91,12 @@ fn full_pipeline_output_is_always_scope_balanced() {
     for seed in [1u64, 2, 3] {
         let clip = synth.clip(SpeciesCode::Hofi, seed);
         let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-        let records: Vec<Record> =
-            clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[]);
+        let records: Vec<Record> = clip_to_records(
+            &clip.samples[..usable],
+            cfg.sample_rate,
+            cfg.record_len,
+            &[],
+        );
         let out = full_pipeline(cfg, true).run(records).unwrap();
         validate_scopes(&out).unwrap();
     }

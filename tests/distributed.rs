@@ -23,7 +23,12 @@ fn clip_records(cfg: &ExtractorConfig, seed: u64) -> Vec<Record> {
     });
     let clip = synth.clip(SpeciesCode::Blja, seed);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-    clip_to_records(&clip.samples[..usable], cfg.sample_rate, cfg.record_len, &[])
+    clip_to_records(
+        &clip.samples[..usable],
+        cfg.sample_rate,
+        cfg.record_len,
+        &[],
+    )
 }
 
 #[test]

@@ -107,7 +107,10 @@ fn classifier_recognizes_unseen_clips() {
     }
     assert!(total >= 10, "too few test ensembles: {total}");
     let acc = correct as f64 / total as f64;
-    assert!(acc > 0.35, "unseen-clip accuracy {acc:.2} ({correct}/{total})");
+    assert!(
+        acc > 0.35,
+        "unseen-clip accuracy {acc:.2} ({correct}/{total})"
+    );
 }
 
 #[test]

@@ -66,10 +66,7 @@ fn facade_reexports_cover_every_subsystem() {
     let mut pipeline = Pipeline::new();
     pipeline.add(Passthrough);
     let out = pipeline
-        .run(vec![
-            Record::open_scope(1, vec![]),
-            Record::close_scope(1),
-        ])
+        .run(vec![Record::open_scope(1, vec![]), Record::close_scope(1)])
         .expect("trivial pipeline");
     assert_eq!(out.len(), 2);
 }
