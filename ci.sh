@@ -38,11 +38,16 @@ if [ "${1:-}" != "quick" ]; then
     cargo run --release --quiet --example quickstart
     cargo run --release --quiet --example anomaly_monitor
 
-    # Perf trajectory: one Figure 5 streaming run, machine-readable, at
-    # the repo root so successive commits can be compared.
-    echo "==> BENCH_fig5.json"
-    cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- --json \
-        | tee BENCH_fig5.json
+    # Perf trajectory: Figure 5 over a small clip archive at 1/2/4
+    # worker shards, one machine-readable line each, accumulated at the
+    # repo root so successive commits can compare both single-lane
+    # throughput and parallel scaling.
+    echo "==> BENCH_fig5.json (sharded scaling: 1/2/4 workers)"
+    : > BENCH_fig5.json
+    for workers in 1 2 4; do
+        cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
+            --json --repeat 8 --workers "$workers" | tee -a BENCH_fig5.json
+    done
 fi
 
 echo "==> ci.sh: all green"

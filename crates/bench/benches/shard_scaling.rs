@@ -1,0 +1,74 @@
+//! Scaling of the scope-sharded parallel executor: an archive of clips
+//! through the complete Figure 5 graph at 1/2/4 worker shards versus
+//! the single-lane fused driver, in source samples per second. On a
+//! multi-core host the sharded runs scale with worker count while the
+//! output stays byte-identical to the single lane (asserted here, not
+//! just measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynamic_river::CountingSink;
+use ensemble_core::ops::clips_record_source;
+use ensemble_core::pipeline::{full_pipeline, full_pipeline_sharded};
+use ensemble_core::prelude::*;
+use std::hint::black_box;
+
+const CLIPS: usize = 8;
+
+fn archive_clip(cfg: &ExtractorConfig) -> Vec<f64> {
+    let synth = ClipSynthesizer::new(SynthConfig::short_test());
+    let clip = synth.clip(SpeciesCode::Noca, 7);
+    let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+    clip.samples[..usable].to_vec()
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let cfg = ExtractorConfig::paper();
+    let clip = archive_clip(&cfg);
+    let total_samples = (clip.len() * CLIPS) as u64;
+    let archive = || {
+        let clip = clip.clone();
+        clips_record_source(
+            std::iter::repeat_with(move || clip.clone()).take(CLIPS),
+            cfg.sample_rate,
+            cfg.record_len,
+        )
+    };
+
+    // Sanity before timing: the parallel path must not change output.
+    let mut single = Vec::new();
+    full_pipeline(cfg, true)
+        .run_streaming(archive(), &mut single)
+        .unwrap();
+    let mut sharded = Vec::new();
+    full_pipeline_sharded(cfg, true, 4)
+        .run(archive(), &mut sharded)
+        .unwrap();
+    assert_eq!(single, sharded, "sharded output diverged from single lane");
+
+    let mut group = c.benchmark_group("shard_scaling/figure5_archive");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_samples));
+    group.bench_function("single_lane", |b| {
+        b.iter(|| {
+            let mut p = full_pipeline(cfg, true);
+            let mut sink = CountingSink::default();
+            p.run_streaming(archive(), &mut sink).unwrap();
+            black_box(sink.records)
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("sharded", workers), |b| {
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                full_pipeline_sharded(cfg, true, workers)
+                    .run(archive(), &mut sink)
+                    .unwrap();
+                black_box(sink.records)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

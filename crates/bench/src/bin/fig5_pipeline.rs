@@ -1,53 +1,87 @@
 //! Regenerates **Figure 5** of the paper as an executable artifact: the
 //! block diagram of pipeline operators for converting acoustic clips
 //! into ensembles, with per-stage record statistics from a real run of
-//! the fused streaming executor.
+//! the streaming executor.
 //!
 //! ```text
-//! cargo run -p ensemble-bench --release --bin fig5_pipeline [-- --seed N] [-- --json]
+//! cargo run -p ensemble-bench --release --bin fig5_pipeline \
+//!     [-- --seed N] [-- --json] [-- --repeat N] [-- --workers N]
 //! ```
 //!
+//! `--repeat N` streams the clip N times, each repetition its own clip
+//! scope (an archive workload; named `--repeat` because `--clips` is
+//! the suite-wide clips-per-species flag of [`Scale`]); `--workers N`
+//! with N > 1 runs the scope-sharded data-parallel executor instead of
+//! the single-lane fused driver — output is byte-identical, and
+//! throughput scales with the worker count up to the machine's core
+//! count.
+//!
 //! With `--json`, prints a single machine-readable line
-//! (`{"records_per_sec": …, "bytes_in": …, "bytes_out": …,
-//! "peak_burst": …}`) instead of the figure — `ci.sh` captures it as
-//! `BENCH_fig5.json`, the repo's pipeline-throughput trajectory.
+//! (`{"workers": …, "clips": …, "cores": …, "records_per_sec": …,
+//! "bytes_in": …, "bytes_out": …, "peak_burst": …}`) instead of the
+//! figure — `ci.sh` appends one line per worker count to
+//! `BENCH_fig5.json`, the repo's pipeline-throughput scaling
+//! trajectory. `cores` records the host parallelism so a flat curve on
+//! a small machine is not mistaken for a runtime regression.
 
 use dynamic_river::CountingSink;
 use ensemble_bench::{header, Scale};
-use ensemble_core::ops::clip_record_source;
-use ensemble_core::pipeline::full_pipeline;
+use ensemble_core::ops::clips_record_source;
+use ensemble_core::pipeline::{full_pipeline, full_pipeline_sharded};
 use ensemble_core::prelude::*;
+
+/// Parses `--flag N` from the argument list.
+fn flag_value(flag: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let scale = Scale::from_args();
+    let workers = flag_value("--workers").unwrap_or(1).max(1);
+    let clips = flag_value("--repeat").unwrap_or(1).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let cfg = ExtractorConfig::paper();
     let synth = ClipSynthesizer::new(SynthConfig::paper());
     let clip = synth.clip(SpeciesCode::Noca, scale.seed);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+    let samples = &clip.samples[..usable];
+    // The archive: the clip repeated `clips` times, each repetition its
+    // own clip scope — produced lazily, one clip in memory at a time.
+    let archive = || {
+        clips_record_source(
+            std::iter::repeat_with(|| samples.to_vec()).take(clips),
+            cfg.sample_rate,
+            cfg.record_len,
+        )
+    };
 
-    // The full Figure 5 graph; the streaming driver itself supplies the
-    // per-stage statistics the figure annotates.
-    let mut p = full_pipeline(cfg, true);
+    // The full Figure 5 graph; the driver itself supplies the per-stage
+    // statistics the figure annotates.
     let mut sink = CountingSink::default();
     let t0 = std::time::Instant::now();
-    let stats = p
-        .run_streaming(
-            clip_record_source(
-                clip.samples[..usable].iter().copied(),
-                cfg.sample_rate,
-                cfg.record_len,
-                &[],
-            ),
-            &mut sink,
-        )
-        .expect("pipeline run");
+    let stats = if workers > 1 {
+        full_pipeline_sharded(cfg, true, workers)
+            .run(archive(), &mut sink)
+            .expect("sharded pipeline run")
+    } else {
+        full_pipeline(cfg, true)
+            .run_streaming(archive(), &mut sink)
+            .expect("pipeline run")
+    };
     let elapsed = t0.elapsed().as_secs_f64();
 
     if json {
         let bytes_in = stats.stages.first().map_or(0, |s| s.bytes_in);
         println!(
-            "{{\"records_per_sec\": {:.1}, \"bytes_in\": {}, \"bytes_out\": {}, \"peak_burst\": {}}}",
+            "{{\"workers\": {}, \"clips\": {}, \"cores\": {}, \"records_per_sec\": {:.1}, \"bytes_in\": {}, \"bytes_out\": {}, \"peak_burst\": {}}}",
+            workers,
+            clips,
+            cores,
             stats.source_records as f64 / elapsed,
             bytes_in,
             stats.sink_bytes,
@@ -57,7 +91,17 @@ fn main() {
     }
 
     header("Figure 5: pipeline operators converting acoustic clips into ensembles");
-    println!("sensor platform -> readout -> storage -> wav2rec -> (this run starts here)\n");
+    println!("sensor platform -> readout -> storage -> wav2rec -> (this run starts here)");
+    println!(
+        "{} clip(s), {} worker shard(s) [{}]\n",
+        clips,
+        workers,
+        if workers > 1 {
+            "scope-sharded parallel executor"
+        } else {
+            "single-lane fused executor"
+        }
+    );
     println!(
         "{:<14} {:>10} {:>12} {:>8}   (records/bytes leaving the stage)",
         "operator", "records", "data bytes", "burst"
@@ -70,10 +114,11 @@ fn main() {
         );
     }
     println!(
-        "\nfinal output: {} records ({} bytes) -> MESO; {}-dim patterns; peak stage burst {}",
+        "\nfinal output: {} records ({} bytes) -> MESO; {}-dim patterns; peak per-shard burst {}; {:.0} records/s",
         sink.records,
         sink.bytes,
         cfg.paa_pattern_features(),
-        stats.max_peak_burst()
+        stats.max_peak_burst(),
+        stats.source_records as f64 / elapsed
     );
 }

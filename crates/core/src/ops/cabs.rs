@@ -6,7 +6,7 @@ use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 
 /// The `cabs` operator: interleaved complex payloads become `F64`
 /// magnitude payloads with subtype [`crate::subtype::POWER`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Cabs;
 
 impl Cabs {
@@ -30,6 +30,10 @@ impl Operator for Cabs {
             }
         }
         out.push(record)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -16,7 +16,7 @@ use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 /// clip scope's context (falling back to the configured default), and
 /// bin indices are derived per record length, so the operator works for
 /// any record geometry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cutout {
     low_hz: f64,
     high_hz: f64,
@@ -76,6 +76,10 @@ impl Operator for Cutout {
             }
             _ => out.push(record),
         }
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

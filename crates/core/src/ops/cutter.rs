@@ -28,6 +28,7 @@ use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sample
 use std::collections::VecDeque;
 
 /// The `cutter` operator.
+#[derive(Clone)]
 pub struct Cutter {
     config: ExtractorConfig,
     /// Audio records awaiting their trigger record, by arrival order.
@@ -40,6 +41,7 @@ pub struct Cutter {
     out_seq: u64,
 }
 
+#[derive(Clone)]
 struct OpenEnsemble {
     start_sample: usize,
     total_samples: usize,
@@ -291,6 +293,10 @@ impl Operator for Cutter {
 
     fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
         self.close_ensemble(out)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 /// The `dft` operator: transforms interleaved-complex records in place.
 /// FFT plans are cached per record length (Bluestein handles the
 /// non-power-of-two production length).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Dft {
     plans: HashMap<usize, Fft>,
 }
@@ -63,6 +63,10 @@ impl Operator for Dft {
             }
         }
         out.push(record)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -7,7 +7,7 @@ use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 /// The `float2cplx` operator: `F64` audio payloads become interleaved
 /// `Complex` payloads (`re`, `im = 0`) with subtype
 /// [`crate::subtype::SPECTRUM`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Float2Cplx;
 
 impl Float2Cplx {
@@ -35,6 +35,10 @@ impl Operator for Float2Cplx {
             }
         }
         out.push(record)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

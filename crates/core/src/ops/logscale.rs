@@ -21,7 +21,7 @@ pub fn log_scale_value(x: f64) -> f64 {
 }
 
 /// The `logscale` operator.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LogScale;
 
 impl LogScale {
@@ -47,6 +47,10 @@ impl Operator for LogScale {
             }
         }
         out.push(record)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

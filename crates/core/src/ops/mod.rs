@@ -40,5 +40,7 @@ pub use rec2vect::Rec2Vect;
 pub use reslice::Reslice;
 pub use saxanomaly::SaxAnomaly;
 pub use trigger_op::TriggerOp;
-pub use wav2rec::{clip_buf_to_records, clip_record_source, clip_to_records, Wav2Rec};
+pub use wav2rec::{
+    clip_buf_to_records, clip_record_source, clip_to_records, clips_record_source, Wav2Rec,
+};
 pub use welchwindow::WelchWindow;

@@ -7,7 +7,7 @@ use river_sax::paa::paa_by_factor;
 
 /// The optional `paa` operator: reduces `F64` power records by an
 /// integer factor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PaaOp {
     factor: usize,
 }
@@ -36,6 +36,10 @@ impl Operator for PaaOp {
             }
         }
         out.push(record)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

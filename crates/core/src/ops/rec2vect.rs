@@ -11,8 +11,12 @@ use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 /// The `rec2vect` operator: inside each ensemble scope, every
 /// `per_pattern` consecutive power records merge into one pattern
 /// record (subtype [`crate::subtype::PATTERN`]); a trailing group with
-/// fewer records is discarded at ensemble close.
-#[derive(Debug)]
+/// fewer records is discarded at ensemble close. The pattern sequence
+/// counter is clip-local (it resets at every clip `OpenScope`, like
+/// `cutter`'s record counter), which keeps the operator scope-local —
+/// the property the sharded runtime relies on for byte-identical
+/// output.
+#[derive(Debug, Clone)]
 pub struct Rec2Vect {
     per_pattern: usize,
     buffer: Vec<f64>,
@@ -51,6 +55,12 @@ impl Operator for Rec2Vect {
 
     fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         match record.kind {
+            RecordKind::OpenScope if record.scope_type == scope_type::CLIP => {
+                self.in_ensemble = false;
+                self.pattern_seq = 0;
+                self.reset_group();
+                out.push(record)
+            }
             RecordKind::OpenScope if record.scope_type == scope_type::ENSEMBLE => {
                 self.in_ensemble = true;
                 self.reset_group();
@@ -87,6 +97,10 @@ impl Operator for Rec2Vect {
             }
             _ => out.push(record),
         }
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -173,5 +187,28 @@ mod tests {
             .map(|r| r.seq)
             .collect();
         assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn pattern_seq_resets_per_clip() {
+        // Two identical clips must emit identical pattern sequences —
+        // the scope-local contract the sharded runtime depends on.
+        let clip = |count| {
+            let mut v = vec![Record::open_scope(scope_type::CLIP, vec![])];
+            v.extend(power_ensemble(count, 4));
+            v.push(Record::close_scope(scope_type::CLIP));
+            v
+        };
+        let mut input = clip(3);
+        input.extend(clip(3));
+        let mut p = Pipeline::new();
+        p.add(Rec2Vect::new(3));
+        let out = p.run(input).unwrap();
+        let seqs: Vec<u64> = out
+            .iter()
+            .filter(|r| r.subtype == subtype::PATTERN)
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 0]);
     }
 }

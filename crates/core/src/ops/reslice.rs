@@ -11,7 +11,7 @@ use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 
 /// The `reslice` operator (operates on audio records inside ensemble
 /// scopes; everything else passes through).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Reslice {
     /// Previous audio record within the current ensemble.
     held: Option<Record>,
@@ -101,6 +101,10 @@ impl Operator for Reslice {
 
     fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
         self.flush_held(out)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

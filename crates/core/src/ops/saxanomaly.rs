@@ -15,6 +15,7 @@ use river_dsp::stats::MovingAverage;
 use river_sax::anomaly::BitmapAnomaly;
 
 /// The `saxanomaly` operator.
+#[derive(Clone)]
 pub struct SaxAnomaly {
     detector: BitmapAnomaly,
     smoother: MovingAverage,
@@ -70,6 +71,10 @@ impl Operator for SaxAnomaly {
             }
             _ => out.push(record),
         }
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

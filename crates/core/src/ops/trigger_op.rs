@@ -11,6 +11,7 @@ use crate::{scope_type, subtype};
 use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 
 /// The `trigger` operator.
+#[derive(Clone)]
 pub struct TriggerOp {
     config: ExtractorConfig,
     trigger: AdaptiveTrigger,
@@ -66,6 +67,10 @@ impl Operator for TriggerOp {
             }
             _ => out.push(record),
         }
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

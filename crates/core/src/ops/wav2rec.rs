@@ -128,11 +128,51 @@ where
         .with_scope(scope_type::CLIP, context)
 }
 
+/// An archive of clips as one lazy record stream: each clip becomes its
+/// own `CLIP` scope ([`clip_record_source`]), chained end to end —
+/// clips are taken from the iterator one at a time, so an archive far
+/// larger than memory streams through. This is the natural feed for
+/// the sharded runtime — every clip scope is a partition unit, so
+/// `Pipeline::run_sharded` fans whole clips out to worker chains and
+/// merges their output back in archive order.
+///
+/// # Panics
+///
+/// Panics if `record_len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ensemble_core::ops::clips_record_source;
+/// use dynamic_river::prelude::*;
+///
+/// let clips = vec![vec![0.0; 1_680], vec![0.5; 2_520]];
+/// let src = clips_record_source(clips, 20_160.0, 840);
+/// let mut sink = CountingSink::default();
+/// let stats = Pipeline::new().run_streaming(src, &mut sink).unwrap();
+/// assert_eq!(stats.sink_records, (2 + 2) + (3 + 2)); // per clip: open + audio + close
+/// ```
+pub fn clips_record_source<C>(
+    clips: C,
+    sample_rate: f64,
+    record_len: usize,
+) -> impl dynamic_river::Source + Send
+where
+    C: IntoIterator<Item = Vec<f64>>,
+    C::IntoIter: Send,
+{
+    dynamic_river::source::ChainedSource::new(
+        clips
+            .into_iter()
+            .map(move |clip| clip_record_source(clip, sample_rate, record_len, &[])),
+    )
+}
+
 /// The `wav2rec` operator: each incoming `Bytes` data record is parsed
 /// as a WAV file and expanded into a clip scope of audio records
 /// (multichannel input is mixed down to mono). Non-bytes records pass
 /// through untouched.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Wav2Rec {
     record_len: usize,
 }
@@ -167,6 +207,10 @@ impl Operator for Wav2Rec {
             out.push(r)?;
         }
         Ok(())
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -7,7 +7,7 @@ use river_dsp::window::WindowKind;
 
 /// The `welchwindow` operator. Applies the window to the `F64` payload
 /// of audio records; caches coefficients per record length.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct WelchWindow {
     coeffs: Vec<f64>,
 }
@@ -40,6 +40,10 @@ impl Operator for WelchWindow {
             }
         }
         out.push(record)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -70,6 +70,47 @@ pub fn full_pipeline(config: ExtractorConfig, with_paa: bool) -> Pipeline {
     p
 }
 
+/// The complete Figure 5 pipeline as a scope-sharded runtime: `workers`
+/// clones of the operator chain, fed whole clip scopes round-robin and
+/// merged back deterministically
+/// ([`ShardedPipeline`](dynamic_river::shard::ShardedPipeline)).
+///
+/// Every Figure 5 operator is scope-local — `saxanomaly`, `trigger`,
+/// `cutter`, `cutout` and `rec2vect` all reset their state at each
+/// clip's `OpenScope` — so the sharded run is byte-identical to
+/// [`full_pipeline`] + `run_streaming` over the same stream, at up to
+/// `workers`× the throughput on archive workloads.
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or the configuration is invalid.
+///
+/// # Example
+///
+/// ```
+/// use ensemble_core::ops::clips_record_source;
+/// use ensemble_core::pipeline::full_pipeline_sharded;
+/// use ensemble_core::ExtractorConfig;
+/// use dynamic_river::prelude::*;
+///
+/// let cfg = ExtractorConfig::default();
+/// let clips = vec![vec![0.01; cfg.record_len * 4]; 3];
+/// let mut sink = CountingSink::default();
+/// full_pipeline_sharded(cfg, true, 2)
+///     .run(clips_record_source(clips, cfg.sample_rate, cfg.record_len), &mut sink)
+///     .unwrap();
+/// assert_eq!(sink.records, 3 * 2); // quiet clips: scope markers only
+/// ```
+pub fn full_pipeline_sharded(
+    config: ExtractorConfig,
+    with_paa: bool,
+    workers: usize,
+) -> dynamic_river::shard::ShardedPipeline {
+    dynamic_river::shard::ShardedPipeline::from_factory(workers, |_| {
+        full_pipeline(config, with_paa)
+    })
+}
+
 /// Direct featurization of one ensemble's samples (no record plumbing):
 /// chunk into records, Welch window, DFT, magnitude, cutout, optional
 /// PAA, merge `pattern_records` per pattern. This is the fast path used
@@ -262,6 +303,43 @@ mod tests {
         // 3.4 records: final dropped -> 3 records -> 1 pattern.
         let samples = vec![0.1; cfg.record_len * 3 + cfg.record_len / 3];
         assert_eq!(featurize_ensemble(&samples, &cfg, false).len(), 1);
+    }
+
+    #[test]
+    fn sharded_full_pipeline_is_byte_identical_to_streaming() {
+        use crate::ops::clips_record_source;
+        let cfg = ExtractorConfig::default();
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clips: Vec<Vec<f64>> = (0..3u64)
+            .map(|seed| {
+                let c = synth.clip(SpeciesCode::Rwbl, seed);
+                let usable = c.samples.len() - c.samples.len() % cfg.record_len;
+                c.samples[..usable].to_vec()
+            })
+            .collect();
+
+        let mut single = Vec::new();
+        full_pipeline(cfg, true)
+            .run_streaming(
+                clips_record_source(clips.clone(), cfg.sample_rate, cfg.record_len),
+                &mut single,
+            )
+            .unwrap();
+        assert!(single
+            .iter()
+            .any(|r| r.kind == RecordKind::Data && r.subtype == subtype::PATTERN));
+
+        for workers in [1usize, 3] {
+            let mut sharded = Vec::new();
+            let stats = full_pipeline_sharded(cfg, true, workers)
+                .run(
+                    clips_record_source(clips.clone(), cfg.sample_rate, cfg.record_len),
+                    &mut sharded,
+                )
+                .unwrap();
+            assert_eq!(single, sharded, "workers={workers}");
+            assert_eq!(stats.sink_records as usize, sharded.len());
+        }
     }
 
     #[test]

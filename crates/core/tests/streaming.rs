@@ -175,6 +175,64 @@ fn unbounded_stream_runs_in_constant_memory() {
     }
 }
 
+/// The acceptance test for the sharded runtime: a many-clip archive
+/// stream (100 clips in release, scaled down in debug like the
+/// constant-memory test above) flows through the complete Figure 5
+/// graph via `run_sharded`, and the output is **byte-identical** to
+/// the single-lane `run_streaming` path while every shard's peak burst
+/// stays within the same constant bound — data-parallelism without any
+/// change in observable behavior.
+#[test]
+fn sharded_archive_matches_single_lane_with_constant_burst() {
+    use ensemble_core::ops::clips_record_source;
+    use ensemble_core::pipeline::full_pipeline_sharded;
+
+    let cfg = ExtractorConfig::default();
+    let clip_samples = SynthConfig::short_test().clip_samples();
+    let clips = if cfg!(debug_assertions) { 8 } else { 100 };
+    let clip: Vec<f64> = sensor_stream(clip_samples, cfg.sample_rate).collect();
+    let archive = || {
+        clips_record_source(
+            std::iter::repeat_with(|| clip.clone()).take(clips),
+            cfg.sample_rate,
+            cfg.record_len,
+        )
+    };
+
+    let mut single = Vec::new();
+    let single_stats = full_pipeline(cfg, true)
+        .run_streaming(archive(), &mut single)
+        .unwrap();
+    validate_scopes(&single).unwrap();
+    assert!(
+        single
+            .iter()
+            .any(|r| r.kind == RecordKind::Data && r.subtype == subtype::PATTERN),
+        "archive produced no patterns"
+    );
+
+    let bound = 2 + (cfg.min_ensemble_samples / cfg.record_len + 2) as u64;
+    for workers in [2usize, 4] {
+        let mut sharded = Vec::new();
+        let stats = full_pipeline_sharded(cfg, true, workers)
+            .run(archive(), &mut sharded)
+            .unwrap();
+        assert_eq!(single, sharded, "workers={workers}");
+        assert_eq!(stats.source_records, single_stats.source_records);
+        assert_eq!(stats.sink_records, single_stats.sink_records);
+        // `StreamStats::merge` keeps the max over shards, so this bounds
+        // *every* shard's buffering, not an average.
+        for stage in &stats.stages {
+            assert!(
+                stage.peak_burst <= bound,
+                "workers={workers} stage {} peak burst {} exceeds constant bound {bound}",
+                stage.name,
+                stage.peak_burst
+            );
+        }
+    }
+}
+
 /// `run_count` streams through a counting sink — on a long stream it
 /// must agree with the collected output's length without keeping it.
 #[test]

@@ -40,6 +40,12 @@ impl Operator for FailAfter {
         self.remaining -= 1;
         out.push(record)
     }
+
+    /// Clones carry the current countdown/counter — note that in a
+    /// sharded run each worker's clone counts its own shard's records.
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Drops every `k`-th scope-closing record — simulates a buggy or
@@ -77,6 +83,12 @@ impl Operator for DropCloses {
         }
         out.push(record)
     }
+
+    /// Clones carry the current countdown/counter — note that in a
+    /// sharded run each worker's clone counts its own shard's records.
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Truncates the stream after `n` records (swallows the rest without
@@ -105,6 +117,12 @@ impl Operator for TruncateAfter {
         }
         self.remaining -= 1;
         out.push(record)
+    }
+
+    /// Clones carry the current countdown/counter — note that in a
+    /// sharded run each worker's clone counts its own shard's records.
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -141,6 +159,12 @@ impl Operator for CorruptSubtype {
             }
         }
         out.push(record)
+    }
+
+    /// Clones carry the current countdown/counter — note that in a
+    /// sharded run each worker's clone counts its own shard's records.
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(*self))
     }
 }
 

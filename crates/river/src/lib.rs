@@ -28,7 +28,12 @@
 //!   operator chains as a fused streaming chain
 //!   ([`pipeline::Pipeline::run_streaming`], constant memory over
 //!   unbounded streams, per-stage counters), stage-by-stage in batch,
-//!   or with one thread per operator.
+//!   with one thread per operator, or data-parallel across worker
+//!   shards ([`pipeline::Pipeline::run_sharded`]).
+//! - [`shard`] — the scope-sharded runtime: a splitter that partitions
+//!   the stream at top-level scope boundaries, one cloned chain per
+//!   worker over bounded queues, and a deterministic ordered merge
+//!   whose output is byte-identical to the single-lane driver.
 //! - [`source::Source`] — pull-based record producers feeding the
 //!   streaming driver: iterators, fallible closures, and chunked
 //!   sample sources.
@@ -73,6 +78,7 @@ pub mod pipeline;
 pub mod record;
 pub mod scope;
 pub mod segment;
+pub mod shard;
 pub mod source;
 
 /// Convenient glob import of the commonly used types.
@@ -80,11 +86,14 @@ pub mod prelude {
     pub use crate::buf::SampleBuf;
     pub use crate::error::PipelineError;
     pub use crate::operator::{CountingSink, FnSink, NullSink, Operator, Sink};
-    pub use crate::ops::{FnOp, Inspect, MapPayload, Passthrough, RecordCounter, RecordFilter};
+    pub use crate::ops::{
+        FnOp, Inspect, MapPayload, Passthrough, RecordCounter, RecordFilter, ScopeSum,
+    };
     pub use crate::pipeline::{Pipeline, StageStats, StreamStats};
     pub use crate::record::{Payload, Record, RecordKind};
     pub use crate::scope::{ScopeEvent, ScopeTracker};
-    pub use crate::source::{ChunkedF64Source, FnSource, Source};
+    pub use crate::shard::ShardedPipeline;
+    pub use crate::source::{ChainedSource, ChunkedF64Source, FnSource, Source};
 }
 
 pub use buf::SampleBuf;
@@ -93,4 +102,5 @@ pub use operator::{CountingSink, Operator, Sink};
 pub use pipeline::{Pipeline, StageStats, StreamStats};
 pub use record::{Payload, Record, RecordKind};
 pub use scope::ScopeTracker;
+pub use shard::ShardedPipeline;
 pub use source::Source;

@@ -164,33 +164,39 @@ impl<R: Read> StreamIn<R> {
 }
 
 /// Serves exactly one upstream connection: accepts on `listener`,
-/// pumps all records into `sink`, and reports how the session ended.
+/// pumps all records into `sink`, and reports how the session ended
+/// together with the number of records received
+/// ([`StreamIn::received`]).
 ///
 /// # Errors
 ///
 /// Propagates accept/read failures.
-pub fn serve_once(listener: &TcpListener, sink: &mut dyn Sink) -> Result<StreamEnd, PipelineError> {
+pub fn serve_once(
+    listener: &TcpListener,
+    sink: &mut dyn Sink,
+) -> Result<(StreamEnd, u64), PipelineError> {
     let (stream, _peer) = listener.accept()?;
     stream.set_nodelay(true)?;
     let mut streamin = StreamIn::new(stream);
-    streamin.pump(sink)
+    let end = streamin.pump(sink)?;
+    Ok((end, streamin.received()))
 }
 
-/// Sends a record batch (plus the sentinel) to `addr` — the convenience
-/// used by sources and tests.
+/// Sends a record batch (plus the sentinel) to `addr` over one framed
+/// [`StreamOut`] connection, returning the number of records sent —
+/// the convenience used by sources and tests.
 ///
 /// # Errors
 ///
 /// Returns [`PipelineError::Io`] on connection or write failure.
-pub fn send_all<A: ToSocketAddrs>(addr: A, records: &[Record]) -> Result<(), PipelineError> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let mut writer = BufWriter::new(stream);
+pub fn send_all<A: ToSocketAddrs>(addr: A, records: &[Record]) -> Result<u64, PipelineError> {
+    let mut out = StreamOut::connect(addr)?;
+    let mut sink = crate::operator::NullSink;
     for r in records {
-        write_record(&mut writer, r)?;
+        out.on_record(r.clone(), &mut sink)?;
     }
-    write_eos(&mut writer)?;
-    Ok(())
+    out.on_eos(&mut sink)?;
+    Ok(out.sent())
 }
 
 #[cfg(test)]
@@ -217,10 +223,12 @@ mod tests {
         let send = records.clone();
         let sender = thread::spawn(move || send_all(addr, &send).unwrap());
         let mut sink: Vec<Record> = Vec::new();
-        let end = serve_once(&listener, &mut sink).unwrap();
-        sender.join().unwrap();
+        let (end, received) = serve_once(&listener, &mut sink).unwrap();
+        let sent = sender.join().unwrap();
         assert_eq!(end, StreamEnd::Clean);
         assert_eq!(sink, records);
+        assert_eq!(sent as usize, records.len());
+        assert_eq!(received as usize, records.len());
     }
 
     #[test]
@@ -237,9 +245,10 @@ mod tests {
             // Drop without sentinel: simulated crash.
         });
         let mut sink: Vec<Record> = Vec::new();
-        let end = serve_once(&listener, &mut sink).unwrap();
+        let (end, received) = serve_once(&listener, &mut sink).unwrap();
         sender.join().unwrap();
         assert_eq!(end, StreamEnd::Unclean { repaired_scopes: 2 });
+        assert_eq!(received, 3); // synthesized repairs are not "received"
         assert_eq!(sink.len(), 5);
         assert_eq!(sink[3].kind, RecordKind::BadCloseScope);
         assert_eq!(sink[3].scope_type, 4); // innermost first

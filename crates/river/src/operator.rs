@@ -115,6 +115,19 @@ pub trait Operator: Send {
     fn on_eos(&mut self, _out: &mut dyn Sink) -> Result<(), PipelineError> {
         Ok(())
     }
+
+    /// Returns a boxed duplicate of this operator carrying its current
+    /// state — the hook the sharded runtime uses to instantiate one
+    /// chain per worker
+    /// ([`Pipeline::clone_chain`](crate::pipeline::Pipeline::clone_chain)).
+    ///
+    /// Returns `None` (the default) for operators that cannot be
+    /// duplicated — anything bound to an exclusive resource such as a
+    /// socket or file handle. Chains containing such operators cannot
+    /// be sharded.
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        None
+    }
 }
 
 impl Operator for Box<dyn Operator> {
@@ -128,6 +141,10 @@ impl Operator for Box<dyn Operator> {
 
     fn on_eos(&mut self, out: &mut dyn Sink) -> Result<(), PipelineError> {
         self.as_mut().on_eos(out)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        self.as_ref().clone_op()
     }
 }
 

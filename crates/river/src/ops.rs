@@ -21,6 +21,10 @@ impl Operator for Passthrough {
     fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         out.push(record)
     }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Applies an in-place function to the `F64` payload of data records
@@ -33,6 +37,7 @@ impl Operator for Passthrough {
 /// first so no sibling observes the change.
 ///
 /// [`SampleBuf::make_mut`]: crate::buf::SampleBuf::make_mut
+#[derive(Clone)]
 pub struct MapPayload<F> {
     name: String,
     f: F,
@@ -53,7 +58,7 @@ where
 
 impl<F> Operator for MapPayload<F>
 where
-    F: FnMut(&mut [f64]) + Send,
+    F: FnMut(&mut [f64]) + Send + Clone + 'static,
 {
     fn name(&self) -> &str {
         &self.name
@@ -67,10 +72,15 @@ where
         }
         out.push(record)
     }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Keeps only records satisfying a predicate. Scope records always pass
 /// (dropping them would corrupt scope discipline).
+#[derive(Clone)]
 pub struct RecordFilter<F> {
     name: String,
     predicate: F,
@@ -91,7 +101,7 @@ where
 
 impl<F> Operator for RecordFilter<F>
 where
-    F: FnMut(&Record) -> bool + Send,
+    F: FnMut(&Record) -> bool + Send + Clone + 'static,
 {
     fn name(&self) -> &str {
         &self.name
@@ -103,10 +113,15 @@ where
         }
         Ok(())
     }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Invokes a closure on every record (for logging/metrics) and passes
 /// it through.
+#[derive(Clone)]
 pub struct Inspect<F> {
     name: String,
     f: F,
@@ -127,7 +142,7 @@ where
 
 impl<F> Operator for Inspect<F>
 where
-    F: FnMut(&Record) + Send,
+    F: FnMut(&Record) + Send + Clone + 'static,
 {
     fn name(&self) -> &str {
         &self.name
@@ -137,9 +152,14 @@ where
         (self.f)(&record);
         out.push(record)
     }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// A fully general closure operator.
+#[derive(Clone)]
 pub struct FnOp<F> {
     name: String,
     f: F,
@@ -160,7 +180,7 @@ where
 
 impl<F> Operator for FnOp<F>
 where
-    F: FnMut(Record, &mut dyn Sink) -> Result<(), PipelineError> + Send,
+    F: FnMut(Record, &mut dyn Sink) -> Result<(), PipelineError> + Send + Clone + 'static,
 {
     fn name(&self) -> &str {
         &self.name
@@ -168,6 +188,10 @@ where
 
     fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         (self.f)(record, out)
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -248,13 +272,94 @@ impl Operator for RecordCounter {
         }
         out.push(record)
     }
+
+    /// Sharded clones all feed the same shared totals, so the handle
+    /// reports whole-run counts whatever the worker count.
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(RecordCounter {
+            stats: self.stats.clone(),
+        }))
+    }
+}
+
+/// Per-scope aggregate summarizer: sums the `F64` payload values of
+/// data records inside each **top-level** scope subtree and emits one
+/// summary record (of the configured subtype, payload `[sum]`) just
+/// before the subtree's closing record, then resets.
+///
+/// The operator is *scope-local* by construction — state resets at
+/// every top-level scope boundary, records outside any scope and stray
+/// closes are passed through untouched, and nothing is emitted at
+/// end-of-stream — so it shards deterministically under
+/// [`Pipeline::run_sharded`](crate::pipeline::Pipeline::run_sharded)
+/// (it doubles as the reference scope-local stateful operator in the
+/// sharded-equivalence property tests).
+#[derive(Debug, Clone)]
+pub struct ScopeSum {
+    subtype: u16,
+    depth: u32,
+    sum: f64,
+}
+
+impl ScopeSum {
+    /// Creates a summarizer emitting summary records of `subtype`.
+    pub fn new(subtype: u16) -> Self {
+        ScopeSum {
+            subtype,
+            depth: 0,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Operator for ScopeSum {
+    fn name(&self) -> &str {
+        "scope-sum"
+    }
+
+    fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        match record.kind {
+            RecordKind::OpenScope => {
+                if self.depth == 0 {
+                    self.sum = 0.0;
+                }
+                self.depth += 1;
+                out.push(record)
+            }
+            k if k.closes_scope() => {
+                // Only a close that really closes an open scope counts:
+                // reacting to a stray close (or to data outside any
+                // scope) would make the summary depend on records
+                // beyond this top-level subtree — no longer scope-local.
+                if self.depth > 0 {
+                    self.depth -= 1;
+                    if self.depth == 0 {
+                        out.push(Record::data(self.subtype, Payload::f64(vec![self.sum])))?;
+                    }
+                }
+                out.push(record)
+            }
+            _ => {
+                if self.depth > 0 {
+                    if let Some(v) = record.payload.as_f64() {
+                        self.sum += v.iter().sum::<f64>();
+                    }
+                }
+                out.push(record)
+            }
+        }
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Repairs scope discipline: any scopes still open at end-of-stream are
 /// closed with `BadCloseScope` records, and stray closes are dropped
 /// (with their count available for inspection). Place after an
 /// untrusted source.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScopeRepair {
     tracker: ScopeTracker,
     dropped_closes: u64,
@@ -295,6 +400,10 @@ impl Operator for ScopeRepair {
             out.push(repair)?;
         }
         Ok(())
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -398,6 +507,29 @@ mod tests {
         }));
         p.run(scoped_stream()).unwrap();
         assert_eq!(*seen.lock().expect("lock poisoned"), 4);
+    }
+
+    #[test]
+    fn scope_sum_summarizes_top_level_scopes_only() {
+        let mut p = Pipeline::new();
+        p.add(ScopeSum::new(999));
+        let input = vec![
+            Record::data(0, Payload::f64(vec![100.0])), // outside: ignored
+            Record::close_scope(5),                     // stray: ignored
+            Record::open_scope(1, vec![]),
+            Record::data(0, Payload::f64(vec![1.0, 2.0])),
+            Record::open_scope(2, vec![]), // nested: still the same sum
+            Record::data(0, Payload::f64(vec![3.0])),
+            Record::close_scope(2),
+            Record::close_scope(1),
+        ];
+        let out = p.run(input).unwrap();
+        let summaries: Vec<&Record> = out.iter().filter(|r| r.subtype == 999).collect();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].payload.as_f64().unwrap(), &[6.0]);
+        // Emitted just before the top-level close.
+        assert_eq!(out[out.len() - 2].subtype, 999);
+        assert_eq!(out.last().unwrap().kind, RecordKind::CloseScope);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub struct StageStats {
 }
 
 impl StageStats {
-    fn new(name: &str) -> Self {
+    pub(crate) fn new(name: &str) -> Self {
         StageStats {
             name: name.to_string(),
             records_in: 0,
@@ -85,6 +85,19 @@ impl StageStats {
     fn begin_flush(&mut self) {
         self.current_burst = 0;
     }
+
+    /// Folds another shard's counters for the same stage into this one:
+    /// record/byte totals add, `peak_burst` takes the maximum (each
+    /// shard buffers independently, so the whole run's bound is the
+    /// worst shard's bound).
+    pub fn merge(&mut self, other: &StageStats) {
+        debug_assert_eq!(self.name, other.name, "merging stats of different stages");
+        self.records_in += other.records_in;
+        self.bytes_in += other.bytes_in;
+        self.records_out += other.records_out;
+        self.bytes_out += other.bytes_out;
+        self.peak_burst = self.peak_burst.max(other.peak_burst);
+    }
 }
 
 /// Whole-run statistics returned by [`Pipeline::run_streaming`].
@@ -106,18 +119,40 @@ impl StreamStats {
     pub fn max_peak_burst(&self) -> u64 {
         self.stages.iter().map(|s| s.peak_burst).max().unwrap_or(0)
     }
+
+    /// Aggregates another shard's run statistics into this one: stage
+    /// counters merge pairwise ([`StageStats::merge`]), source and sink
+    /// totals add. Every source record flows through exactly one shard,
+    /// so the merged totals equal what a single-lane run would report.
+    ///
+    /// An empty `self` (no stages yet) adopts `other`'s stage list, so
+    /// a fold can start from `StreamStats::default()`.
+    pub fn merge(&mut self, other: &StreamStats) {
+        if self.stages.is_empty() {
+            self.stages = other.stages.clone();
+        } else {
+            debug_assert_eq!(self.stages.len(), other.stages.len());
+            for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+                mine.merge(theirs);
+            }
+        }
+        self.source_records += other.source_records;
+        self.sink_records += other.sink_records;
+        self.sink_bytes += other.sink_bytes;
+    }
 }
 
 #[derive(Default)]
-struct SinkTotals {
-    records: u64,
-    bytes: u64,
+pub(crate) struct SinkTotals {
+    pub(crate) records: u64,
+    pub(crate) bytes: u64,
 }
 
 /// Pushes `record` into the first operator of `ops`, whose output feeds
 /// the next, and so on down to `final_sink` — the fused depth-first
-/// step of the streaming driver.
-fn feed_chain(
+/// step of the streaming driver. Shared with the sharded runtime, whose
+/// workers each drive a cloned chain through this same step.
+pub(crate) fn feed_chain(
     ops: &mut [Box<dyn Operator>],
     stats: &mut [StageStats],
     record: Record,
@@ -160,6 +195,32 @@ impl Sink for ChainSink<'_> {
         self.emitter.note_out(&record);
         feed_chain(self.ops, self.stats, record, self.totals, self.final_sink)
     }
+}
+
+/// End-of-stream flush: each stage's `on_eos` output cascades through
+/// the remainder of the chain, upstream first, so a flushed record
+/// still traverses every later operator. Shared by the streaming driver
+/// and the sharded runtime's workers.
+pub(crate) fn flush_chain(
+    ops: &mut [Box<dyn Operator>],
+    stats: &mut [StageStats],
+    totals: &mut SinkTotals,
+    final_sink: &mut dyn Sink,
+) -> Result<(), PipelineError> {
+    for i in 0..ops.len() {
+        let (op, rest_ops) = ops[i..].split_first_mut().expect("index in range");
+        let (st, rest_stats) = stats[i..].split_first_mut().expect("stats parallel ops");
+        st.begin_flush();
+        let mut chain = ChainSink {
+            ops: rest_ops,
+            stats: rest_stats,
+            emitter: st,
+            totals,
+            final_sink,
+        };
+        op.on_eos(&mut chain)?;
+    }
+    Ok(())
 }
 
 /// An ordered chain of operators.
@@ -240,11 +301,17 @@ impl Pipeline {
     }
 
     /// Sets the bounded-channel capacity used between stages by
-    /// [`run_threaded`](Self::run_threaded) (default
+    /// [`run_threaded`](Self::run_threaded) and between the sharded
+    /// runtime's splitter/workers/merge by
+    /// [`run_sharded`](Self::run_sharded) (default
     /// [`DEFAULT_CHANNEL_CAPACITY`]). Capacity 0 is a rendezvous
     /// channel: every hop blocks until the downstream stage takes the
     /// record.
-    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+    ///
+    /// Non-consuming, like [`add`](Self::add) and
+    /// [`extend`](Self::extend) — all builder methods take `&mut self`
+    /// and chain through the returned reference.
+    pub fn set_channel_capacity(&mut self, capacity: usize) -> &mut Self {
         self.channel_capacity = capacity;
         self
     }
@@ -268,6 +335,37 @@ impl Pipeline {
     /// Operator names in order — the Figure 5 block diagram as text.
     pub fn names(&self) -> Vec<&str> {
         self.ops.iter().map(|o| o.name()).collect()
+    }
+
+    /// Duplicates the whole operator chain via each operator's
+    /// [`Operator::clone_op`] hook, preserving the channel capacity —
+    /// how the sharded runtime instantiates one chain per worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`PipelineError::Operator`] error naming the first
+    /// operator that does not support duplication.
+    pub fn clone_chain(&self) -> Result<Pipeline, PipelineError> {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            ops.push(op.clone_op().ok_or_else(|| {
+                PipelineError::operator(
+                    op.name(),
+                    "operator does not support duplication (clone_op returned None); \
+                     chains containing it cannot be sharded",
+                )
+            })?);
+        }
+        Ok(Pipeline {
+            ops,
+            channel_capacity: self.channel_capacity,
+        })
+    }
+
+    /// Consumes the pipeline, yielding its operator chain — used by the
+    /// sharded runtime to move each worker's chain onto its thread.
+    pub(crate) fn into_ops(self) -> Vec<Box<dyn Operator>> {
+        self.ops
     }
 
     /// Runs the pipeline as a fused streaming chain: every record
@@ -304,28 +402,39 @@ impl Pipeline {
             source_records += 1;
             feed_chain(&mut self.ops, &mut stats, record, &mut totals, sink)?;
         }
-        // End of stream: flush each stage into the remainder of the
-        // chain, upstream first, so a flushed record still traverses
-        // every later operator.
-        for i in 0..self.ops.len() {
-            let (op, rest_ops) = self.ops[i..].split_first_mut().expect("index in range");
-            let (st, rest_stats) = stats[i..].split_first_mut().expect("stats parallel ops");
-            st.begin_flush();
-            let mut chain = ChainSink {
-                ops: rest_ops,
-                stats: rest_stats,
-                emitter: st,
-                totals: &mut totals,
-                final_sink: sink,
-            };
-            op.on_eos(&mut chain)?;
-        }
+        flush_chain(&mut self.ops, &mut stats, &mut totals, sink)?;
         Ok(StreamStats {
             stages: stats,
             source_records,
             sink_records: totals.records,
             sink_bytes: totals.bytes,
         })
+    }
+
+    /// Runs the pipeline data-parallel across `workers` shards: the
+    /// record stream is partitioned at top-level scope boundaries (one
+    /// whole `OpenScope…CloseScope` subtree per unit), each worker
+    /// thread drives a [`clone_chain`](Self::clone_chain)ed copy of the
+    /// operator chain over its units, and a deterministic ordered merge
+    /// recombines the outputs — byte-identical to
+    /// [`run_streaming`](Self::run_streaming) for scope-local chains
+    /// (see [`crate::shard`] for the exact contract).
+    ///
+    /// The pipeline itself is left untouched (workers run clones), so
+    /// it can be reused afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first source or operator error in stream order, or
+    /// an operator error if any operator does not support
+    /// [`Operator::clone_op`].
+    pub fn run_sharded(
+        &self,
+        source: impl Source + Send,
+        sink: &mut dyn Sink,
+        workers: usize,
+    ) -> Result<StreamStats, PipelineError> {
+        crate::shard::ShardedPipeline::from_pipeline(self, workers)?.run(source, sink)
     }
 
     /// Runs the pipeline over `input`, collecting the final stage's
@@ -701,7 +810,8 @@ mod tests {
         // A rendezvous (capacity 0) and a tiny channel both produce the
         // same output as the default — capacity only shapes scheduling.
         for capacity in [0usize, 1, 4] {
-            let mut p = Pipeline::new().with_channel_capacity(capacity);
+            let mut p = Pipeline::new();
+            p.set_channel_capacity(capacity);
             p.add(MapPayload::new("plus1", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x += 1.0);
             }));

@@ -461,7 +461,7 @@ mod tests {
         // Final sink host.
         let sink_thread = thread::spawn(move || {
             let mut records: Vec<Record> = Vec::new();
-            let end = crate::net::serve_once(&sink_listener, &mut records).unwrap();
+            let (end, _received) = crate::net::serve_once(&sink_listener, &mut records).unwrap();
             (end, records)
         });
 
@@ -475,7 +475,8 @@ mod tests {
         });
 
         // Source host.
-        send_all(seg_addr, &scope_burst(1, 4, 0)).unwrap();
+        let sent = send_all(seg_addr, &scope_burst(1, 4, 0)).unwrap();
+        assert_eq!(sent, 6);
 
         let upstream_end = segment_thread.join().unwrap();
         assert_eq!(upstream_end, StreamEnd::Clean);

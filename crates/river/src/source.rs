@@ -170,6 +170,71 @@ where
     }
 }
 
+/// Concatenates sources end to end: each is drained fully before the
+/// next starts — an archive of clips as one stream. Fully lazy: the
+/// source iterator itself is advanced on demand, so neither the
+/// sources nor their records are materialized ahead of consumption
+/// (an unbounded archive generator streams in constant memory).
+///
+/// # Example
+///
+/// ```
+/// use dynamic_river::prelude::*;
+/// use dynamic_river::source::{ChainedSource, ChunkedF64Source, Source};
+///
+/// let clips = (0..3).map(|c| {
+///     ChunkedF64Source::new((0..8).map(move |i| (c * 8 + i) as f64), 4)
+///         .with_scope(7, vec![])
+/// });
+/// let mut src = ChainedSource::new(clips);
+/// let mut records = Vec::new();
+/// while let Some(r) = src.next_record()? {
+///     records.push(r);
+/// }
+/// // 3 × (open + 2 data + close)
+/// assert_eq!(records.len(), 12);
+/// # Ok::<(), PipelineError>(())
+/// ```
+pub struct ChainedSource<I: Iterator> {
+    sources: I,
+    current: Option<I::Item>,
+}
+
+impl<S, I> ChainedSource<I>
+where
+    S: Source,
+    I: Iterator<Item = S>,
+{
+    /// Chains the given sources in order.
+    pub fn new(sources: impl IntoIterator<Item = S, IntoIter = I>) -> Self {
+        ChainedSource {
+            sources: sources.into_iter(),
+            current: None,
+        }
+    }
+}
+
+impl<S, I> Source for ChainedSource<I>
+where
+    S: Source,
+    I: Iterator<Item = S>,
+{
+    fn next_record(&mut self) -> Result<Option<Record>, PipelineError> {
+        loop {
+            if let Some(current) = &mut self.current {
+                if let Some(record) = current.next_record()? {
+                    return Ok(Some(record));
+                }
+                self.current = None;
+            }
+            match self.sources.next() {
+                Some(next) => self.current = Some(next),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
 impl<I> Source for ChunkedF64Source<I>
 where
     I: Iterator<Item = f64>,
@@ -278,5 +343,23 @@ mod tests {
     #[should_panic(expected = "chunk_len must be non-zero")]
     fn zero_chunk_len_panics() {
         let _ = ChunkedF64Source::new(std::iter::empty(), 0);
+    }
+
+    #[test]
+    fn chained_source_concatenates_in_order() {
+        let clips = (0..3u64).map(|c| {
+            ChunkedF64Source::new((0..4).map(move |i| (c * 4 + i) as f64), 2).with_scope(1, vec![])
+        });
+        let out = drain(ChainedSource::new(clips));
+        assert_eq!(out.len(), 12);
+        validate_scopes(&out).unwrap();
+        assert_eq!(out[1].payload.as_f64().unwrap(), &[0.0, 1.0]);
+        assert_eq!(out[10].payload.as_f64().unwrap(), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn chained_source_of_nothing_is_empty() {
+        let none: Vec<ChunkedF64Source<std::iter::Empty<f64>>> = Vec::new();
+        assert!(drain(ChainedSource::new(none)).is_empty());
     }
 }

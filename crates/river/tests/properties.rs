@@ -1,10 +1,12 @@
 //! Property-based tests for Dynamic River: codec round trips, scope
-//! repair invariants, and pipeline equivalence.
+//! repair invariants, and pipeline equivalence (batch vs streaming vs
+//! threaded vs sharded).
 
 use bytes::Bytes;
 use dynamic_river::codec::{decode_frame, encode_frame, write_eos, write_record};
+use dynamic_river::fault::{DropCloses, FailAfter, TruncateAfter};
 use dynamic_river::net::StreamIn;
-use dynamic_river::ops::ScopeRepair;
+use dynamic_river::ops::{ScopeRepair, ScopeSum};
 use dynamic_river::prelude::*;
 use dynamic_river::scope::validate_scopes;
 use proptest::prelude::*;
@@ -283,5 +285,133 @@ proptest! {
         let sync_out = build().run(stream.clone()).unwrap();
         let threaded_out = build().run_threaded(stream).unwrap();
         prop_assert_eq!(sync_out, threaded_out);
+    }
+
+    /// The scope-sharded runner agrees record-for-record with the
+    /// single-lane streaming driver — scope open/close ordering
+    /// included — for random scope-local chains (stateless maps and
+    /// filters plus a per-scope stateful summarizer) over arbitrary
+    /// record streams, at every worker count from 1 to 8.
+    #[test]
+    fn sharded_equals_streaming(
+        stream in arb_stream(),
+        gain in -3.0f64..3.0,
+        keep_even in any::<bool>(),
+        with_sum in any::<bool>(),
+        workers in 1usize..9,
+    ) {
+        let build = move || {
+            let mut p = Pipeline::new();
+            p.add(MapPayload::new("gain", move |v: &mut [f64]| {
+                v.iter_mut().for_each(|x| *x *= gain);
+            }));
+            if keep_even {
+                p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            }
+            if with_sum {
+                p.add(ScopeSum::new(999));
+            }
+            p
+        };
+        let mut single = Vec::new();
+        let single_stats = build()
+            .run_streaming(stream.clone().into_iter(), &mut single)
+            .unwrap();
+        let mut sharded = Vec::new();
+        let sharded_stats = build()
+            .run_sharded(stream.into_iter(), &mut sharded, workers)
+            .unwrap();
+        prop_assert_eq!(&single, &sharded);
+        prop_assert_eq!(single_stats.source_records, sharded_stats.source_records);
+        prop_assert_eq!(single_stats.sink_records, sharded_stats.sink_records);
+        prop_assert_eq!(single_stats.sink_bytes, sharded_stats.sink_bytes);
+    }
+
+    /// Fault injection through the sharded runner: a `DropCloses` or
+    /// `TruncateAfter` upstream fault leaves scopes dangling, and the
+    /// per-shard `ScopeRepair` must synthesize exactly the
+    /// `BadCloseScope` records the single-lane path emits — same
+    /// records, same positions.
+    #[test]
+    fn sharded_scope_repair_matches_single_lane(
+        stream in arb_stream(),
+        drop_every in 1u64..4,
+        truncate in any::<bool>(),
+        keep in 0usize..64,
+        workers in 1usize..9,
+    ) {
+        // Sanitize, then inject the fault upstream of both runners so
+        // they see the identical damaged stream.
+        let mut sanitize = Pipeline::new();
+        sanitize.add(ScopeRepair::new());
+        let clean = sanitize.run(stream).unwrap();
+        let mut injector = Pipeline::new();
+        if truncate {
+            injector.add(TruncateAfter::new(keep as u64));
+        } else {
+            injector.add(DropCloses::every(drop_every));
+        }
+        let damaged = injector.run(clean).unwrap();
+
+        let build = || {
+            let mut p = Pipeline::new();
+            p.add(ScopeRepair::new());
+            p.add(ScopeSum::new(999));
+            p
+        };
+        let mut single = Vec::new();
+        build()
+            .run_streaming(damaged.clone().into_iter(), &mut single)
+            .unwrap();
+        let mut sharded = Vec::new();
+        build()
+            .run_sharded(damaged.into_iter(), &mut sharded, workers)
+            .unwrap();
+        prop_assert_eq!(&single, &sharded);
+        prop_assert!(validate_scopes(&sharded).is_ok());
+        let single_bad = single.iter().filter(|r| r.kind == RecordKind::BadCloseScope).count();
+        let sharded_bad = sharded.iter().filter(|r| r.kind == RecordKind::BadCloseScope).count();
+        prop_assert_eq!(single_bad, sharded_bad);
+    }
+
+    /// A crashing operator (`FailAfter`) aborts the sharded run with an
+    /// operator error, like the single-lane driver.
+    #[test]
+    fn sharded_fail_after_aborts(
+        stream in arb_stream(),
+        fail_at in 0u64..32,
+        workers in 1usize..5,
+    ) {
+        // Only meaningful when the fault actually fires (the shim has
+        // no prop_assume; a plain guard serves).
+        if stream.len() as u64 > fail_at {
+            let build = || {
+                let mut p = Pipeline::new();
+                p.add(FailAfter::new(fail_at));
+                p
+            };
+            let single_err = build()
+                .run_streaming(stream.clone().into_iter(), &mut NullSink)
+                .unwrap_err();
+            // Bound to a name first: the assert macro embeds the
+            // expression in a format string, where `{ .. }` is invalid.
+            let single_is_operator_error = matches!(single_err, PipelineError::Operator { .. });
+            prop_assert!(single_is_operator_error);
+            // Sharded: each worker's FailAfter counts its own shard's
+            // records, so with several workers the countdown may never
+            // elapse on any one shard. With one worker it must abort
+            // exactly like the single lane; with more, a completed run
+            // means every record flowed.
+            match build().run_sharded(stream.clone().into_iter(), &mut NullSink, workers) {
+                Err(e) => {
+                    let is_operator_error = matches!(e, PipelineError::Operator { .. });
+                    prop_assert!(is_operator_error);
+                }
+                Ok(stats) => {
+                    prop_assert!(workers > 1);
+                    prop_assert_eq!(stats.source_records as usize, stream.len());
+                }
+            }
+        }
     }
 }

@@ -44,19 +44,21 @@ fn main() {
     // Host C: analysis sink.
     let sink = thread::spawn(move || {
         let mut records: Vec<Record> = Vec::new();
-        let end = serve_once(&sink_listener, &mut records).unwrap();
-        (end, records)
+        let (end, streamin_received) = serve_once(&sink_listener, &mut records).unwrap();
+        (end, streamin_received, records)
     });
     // Host B: the extraction segment (saxanomaly -> trigger -> cutter).
     let seg_cfg = cfg;
     let segment = thread::spawn(move || {
         run_network_segment(&segment_listener, sink_addr, extraction_segment(seg_cfg)).unwrap()
     });
-    // Host A: the sensor source.
-    send_all(segment_addr, &records).unwrap();
+    // Host A: the sensor source. `send_all` drives one framed
+    // `streamout` connection and reports how many records it sent.
+    let sent = send_all(segment_addr, &records).unwrap();
+    println!("sensor host: streamout sent {sent} records");
 
     let upstream_end = segment.join().unwrap();
-    let (sink_end, received) = sink.join().unwrap();
+    let (sink_end, streamin_received, received) = sink.join().unwrap();
     let ensembles = received
         .iter()
         .filter(|r| {
@@ -65,9 +67,8 @@ fn main() {
         })
         .count();
     println!(
-        "segment host: upstream ended {upstream_end:?}; sink received {} records ({} ensembles), ended {sink_end:?}",
-        received.len(),
-        ensembles
+        "segment host: upstream ended {upstream_end:?}; sink streamin received {} records ({} ensembles), ended {sink_end:?}",
+        streamin_received, ensembles
     );
 
     // ---- Part 2: fault recovery --------------------------------------
@@ -89,9 +90,9 @@ fn main() {
         // Dropped here: simulated crash.
     });
     let mut repaired: Vec<Record> = Vec::new();
-    let end = serve_once(&listener, &mut repaired).unwrap();
+    let (end, crash_received) = serve_once(&listener, &mut repaired).unwrap();
     println!(
-        "\nfault injection: sensor crashed mid-clip -> streamin ended {end:?}; last record: {}",
+        "\nfault injection: sensor crashed mid-clip -> streamin received {crash_received} records, ended {end:?}; last record: {}",
         repaired.last().map(|r| r.to_string()).unwrap_or_default()
     );
     acoustic_ensembles::river::scope::validate_scopes(&repaired)

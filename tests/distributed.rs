@@ -43,13 +43,15 @@ fn acoustic_pipeline_across_tcp_hosts() {
 
     let sink = thread::spawn(move || {
         let mut out: Vec<Record> = Vec::new();
-        let end = serve_once(&sink_listener, &mut out).unwrap();
+        let (end, received) = serve_once(&sink_listener, &mut out).unwrap();
+        assert_eq!(received as usize, out.len());
         (end, out)
     });
     let segment = thread::spawn(move || {
         run_network_segment(&seg_listener, sink_addr, extraction_segment(cfg)).unwrap()
     });
-    send_all(seg_addr, &records).unwrap();
+    let sent = send_all(seg_addr, &records).unwrap();
+    assert_eq!(sent as usize, records.len());
 
     assert_eq!(segment.join().unwrap(), StreamEnd::Clean);
     let (end, received) = sink.join().unwrap();
@@ -84,8 +86,9 @@ fn crash_mid_clip_yields_balanced_stream_downstream() {
     });
 
     let mut received: Vec<Record> = Vec::new();
-    let end = serve_once(&listener, &mut received).unwrap();
+    let (end, streamin_received) = serve_once(&listener, &mut received).unwrap();
     assert_eq!(end, StreamEnd::Unclean { repaired_scopes: 1 });
+    assert_eq!(streamin_received, 20);
     validate_scopes(&received).unwrap();
     assert_eq!(
         received.last().unwrap().kind,
