@@ -1,53 +1,124 @@
 #!/usr/bin/env bash
-# CI entry point: build, test, docs, bench compile.
+# CI entry point: build, test, lint, docs, bench compile, perf gate.
 #
-#   ./ci.sh         # everything (tier-1 + fmt + docs + bench compile + examples + perf json)
-#   ./ci.sh quick   # tier-1 only (build --release && test -q)
+#   ./ci.sh              # everything (tier-1 + clippy + fmt + docs +
+#                        #   bench compile + examples + perf json + gate)
+#   ./ci.sh quick        # tier-1 only (build --release && test -q)
+#   ./ci.sh bench-check  # compare BENCH_fig5.json vs BENCH_baseline.json
 #
 # Requires only a Rust toolchain — the workspace has no network
-# dependencies (see DESIGN.md § Shims).
+# dependencies (see DESIGN.md § Shims). Every phase prints its
+# wall-clock time so CI log triage shows where the minutes go.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# --- per-phase wall-clock timing -------------------------------------
+CI_T0=$SECONDS
+PHASE_T0=$SECONDS
+PHASE_NAME=""
+phase() {
+    phase_end
+    PHASE_NAME="$1"
+    PHASE_T0=$SECONDS
+    echo "==> $1"
+}
+phase_end() {
+    if [ -n "$PHASE_NAME" ]; then
+        echo "    [phase '$PHASE_NAME' took $((SECONDS - PHASE_T0))s]"
+    fi
+    PHASE_NAME=""
+}
+
+# --- bench regression gate -------------------------------------------
+# Parses the freshly written BENCH_fig5.json against the committed
+# BENCH_baseline.json and fails if single-lane (workers=1, unclamped)
+# throughput regressed by more than 25%. Machine-readable lines look
+# like: {"workers": 1, "requested_workers": 1, "clamped": false, ...,
+# "records_per_sec": 6514.9, ...}
+rps_at_workers1() {
+    grep -m1 '"workers": 1, "requested_workers": 1,' "$1" |
+        sed -E 's/.*"records_per_sec": ([0-9.]+).*/\1/'
+}
+bench_check() {
+    local base=BENCH_baseline.json cur=BENCH_fig5.json
+    [ -f "$base" ] || { echo "bench-check: missing $base" >&2; exit 1; }
+    [ -f "$cur" ] || { echo "bench-check: missing $cur (run ./ci.sh first)" >&2; exit 1; }
+    local base_rps cur_rps
+    base_rps=$(rps_at_workers1 "$base")
+    cur_rps=$(rps_at_workers1 "$cur")
+    [ -n "$base_rps" ] || { echo "bench-check: no workers=1 line in $base" >&2; exit 1; }
+    [ -n "$cur_rps" ] || { echo "bench-check: no workers=1 line in $cur" >&2; exit 1; }
+    awk -v base="$base_rps" -v cur="$cur_rps" 'BEGIN {
+        floor = 0.75 * base
+        printf "bench-check: workers=1 records_per_sec: baseline %.1f, current %.1f (floor %.1f)\n", base, cur, floor
+        if (cur < floor) {
+            print "bench-check: FAIL — single-lane throughput regressed by more than 25%"
+            exit 1
+        }
+        print "bench-check: OK"
+    }'
+}
+
+if [ "${1:-}" = "bench-check" ]; then
+    bench_check
+    exit 0
+fi
 
 # The whole pipeline compiles warning-free; keep it that way.
 export RUSTFLAGS="-D warnings"
 
-echo "==> cargo build --release (RUSTFLAGS=-D warnings)"
+phase "cargo build --release (RUSTFLAGS=-D warnings)"
 cargo build --release
 
-echo "==> cargo test -q"
+phase "cargo test -q"
 cargo test -q
 
 if [ "${1:-}" != "quick" ]; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        phase "cargo clippy --all-targets (warnings are errors)"
+        cargo clippy --all-targets --quiet -- -D warnings
+    else
+        echo "==> cargo clippy --all-targets (skipped: clippy unavailable)"
+    fi
+
     if cargo fmt --version >/dev/null 2>&1; then
-        echo "==> cargo fmt --check"
+        phase "cargo fmt --check"
         cargo fmt --check
     else
         echo "==> cargo fmt --check (skipped: rustfmt unavailable)"
     fi
 
-    echo "==> cargo doc --no-deps (warnings are errors)"
+    phase "cargo doc --no-deps (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-    echo "==> cargo bench --no-run (benches must compile)"
+    phase "cargo bench --no-run (benches must compile)"
     cargo bench --no-run --quiet
 
-    # Exercise the streaming execution path end-to-end: both examples
-    # drive real pipelines through the fused streaming executor.
-    echo "==> examples (release)"
+    # Exercise the streaming execution path end-to-end: all three
+    # examples drive real pipelines through the fused streaming
+    # executor; distributed_pipeline serves a concurrent client fleet
+    # through the multi-session PipelineServer over loopback TCP.
+    phase "examples (release)"
     cargo run --release --quiet --example quickstart
     cargo run --release --quiet --example anomaly_monitor
+    cargo run --release --quiet --example distributed_pipeline
 
     # Perf trajectory: Figure 5 over a small clip archive at 1/2/4
     # worker shards, one machine-readable line each, accumulated at the
     # repo root so successive commits can compare both single-lane
-    # throughput and parallel scaling.
-    echo "==> BENCH_fig5.json (sharded scaling: 1/2/4 workers)"
+    # throughput and parallel scaling. Worker counts beyond the host's
+    # cores are clamped (and flagged "clamped": true) so a small CI
+    # host cannot fake a parallel slowdown.
+    phase "BENCH_fig5.json (sharded scaling: 1/2/4 workers)"
     : > BENCH_fig5.json
     for workers in 1 2 4; do
         cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
             --json --repeat 8 --workers "$workers" | tee -a BENCH_fig5.json
     done
+
+    phase "bench-check (workers=1 throughput vs BENCH_baseline.json)"
+    bench_check
 fi
 
-echo "==> ci.sh: all green"
+phase_end
+echo "==> ci.sh: all green ($((SECONDS - CI_T0))s total)"

@@ -1,0 +1,99 @@
+//! Throughput of the multi-session pipeline service
+//! (`dynamic_river::serve::PipelineServer`): a fleet of concurrent
+//! clients pushes pre-encoded framed clip streams over loopback TCP,
+//! each session decoding and running its own cloned operator chain.
+//! Measured end to end — accept, decode, chain, per-session stats,
+//! graceful shutdown — in records per second, at 1/2/4 concurrent
+//! sessions. The chain is deliberately light (an in-place gain) so the
+//! numbers track the *service layer's* overhead: framing, CRC checks,
+//! scope tracking, dispatch and aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynamic_river::codec::{encode_frame, EOS_MAGIC};
+use dynamic_river::operator::NullSink;
+use dynamic_river::prelude::*;
+use dynamic_river::serve::PipelineServer;
+use std::hint::black_box;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+const CLIPS_PER_SESSION: usize = 4;
+const RECORDS_PER_CLIP: usize = 64;
+const SAMPLES_PER_RECORD: usize = 120;
+
+fn chain() -> Pipeline {
+    let mut p = Pipeline::new();
+    p.add(MapPayload::new("gain", |v: &mut [f64]| {
+        v.iter_mut().for_each(|x| *x *= 0.5);
+    }));
+    p
+}
+
+/// One client's whole wire stream, framed once up front so iterations
+/// measure the server, not the clients' encoding.
+fn client_bytes() -> (Arc<Vec<u8>>, u64) {
+    let mut bytes = Vec::new();
+    let mut records = 0u64;
+    for clip in 0..CLIPS_PER_SESSION {
+        bytes.extend_from_slice(&encode_frame(&Record::open_scope(1, vec![])));
+        records += 1;
+        for i in 0..RECORDS_PER_CLIP {
+            let samples: Vec<f64> = (0..SAMPLES_PER_RECORD)
+                .map(|s| ((clip * RECORDS_PER_CLIP + i) * SAMPLES_PER_RECORD + s) as f64)
+                .collect();
+            bytes.extend_from_slice(&encode_frame(
+                &Record::data(0, Payload::f64(samples)).with_seq(i as u64),
+            ));
+            records += 1;
+        }
+        bytes.extend_from_slice(&encode_frame(&Record::close_scope(1)));
+        records += 1;
+    }
+    bytes.extend_from_slice(&EOS_MAGIC);
+    (Arc::new(bytes), records)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (bytes, records_per_session) = client_bytes();
+
+    let mut group = c.benchmark_group("serve_throughput/loopback_sessions");
+    group.sample_size(10);
+    for sessions in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements(records_per_session * sessions as u64));
+        group.bench_function(BenchmarkId::from_parameter(sessions), |b| {
+            b.iter(|| {
+                let mut server = PipelineServer::from_pipeline(&chain()).unwrap();
+                server.set_max_sessions(sessions);
+                let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                let handle = server.start(listener, |_info| Box::new(NullSink)).unwrap();
+                let addr = handle.local_addr();
+                let clients: Vec<_> = (0..sessions)
+                    .map(|_| {
+                        let bytes = Arc::clone(&bytes);
+                        thread::spawn(move || {
+                            let mut stream = TcpStream::connect(addr).unwrap();
+                            stream.set_nodelay(true).unwrap();
+                            stream.write_all(&bytes).unwrap();
+                        })
+                    })
+                    .collect();
+                for client in clients {
+                    client.join().unwrap();
+                }
+                handle.wait_for_completed(sessions as u64);
+                let report = handle.shutdown().unwrap();
+                assert_eq!(
+                    report.aggregate.source_records,
+                    records_per_session * sessions as u64
+                );
+                black_box(report.sessions.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

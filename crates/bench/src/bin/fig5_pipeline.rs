@@ -16,13 +16,20 @@
 //! throughput scales with the worker count up to the machine's core
 //! count.
 //!
+//! Worker counts beyond the host's available parallelism are clamped
+//! to it (extra shards on a saturated machine only add queue-hopping
+//! overhead and would *understate* pipeline throughput).
+//!
 //! With `--json`, prints a single machine-readable line
-//! (`{"workers": …, "clips": …, "cores": …, "records_per_sec": …,
-//! "bytes_in": …, "bytes_out": …, "peak_burst": …}`) instead of the
-//! figure — `ci.sh` appends one line per worker count to
-//! `BENCH_fig5.json`, the repo's pipeline-throughput scaling
-//! trajectory. `cores` records the host parallelism so a flat curve on
-//! a small machine is not mistaken for a runtime regression.
+//! (`{"workers": …, "requested_workers": …, "clamped": …, "clips": …,
+//! "cores": …, "records_per_sec": …, "bytes_in": …, "bytes_out": …,
+//! "peak_burst": …}`) instead of the figure — `ci.sh` appends one line
+//! per worker count to `BENCH_fig5.json`, the repo's
+//! pipeline-throughput scaling trajectory, and `ci.sh bench-check`
+//! gates on the workers=1 line against `BENCH_baseline.json`. `cores`
+//! records the host parallelism and `clamped` flags a reduced worker
+//! count, so a flat curve on a small machine is not mistaken for a
+//! runtime regression.
 
 use dynamic_river::CountingSink;
 use ensemble_bench::{header, Scale};
@@ -42,9 +49,14 @@ fn flag_value(flag: &str) -> Option<usize> {
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let scale = Scale::from_args();
-    let workers = flag_value("--workers").unwrap_or(1).max(1);
+    let requested_workers = flag_value("--workers").unwrap_or(1).max(1);
     let clips = flag_value("--repeat").unwrap_or(1).max(1);
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // More workers than cores only adds queue-hopping overhead — on a
+    // 1-core CI host an unclamped `--workers 4` measures *slower* than
+    // single-lane and poisons the perf trajectory. Clamp and say so.
+    let workers = requested_workers.min(cores);
+    let clamped = workers != requested_workers;
     let cfg = ExtractorConfig::paper();
     let synth = ClipSynthesizer::new(SynthConfig::paper());
     let clip = synth.clip(SpeciesCode::Noca, scale.seed);
@@ -78,8 +90,10 @@ fn main() {
     if json {
         let bytes_in = stats.stages.first().map_or(0, |s| s.bytes_in);
         println!(
-            "{{\"workers\": {}, \"clips\": {}, \"cores\": {}, \"records_per_sec\": {:.1}, \"bytes_in\": {}, \"bytes_out\": {}, \"peak_burst\": {}}}",
+            "{{\"workers\": {}, \"requested_workers\": {}, \"clamped\": {}, \"clips\": {}, \"cores\": {}, \"records_per_sec\": {:.1}, \"bytes_in\": {}, \"bytes_out\": {}, \"peak_burst\": {}}}",
             workers,
+            requested_workers,
+            clamped,
             clips,
             cores,
             stats.source_records as f64 / elapsed,
@@ -93,9 +107,14 @@ fn main() {
     header("Figure 5: pipeline operators converting acoustic clips into ensembles");
     println!("sensor platform -> readout -> storage -> wav2rec -> (this run starts here)");
     println!(
-        "{} clip(s), {} worker shard(s) [{}]\n",
+        "{} clip(s), {} worker shard(s){} [{}]\n",
         clips,
         workers,
+        if clamped {
+            format!(" (clamped from {requested_workers}: {cores} core(s) available)")
+        } else {
+            String::new()
+        },
         if workers > 1 {
             "scope-sharded parallel executor"
         } else {

@@ -288,7 +288,7 @@ mod tests {
         assert_eq!(bundle.ensemble.dim(), 1_050);
         assert_eq!(bundle.paa_ensemble.dim(), 105);
         assert_eq!(bundle.pattern.dim(), 1_050);
-        assert!(bundle.ensemble.len() > 0);
+        assert!(!bundle.ensemble.is_empty());
         // The PAA and raw bundles describe the same patterns.
         assert_eq!(bundle.ensemble.len(), bundle.paa_ensemble.len());
         assert_eq!(bundle.pattern.len(), bundle.ensemble.len());

@@ -13,9 +13,12 @@
 //! that correspond to when the trigger value is 1" (paper §3).
 
 use crate::config::ExtractorConfig;
+use dynamic_river::error::PipelineError;
+use dynamic_river::serve::{PipelineServer, ServerHandle, SessionInfo, SessionSink};
 use dynamic_river::SampleBuf;
 use river_dsp::stats::{MovingAverage, Welford};
 use river_sax::anomaly::BitmapAnomaly;
+use std::net::TcpListener;
 
 /// One extracted ensemble.
 #[derive(Debug, Clone, PartialEq)]
@@ -328,6 +331,71 @@ impl EnsembleExtractor {
             }
         });
         results
+    }
+
+    /// Serves the full Figure 5 analysis chain to a fleet of networked
+    /// clients: a [`PipelineServer`] accepting up to `max_sessions`
+    /// concurrent `streamin` connections, each session running its own
+    /// fresh `full_pipeline` instance over this extractor's
+    /// configuration. Clients push framed clip records (e.g. via
+    /// [`clip_to_records`](crate::ops::clip_to_records) +
+    /// `send_all`); each session's pattern output lands in the sink
+    /// produced by `make_sink`. Returns immediately with the
+    /// [`ServerHandle`]; call
+    /// [`shutdown`](ServerHandle::shutdown) for the per-session and
+    /// aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Io`] if the listener's address cannot
+    /// be resolved or the service threads cannot be spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sessions == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dynamic_river::net::send_all;
+    /// use dynamic_river::operator::SharedSink;
+    /// use ensemble_core::ops::clip_to_records;
+    /// use ensemble_core::prelude::*;
+    /// use std::net::TcpListener;
+    ///
+    /// let cfg = ExtractorConfig::default();
+    /// let ex = EnsembleExtractor::new(cfg);
+    /// let out = SharedSink::new();
+    /// let per_session = out.clone();
+    /// let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    /// let handle = ex
+    ///     .serve(listener, 2, move |_info| Box::new(per_session.clone()))
+    ///     .unwrap();
+    ///
+    /// // One "sensor host" pushes a (quiet) clip.
+    /// let clip = vec![0.01; cfg.record_len * 4];
+    /// let records = clip_to_records(&clip, cfg.sample_rate, cfg.record_len, &[]);
+    /// send_all(handle.local_addr(), &records).unwrap();
+    ///
+    /// handle.wait_for_completed(1);
+    /// let report = handle.shutdown().unwrap();
+    /// assert_eq!(report.clean_sessions(), 1);
+    /// assert_eq!(out.take().len(), 2); // quiet clip: scope markers only
+    /// ```
+    pub fn serve<F>(
+        &self,
+        listener: TcpListener,
+        max_sessions: usize,
+        make_sink: F,
+    ) -> Result<ServerHandle, PipelineError>
+    where
+        F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
+    {
+        let cfg = self.config;
+        let mut server =
+            PipelineServer::from_factory(move |_session| crate::pipeline::full_pipeline(cfg, true));
+        server.set_max_sessions(max_sessions);
+        server.start(listener, make_sink)
     }
 }
 

@@ -66,8 +66,8 @@ pub fn harmonic_tone(f0: f64, partials: &[(f64, f64)], dur: f64, fs: f64) -> Vec
     let n = (dur * fs) as usize;
     let mut out = vec![0.0f64; n];
     let mut total_amp = 1.0;
-    for i in 0..n {
-        out[i] = (2.0 * PI * f0 * i as f64 / fs).sin();
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (2.0 * PI * f0 * i as f64 / fs).sin();
     }
     for &(mult, amp) in partials {
         total_amp += amp;

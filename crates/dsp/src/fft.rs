@@ -143,7 +143,7 @@ impl Fft {
                 }
                 inner.forward_in_place(&mut a);
                 for (ak, bk) in a.iter_mut().zip(kernel_fft.iter()) {
-                    *ak = *ak * *bk;
+                    *ak *= *bk;
                 }
                 inner.inverse_in_place(&mut a);
                 for k in 0..n {

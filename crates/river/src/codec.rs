@@ -103,7 +103,7 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Payload, PipelineError> {
             Ok(Payload::Empty)
         }
         1 | 2 => {
-            if bytes.len() % 8 != 0 {
+            if !bytes.len().is_multiple_of(8) {
                 return Err(codec_err(format!(
                     "f64 payload length {} not a multiple of 8",
                     bytes.len()
@@ -112,7 +112,7 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Payload, PipelineError> {
             // Complex payloads are interleaved [re, im, …] pairs; an odd
             // number of f64s cannot be produced by any in-process
             // constructor and must not enter through the wire.
-            if tag == 2 && bytes.len() % 16 != 0 {
+            if tag == 2 && !bytes.len().is_multiple_of(16) {
                 return Err(codec_err(format!(
                     "complex payload length {} is not a whole number of (re, im) pairs",
                     bytes.len()
@@ -321,15 +321,29 @@ pub enum ReadOutcome {
 ///
 /// Returns [`PipelineError::Codec`] for corrupted frames and
 /// [`PipelineError::Io`] for I/O failures other than clean EOF.
-pub fn read_record<R: Read>(mut reader: R) -> Result<ReadOutcome, PipelineError> {
+pub fn read_record<R: Read>(reader: R) -> Result<ReadOutcome, PipelineError> {
+    read_record_counted(reader).map(|(outcome, _)| outcome)
+}
+
+/// Like [`read_record`], but also returns the number of wire bytes
+/// consumed — the per-session traffic accounting used by the service
+/// layer's session-tagged statistics ([`crate::serve::SessionReport`]).
+///
+/// A clean end-of-stream sentinel counts its 4 bytes; an unclean end
+/// counts whatever partial prefix was drained before EOF.
+///
+/// # Errors
+///
+/// Same contract as [`read_record`].
+pub fn read_record_counted<R: Read>(mut reader: R) -> Result<(ReadOutcome, u64), PipelineError> {
     let mut magic = [0u8; 4];
     match read_exact_or_eof(&mut reader, &mut magic)? {
-        ReadFill::Eof => return Ok(ReadOutcome::UncleanEnd),
-        ReadFill::Partial => return Ok(ReadOutcome::UncleanEnd),
+        ReadFill::Eof => return Ok((ReadOutcome::UncleanEnd, 0)),
+        ReadFill::Partial(n) => return Ok((ReadOutcome::UncleanEnd, n as u64)),
         ReadFill::Full => {}
     }
     if magic == EOS_MAGIC {
-        return Ok(ReadOutcome::CleanEnd);
+        return Ok((ReadOutcome::CleanEnd, 4));
     }
     if magic != MAGIC {
         return Err(PipelineError::Codec(format!(
@@ -351,7 +365,7 @@ pub fn read_record<R: Read>(mut reader: R) -> Result<ReadOutcome, PipelineError>
     reader.read_exact(&mut body).map_err(unclean)?;
     frame.extend_from_slice(&body);
     match decode_frame(&frame)? {
-        Some((record, _)) => Ok(ReadOutcome::Record(record)),
+        Some((record, used)) => Ok((ReadOutcome::Record(record), used as u64)),
         None => Err(PipelineError::Codec("incomplete frame after read".into())),
     }
 }
@@ -366,7 +380,7 @@ fn unclean(e: io::Error) -> PipelineError {
 
 enum ReadFill {
     Full,
-    Partial,
+    Partial(usize),
     Eof,
 }
 
@@ -378,7 +392,7 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadFill
                 return Ok(if filled == 0 {
                     ReadFill::Eof
                 } else {
-                    ReadFill::Partial
+                    ReadFill::Partial(filled)
                 })
             }
             Ok(n) => filled += n,
@@ -539,6 +553,31 @@ mod tests {
             }
         }
         assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn counted_reads_account_for_every_wire_byte() {
+        let mut buf = Vec::new();
+        let mut expected = 0u64;
+        for rec in samples() {
+            let frame = encode_frame(&rec);
+            expected += frame.len() as u64;
+            buf.extend_from_slice(&frame);
+        }
+        write_eos(&mut buf).unwrap();
+        let mut cursor = buf.as_slice();
+        let mut counted = 0u64;
+        loop {
+            let (outcome, n) = read_record_counted(&mut cursor).unwrap();
+            counted += n;
+            match outcome {
+                ReadOutcome::Record(_) => {}
+                ReadOutcome::CleanEnd => break,
+                ReadOutcome::UncleanEnd => panic!("unexpected unclean end"),
+            }
+        }
+        // Every frame byte plus the 4-byte sentinel is accounted for.
+        assert_eq!(counted, expected + 4);
     }
 
     #[test]

@@ -77,7 +77,7 @@ mod tests {
             PipelineError::operator("dft", "bad input"),
             PipelineError::Disconnected("peer reset".into()),
             PipelineError::ScopeViolation("close without open".into()),
-            PipelineError::Io(io::Error::new(io::ErrorKind::Other, "x")),
+            PipelineError::Io(io::Error::other("x")),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

@@ -77,7 +77,7 @@ impl Operator for DropCloses {
     fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind.closes_scope() {
             self.seen_closes += 1;
-            if self.seen_closes % self.k == 0 {
+            if self.seen_closes.is_multiple_of(self.k) {
                 return Ok(()); // dropped
             }
         }
@@ -154,7 +154,7 @@ impl Operator for CorruptSubtype {
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data {
             self.seen += 1;
-            if self.seen % self.k == 0 {
+            if self.seen.is_multiple_of(self.k) {
                 record.subtype = u16::MAX;
             }
         }

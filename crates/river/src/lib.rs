@@ -39,6 +39,11 @@
 //!   sample sources.
 //! - [`codec`] — the length-prefixed, CRC-32-protected wire format used
 //!   by [`net::StreamOut`] / [`net::StreamIn`] across TCP.
+//! - [`serve`] — the multi-session service layer: a
+//!   [`serve::PipelineServer`] accepts many concurrent `streamin`
+//!   connections, runs each through its own cloned operator chain on a
+//!   bounded worker pool, repairs each session's scopes independently,
+//!   and reports per-session plus aggregate [`StreamStats`].
 //! - [`segment`] — named operator chains on in-process *hosts*, with a
 //!   coordinator that relocates segments between hosts at scope
 //!   boundaries ([`segment::RelocatablePipeline`]).
@@ -78,6 +83,7 @@ pub mod pipeline;
 pub mod record;
 pub mod scope;
 pub mod segment;
+pub mod serve;
 pub mod shard;
 pub mod source;
 
@@ -85,13 +91,14 @@ pub mod source;
 pub mod prelude {
     pub use crate::buf::SampleBuf;
     pub use crate::error::PipelineError;
-    pub use crate::operator::{CountingSink, FnSink, NullSink, Operator, Sink};
+    pub use crate::operator::{CountingSink, FnSink, NullSink, Operator, SharedSink, Sink};
     pub use crate::ops::{
         FnOp, Inspect, MapPayload, Passthrough, RecordCounter, RecordFilter, ScopeSum,
     };
     pub use crate::pipeline::{Pipeline, StageStats, StreamStats};
     pub use crate::record::{Payload, Record, RecordKind};
     pub use crate::scope::{ScopeEvent, ScopeTracker};
+    pub use crate::serve::{PipelineServer, ServerHandle, ServerReport, SessionReport};
     pub use crate::shard::ShardedPipeline;
     pub use crate::source::{ChainedSource, ChunkedF64Source, FnSource, Source};
 }
@@ -102,5 +109,6 @@ pub use operator::{CountingSink, Operator, Sink};
 pub use pipeline::{Pipeline, StageStats, StreamStats};
 pub use record::{Payload, Record, RecordKind};
 pub use scope::ScopeTracker;
+pub use serve::{PipelineServer, ServerHandle, ServerReport, SessionReport};
 pub use shard::ShardedPipeline;
 pub use source::Source;

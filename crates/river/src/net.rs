@@ -9,11 +9,13 @@
 //! scopes open, the `streamin` operator will generate `BadCloseScope`
 //! records to close all open scopes."
 
-use crate::codec::{read_record, write_eos, write_record, ReadOutcome};
+use crate::codec::{read_record_counted, write_eos, write_record, ReadOutcome};
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
 use crate::record::Record;
 use crate::scope::ScopeTracker;
+use crate::source::Source;
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 
@@ -89,10 +91,24 @@ pub enum StreamEnd {
 
 /// `streamin`: decodes records from a byte source, tracking scope state
 /// and repairing it when the upstream dies.
+///
+/// Two consumption styles are offered: the push-based
+/// [`pump`](Self::pump) (drain everything into a [`Sink`]) and the
+/// pull-based [`next_record`](Self::next_record), which is also exposed as a
+/// [`Source`] so a connection can feed
+/// [`Pipeline::run_streaming`](crate::pipeline::Pipeline::run_streaming)
+/// directly. The multi-session service layer ([`crate::serve`]) drives
+/// the pull API so each session can interleave decoding with its own
+/// operator chain.
 pub struct StreamIn<R: Read> {
     reader: BufReader<R>,
     tracker: ScopeTracker,
     received: u64,
+    wire_bytes: u64,
+    /// Synthesized `BadCloseScope` repairs not yet handed out.
+    repairs: VecDeque<Record>,
+    /// Set once the stream has ended (no more reads will happen).
+    done: Option<StreamEnd>,
 }
 
 impl<R: Read> StreamIn<R> {
@@ -102,12 +118,114 @@ impl<R: Read> StreamIn<R> {
             reader: BufReader::new(reader),
             tracker: ScopeTracker::new(),
             received: 0,
+            wire_bytes: 0,
+            repairs: VecDeque::new(),
+            done: None,
         }
     }
 
-    /// Records received so far.
+    /// Records received so far (synthesized repairs are not counted).
     pub fn received(&self) -> u64 {
         self.received
+    }
+
+    /// Wire bytes consumed so far (frames, sentinel and any partial
+    /// trailing frame) — the session-traffic counter behind
+    /// [`crate::serve::SessionReport::wire_bytes`].
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// How the stream ended, once [`next_record`](Self::next_record) has returned
+    /// `Ok(None)` (or the session was [aborted](Self::abort_repair)).
+    pub fn end(&self) -> Option<StreamEnd> {
+        self.done
+    }
+
+    /// Pulls the next record: real records first, then — after the
+    /// upstream ends — any synthesized `BadCloseScope` repairs, then
+    /// `Ok(None)`. Once `None` is returned, [`end`](Self::end) reports
+    /// how the stream terminated. This is also the [`Source`]
+    /// implementation, so a connection can feed the streaming driver
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Codec`] on frame corruption and
+    /// [`PipelineError::Io`] on I/O failure; disconnects mid-frame are
+    /// treated as unclean ends rather than errors. After an error the
+    /// wire is untrustworthy — callers that want to keep their
+    /// downstream scope-consistent should invoke
+    /// [`abort_repair`](Self::abort_repair).
+    pub fn next_record(&mut self) -> Result<Option<Record>, PipelineError> {
+        loop {
+            if let Some(repair) = self.repairs.pop_front() {
+                return Ok(Some(repair));
+            }
+            if self.done.is_some() {
+                return Ok(None);
+            }
+            match read_record_counted(&mut self.reader) {
+                Ok((ReadOutcome::Record(record), n)) => {
+                    self.wire_bytes += n;
+                    // Scope accounting; violations at the network boundary
+                    // are repaired (stray closes dropped), not fatal.
+                    match self.tracker.observe(&record) {
+                        Ok(_) => {
+                            self.received += 1;
+                            return Ok(Some(record));
+                        }
+                        Err(PipelineError::ScopeViolation(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok((ReadOutcome::CleanEnd, n)) => {
+                    // A clean end with open scopes still repairs them: the
+                    // upstream said goodbye mid-scope.
+                    self.wire_bytes += n;
+                    self.queue_repairs(true);
+                }
+                Ok((ReadOutcome::UncleanEnd, n)) => {
+                    self.wire_bytes += n;
+                    self.queue_repairs(false);
+                }
+                Err(PipelineError::Disconnected(_)) => self.queue_repairs(false),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Ends the session administratively after an error: hands back any
+    /// queued-but-undelivered repairs plus `BadCloseScope` records for
+    /// every still-open scope (innermost first, exactly what an unclean
+    /// disconnect would have queued) and marks the stream
+    /// [`StreamEnd::Unclean`]. An end already recorded (e.g. a
+    /// disconnect whose repairs were mid-delivery) is preserved, so
+    /// `repaired_scopes` keeps counting every repair synthesized for
+    /// the session. No further reads happen. The service layer calls
+    /// this when a session's wire turns poisonous (CRC mismatch, bad
+    /// magic) so that session's downstream state resynchronizes while
+    /// its neighbors keep flowing.
+    pub fn abort_repair(&mut self) -> Vec<Record> {
+        let mut repairs: Vec<Record> = self.repairs.drain(..).collect();
+        repairs.extend(self.tracker.close_all_bad());
+        if self.done.is_none() {
+            self.done = Some(StreamEnd::Unclean {
+                repaired_scopes: repairs.len() as u32,
+            });
+        }
+        repairs
+    }
+
+    fn queue_repairs(&mut self, clean: bool) {
+        let repairs = self.tracker.close_all_bad();
+        let n = repairs.len() as u32;
+        self.repairs.extend(repairs);
+        self.done = Some(if clean && n == 0 {
+            StreamEnd::Clean
+        } else {
+            StreamEnd::Unclean { repaired_scopes: n }
+        });
     }
 
     /// Pumps every record into `sink` until the stream ends, returning
@@ -121,45 +239,21 @@ impl<R: Read> StreamIn<R> {
     /// [`PipelineError::Io`] on I/O failure; disconnects mid-frame are
     /// treated as unclean ends rather than errors.
     pub fn pump(&mut self, sink: &mut dyn Sink) -> Result<StreamEnd, PipelineError> {
-        loop {
-            match read_record(&mut self.reader) {
-                Ok(ReadOutcome::Record(record)) => {
-                    // Scope accounting; violations at the network boundary
-                    // are repaired (stray closes dropped), not fatal.
-                    match self.tracker.observe(&record) {
-                        Ok(_) => {
-                            self.received += 1;
-                            sink.push(record)?;
-                        }
-                        Err(PipelineError::ScopeViolation(_)) => continue,
-                        Err(e) => return Err(e),
-                    }
-                }
-                Ok(ReadOutcome::CleanEnd) => {
-                    // A clean end with open scopes still repairs them: the
-                    // upstream said goodbye mid-scope.
-                    let repairs = self.tracker.close_all_bad();
-                    let n = repairs.len() as u32;
-                    for r in repairs {
-                        sink.push(r)?;
-                    }
-                    return Ok(if n == 0 {
-                        StreamEnd::Clean
-                    } else {
-                        StreamEnd::Unclean { repaired_scopes: n }
-                    });
-                }
-                Ok(ReadOutcome::UncleanEnd) | Err(PipelineError::Disconnected(_)) => {
-                    let repairs = self.tracker.close_all_bad();
-                    let n = repairs.len() as u32;
-                    for r in repairs {
-                        sink.push(r)?;
-                    }
-                    return Ok(StreamEnd::Unclean { repaired_scopes: n });
-                }
-                Err(e) => return Err(e),
-            }
+        while let Some(record) = self.next_record()? {
+            sink.push(record)?;
         }
+        Ok(self
+            .done
+            .expect("next() returned None, so the stream ended"))
+    }
+}
+
+/// A `streamin` connection is a pull-based record [`Source`]: repairs
+/// are delivered in-stream after an unclean end, so the driver's sink
+/// always sees a scope-consistent sequence.
+impl<R: Read> Source for StreamIn<R> {
+    fn next_record(&mut self) -> Result<Option<Record>, PipelineError> {
+        StreamIn::next_record(self)
     }
 }
 
@@ -300,6 +394,86 @@ mod tests {
         let end = StreamIn::new(buf.as_slice()).pump(&mut sink).unwrap();
         assert_eq!(end, StreamEnd::Clean);
         assert_eq!(sink, scoped_records(3));
+    }
+
+    #[test]
+    fn pull_api_delivers_repairs_in_stream() {
+        // open, open, data, then death: next() yields the three real
+        // records, then the two repairs, then None with an Unclean end.
+        let mut buf = Vec::new();
+        write_record(&mut buf, &Record::open_scope(3, vec![])).unwrap();
+        write_record(&mut buf, &Record::open_scope(4, vec![])).unwrap();
+        write_record(&mut buf, &Record::data(1, Payload::f64(vec![1.0]))).unwrap();
+        let expected_bytes = buf.len() as u64;
+        let mut si = StreamIn::new(buf.as_slice());
+        assert_eq!(si.end(), None);
+        let mut pulled = Vec::new();
+        while let Some(r) = si.next_record().unwrap() {
+            pulled.push(r);
+        }
+        assert_eq!(pulled.len(), 5);
+        assert_eq!(pulled[3].kind, RecordKind::BadCloseScope);
+        assert_eq!(pulled[4].kind, RecordKind::BadCloseScope);
+        assert_eq!(si.end(), Some(StreamEnd::Unclean { repaired_scopes: 2 }));
+        assert_eq!(si.received(), 3);
+        assert_eq!(si.wire_bytes(), expected_bytes);
+        crate::scope::validate_scopes(&pulled).unwrap();
+        // Pulling past the end stays None.
+        assert!(si.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn streamin_is_a_source_for_the_streaming_driver() {
+        let mut buf = Vec::new();
+        for r in scoped_records(4) {
+            write_record(&mut buf, &r).unwrap();
+        }
+        write_eos(&mut buf).unwrap();
+        let mut p = crate::pipeline::Pipeline::new();
+        let mut out: Vec<Record> = Vec::new();
+        let stats = p
+            .run_streaming(StreamIn::new(buf.as_slice()), &mut out)
+            .unwrap();
+        assert_eq!(out, scoped_records(4));
+        assert_eq!(stats.source_records as usize, out.len());
+    }
+
+    #[test]
+    fn abort_repair_closes_scopes_administratively() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &Record::open_scope(5, vec![])).unwrap();
+        write_record(&mut buf, &Record::open_scope(6, vec![])).unwrap();
+        let mut si = StreamIn::new(buf.as_slice());
+        si.next_record().unwrap();
+        si.next_record().unwrap();
+        let repairs = si.abort_repair();
+        assert_eq!(repairs.len(), 2);
+        assert_eq!(repairs[0].scope_type, 6); // innermost first
+        assert_eq!(si.end(), Some(StreamEnd::Unclean { repaired_scopes: 2 }));
+        // The stream is finished; no further reads.
+        assert!(si.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn abort_repair_preserves_queued_repairs_and_recorded_end() {
+        // A disconnect with two open scopes queues two repairs; aborting
+        // after only one was delivered must hand back the other and keep
+        // the recorded end, not reset the repair count to zero.
+        let mut buf = Vec::new();
+        write_record(&mut buf, &Record::open_scope(3, vec![])).unwrap();
+        write_record(&mut buf, &Record::open_scope(4, vec![])).unwrap();
+        let mut si = StreamIn::new(buf.as_slice());
+        si.next_record().unwrap();
+        si.next_record().unwrap();
+        let first = si.next_record().unwrap().unwrap(); // disconnect: repair for scope 4
+        assert_eq!(first.kind, RecordKind::BadCloseScope);
+        assert_eq!(first.scope_type, 4);
+        assert_eq!(si.end(), Some(StreamEnd::Unclean { repaired_scopes: 2 }));
+        let rest = si.abort_repair();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].scope_type, 3);
+        assert_eq!(si.end(), Some(StreamEnd::Unclean { repaired_scopes: 2 }));
+        assert!(si.next_record().unwrap().is_none());
     }
 
     #[test]

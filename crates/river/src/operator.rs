@@ -57,6 +57,71 @@ impl Sink for CountingSink {
     }
 }
 
+/// A sink that appends into a mutex-guarded vector shared across
+/// threads — the natural collector for per-session output in the
+/// multi-session service layer ([`crate::serve`]), where each session's
+/// sink must be `Send` and the caller wants the records afterwards.
+///
+/// # Example
+///
+/// ```
+/// use dynamic_river::operator::{SharedSink, Sink};
+/// use dynamic_river::record::{Payload, Record};
+///
+/// let sink = SharedSink::new();
+/// let mut handle = sink.clone();
+/// handle.push(Record::data(0, Payload::Empty)).unwrap();
+/// assert_eq!(sink.take().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedSink {
+    records: std::sync::Arc<std::sync::Mutex<Vec<Record>>>,
+}
+
+impl SharedSink {
+    /// Creates an empty shared collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns everything collected so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pushing thread panicked while holding the lock.
+    pub fn take(&self) -> Vec<Record> {
+        std::mem::take(&mut self.records.lock().expect("sink lock poisoned"))
+    }
+
+    /// Number of records collected so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pushing thread panicked while holding the lock.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("sink lock poisoned").len()
+    }
+
+    /// `true` when nothing has been collected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pushing thread panicked while holding the lock.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for SharedSink {
+    fn push(&mut self, record: Record) -> Result<(), PipelineError> {
+        self.records
+            .lock()
+            .map_err(|_| PipelineError::Disconnected("shared sink lock poisoned".into()))?
+            .push(record);
+        Ok(())
+    }
+}
+
 /// A sink adapter that invokes a closure per record.
 pub struct FnSink<F>(pub F);
 

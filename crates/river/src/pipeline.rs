@@ -666,7 +666,9 @@ mod tests {
     #[test]
     fn run_count_matches_run() {
         let mut p = Pipeline::new();
-        p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+        p.add(RecordFilter::new("evens", |r: &Record| {
+            r.seq.is_multiple_of(2)
+        }));
         assert_eq!(p.run_count(numbered(10)).unwrap(), 5);
     }
 
@@ -720,7 +722,9 @@ mod tests {
                 v.iter_mut().for_each(|x| *x += 1.0);
             }));
             p.add(Buffering { held: Vec::new() });
-            p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            p.add(RecordFilter::new("evens", |r: &Record| {
+                r.seq.is_multiple_of(2)
+            }));
             p
         };
         let batch = build().run_batch(numbered(20)).unwrap();
@@ -739,7 +743,9 @@ mod tests {
             out.push(r.clone())?;
             out.push(r)
         }));
-        p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+        p.add(RecordFilter::new("evens", |r: &Record| {
+            r.seq.is_multiple_of(2)
+        }));
         let stats = p
             .run_streaming(numbered(10).into_iter(), &mut NullSink)
             .unwrap();
@@ -815,7 +821,9 @@ mod tests {
             p.add(MapPayload::new("plus1", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x += 1.0);
             }));
-            p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            p.add(RecordFilter::new("evens", |r: &Record| {
+                r.seq.is_multiple_of(2)
+            }));
             assert_eq!(p.channel_capacity(), capacity);
             let out = p.run_threaded(numbered(50)).unwrap();
             assert_eq!(out.len(), 25);
@@ -830,7 +838,9 @@ mod tests {
             p.add(MapPayload::new("plus1", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x += 1.0);
             }));
-            p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+            p.add(RecordFilter::new("evens", |r: &Record| {
+                r.seq.is_multiple_of(2)
+            }));
             p.add(MapPayload::new("times3", |v: &mut [f64]| {
                 v.iter_mut().for_each(|x| *x *= 3.0);
             }));

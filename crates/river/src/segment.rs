@@ -20,7 +20,7 @@ use crate::operator::{Operator, Sink};
 use crate::pipeline::Pipeline;
 use crate::record::Record;
 use crate::scope::ScopeTracker;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::net::{TcpListener, ToSocketAddrs};
 use std::thread::{self, JoinHandle};
 
@@ -99,11 +99,8 @@ fn retire(instance: Instance) -> Result<u64, PipelineError> {
             first_error.get_or_insert(e);
         }
     }
-    match drainer.join().expect("drainer thread panicked") {
-        Err(e) => {
-            first_error.get_or_insert(e);
-        }
-        Ok(()) => {}
+    if let Err(e) = drainer.join().expect("drainer thread panicked") {
+        first_error.get_or_insert(e);
     }
     match first_error {
         Some(e) => Err(e),
@@ -174,11 +171,8 @@ impl RelocatablePipeline {
 
             for record in input {
                 // Absorb any relocation commands.
-                loop {
-                    match control_rx.try_recv() {
-                        Ok(SegmentCommand::Relocate { to_host }) => pending = Some(to_host),
-                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-                    }
+                while let Ok(SegmentCommand::Relocate { to_host }) = control_rx.try_recv() {
+                    pending = Some(to_host);
                 }
                 // Cut only at scope boundaries (nothing open).
                 if let Some(to_host) = pending.take() {

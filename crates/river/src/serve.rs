@@ -1,0 +1,1010 @@
+//! Multi-session pipeline service: many concurrent `streamin`
+//! connections into one analysis host.
+//!
+//! The paper's pipelines are explicitly distributed — "segments can
+//! receive and emit records using the `streamin` and `streamout`
+//! operators … enabling instantiation of segments and the construction
+//! of a pipeline across networked hosts" (§2) — and an archive-scale
+//! deployment has many independent sensors pushing clip streams at one
+//! analysis host concurrently. [`PipelineServer`] is that host's
+//! service loop:
+//!
+//! 1. **Acceptor** — accepts connections only while a session slot is
+//!    free ([`set_max_sessions`](PipelineServer::set_max_sessions)), so
+//!    backpressure is applied *at accept time*: excess clients wait in
+//!    the listener's backlog rather than being half-served.
+//! 2. **Session workers** — a bounded pool of `max_sessions` threads.
+//!    Each session decodes its own framed record stream
+//!    ([`StreamIn`]), drives it through its *own clone* of the operator
+//!    chain ([`Pipeline::clone_chain`], exactly the machinery the
+//!    sharded runtime uses per worker), and pushes output into a
+//!    per-session [`Sink`] produced by the caller's sink factory.
+//! 3. **Repair isolation** — a session that dies mid-scope (abrupt
+//!    disconnect, truncation) gets `BadCloseScope` repairs injected
+//!    into *its* chain, exactly like single-connection `streamin`; a
+//!    session whose wire turns poisonous (CRC mismatch, bad magic) is
+//!    aborted with the same repair ([`StreamIn::abort_repair`]). Other
+//!    live sessions never notice.
+//! 4. **Shutdown** — [`ServerHandle::shutdown`] stops the acceptor,
+//!    lets every in-flight session run to its natural end, and returns
+//!    a [`ServerReport`]: one [`SessionReport`] per session (its
+//!    [`StreamEnd`], record/byte counts and per-stage [`StreamStats`])
+//!    plus the aggregate of all sessions via [`StreamStats::merge`].
+//!
+//! Sessions — not scope shards — are the unit of concurrency here: each
+//! connection is an independent record stream with its own scope state
+//! and its own operator state, so no splitter or ordered merge is
+//! needed; the network already partitioned the work.
+//!
+//! # Example
+//!
+//! ```
+//! use dynamic_river::operator::SharedSink;
+//! use dynamic_river::net::send_all;
+//! use dynamic_river::prelude::*;
+//! use dynamic_river::serve::PipelineServer;
+//! use std::net::TcpListener;
+//!
+//! let mut chain = Pipeline::new();
+//! chain.add(MapPayload::new("gain", |v: &mut [f64]| {
+//!     v.iter_mut().for_each(|x| *x *= 2.0);
+//! }));
+//! let mut server = PipelineServer::from_pipeline(&chain).unwrap();
+//! server.set_max_sessions(2);
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let out = SharedSink::new();
+//! let per_session = out.clone();
+//! let handle = server
+//!     .start(listener, move |_info| Box::new(per_session.clone()))
+//!     .unwrap();
+//!
+//! let records = vec![
+//!     Record::open_scope(1, vec![]),
+//!     Record::data(0, Payload::f64(vec![21.0])),
+//!     Record::close_scope(1),
+//! ];
+//! send_all(handle.local_addr(), &records).unwrap();
+//!
+//! handle.wait_for_completed(1);
+//! let report = handle.shutdown().unwrap();
+//! assert_eq!(report.sessions.len(), 1);
+//! assert_eq!(report.clean_sessions(), 1);
+//! assert_eq!(out.take()[1].payload.as_f64().unwrap(), &[42.0]);
+//! ```
+
+use crate::error::PipelineError;
+use crate::net::{StreamEnd, StreamIn};
+use crate::operator::Sink;
+use crate::pipeline::{feed_chain, flush_chain, Pipeline, SinkTotals, StageStats, StreamStats};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Completed-session counter shared between the worker pool and the
+/// [`ServerHandle`], so callers can wait for a known client fleet to be
+/// fully served before shutting down.
+#[derive(Debug, Default)]
+struct Progress {
+    completed: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Progress {
+    fn bump(&self) {
+        let mut n = self.completed.lock().expect("progress lock poisoned");
+        *n += 1;
+        self.changed.notify_all();
+    }
+}
+
+/// Identity of one accepted session, handed to the sink factory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Session number, assigned in accept order starting at 1.
+    pub id: u64,
+    /// Peer address of the connection.
+    pub peer: String,
+}
+
+/// Everything one session reported when it finished — the
+/// session-tagged counterpart of a single `streamin` run's
+/// `(StreamEnd, received)` pair, extended with wire-byte accounting
+/// ([`crate::codec::read_record_counted`]) and the session chain's
+/// per-stage [`StreamStats`].
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Session number (accept order, from 1).
+    pub id: u64,
+    /// Peer address of the connection.
+    pub peer: String,
+    /// How the session's stream ended.
+    pub end: StreamEnd,
+    /// Records received over the wire (synthesized repairs excluded).
+    pub received: u64,
+    /// Wire bytes consumed (frames, sentinel, partial trailing frame).
+    pub wire_bytes: u64,
+    /// Per-stage statistics of the session's cloned chain.
+    pub stats: StreamStats,
+    /// The codec/chain/sink error that ended the session, if any. Scope
+    /// repair has already been applied when this is set.
+    pub error: Option<String>,
+}
+
+impl SessionReport {
+    /// `true` when the session ended with the clean sentinel, all
+    /// scopes closed and no error.
+    pub fn is_clean(&self) -> bool {
+        self.end == StreamEnd::Clean && self.error.is_none()
+    }
+}
+
+/// Final report of a server run: per-session reports plus their
+/// aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// One report per accepted session, ascending session id.
+    pub sessions: Vec<SessionReport>,
+    /// All session statistics folded together ([`StreamStats::merge`]):
+    /// record/byte totals add, `peak_burst` is the worst session's
+    /// burst.
+    pub aggregate: StreamStats,
+    /// Set when the accept loop stopped early on a non-transient error
+    /// (chain construction failure, fatal listener error). Completed
+    /// sessions are still fully reported.
+    pub accept_error: Option<String>,
+}
+
+impl ServerReport {
+    /// Sessions that ended cleanly ([`SessionReport::is_clean`]).
+    pub fn clean_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_clean()).count()
+    }
+
+    /// Sessions that needed scope repair or ended in error.
+    pub fn repaired_sessions(&self) -> usize {
+        self.sessions.len() - self.clean_sessions()
+    }
+}
+
+/// Boxed per-session output sink (must be `Send`: it moves onto the
+/// session worker's thread).
+pub type SessionSink = Box<dyn Sink + Send>;
+
+/// One job handed from the acceptor to a session worker.
+struct SessionJob {
+    stream: TcpStream,
+    info: SessionInfo,
+    chain: Pipeline,
+    sink: SessionSink,
+}
+
+/// A multi-session pipeline server: accepts up to
+/// [`max_sessions`](Self::set_max_sessions) concurrent `streamin`
+/// connections and runs each through its own clone of an operator
+/// chain. See the [module docs](self) for the full lifecycle.
+pub struct PipelineServer {
+    build: Box<dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send>,
+    max_sessions: usize,
+}
+
+impl std::fmt::Debug for PipelineServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineServer")
+            .field("max_sessions", &self.max_sessions)
+            .finish()
+    }
+}
+
+/// Default concurrent-session limit: the host's available parallelism.
+fn default_max_sessions() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl PipelineServer {
+    /// Builds a server whose sessions each run a
+    /// [`clone_chain`](Pipeline::clone_chain)ed copy of `pipeline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an operator error naming the first operator that does
+    /// not support duplication ([`crate::operator::Operator::clone_op`])
+    /// — validated up front, not at first accept.
+    pub fn from_pipeline(pipeline: &Pipeline) -> Result<Self, PipelineError> {
+        let prototype = pipeline.clone_chain()?;
+        Ok(Self::from_factory(move |_session| {
+            prototype
+                .clone_chain()
+                .expect("prototype chain was validated cloneable")
+        }))
+    }
+
+    /// Builds a server whose session chains come from a factory;
+    /// `build(id)` is called once per accepted session — the route for
+    /// chains whose operators do not implement `clone_op`.
+    pub fn from_factory(mut build: impl FnMut(u64) -> Pipeline + Send + 'static) -> Self {
+        PipelineServer {
+            build: Box::new(move |id| Ok(build(id))),
+            max_sessions: default_max_sessions(),
+        }
+    }
+
+    /// Sets the concurrent-session limit (the worker-pool size). The
+    /// acceptor only accepts while a session slot is free, so this is
+    /// also the accept-time backpressure bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    pub fn set_max_sessions(&mut self, limit: usize) -> &mut Self {
+        assert!(limit > 0, "max_sessions must be non-zero");
+        self.max_sessions = limit;
+        self
+    }
+
+    /// The concurrent-session limit in effect.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Starts serving on `listener`: spawns the session worker pool and
+    /// the acceptor, then returns immediately with a [`ServerHandle`].
+    /// `make_sink` is invoked once per accepted session (on the
+    /// acceptor thread) to produce that session's output sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Io`] if the listener's local address
+    /// cannot be resolved.
+    pub fn start<F>(
+        self,
+        listener: TcpListener,
+        make_sink: F,
+    ) -> Result<ServerHandle, PipelineError>
+    where
+        F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
+    {
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let progress = Arc::new(Progress::default());
+        let worker_progress = Arc::clone(&progress);
+        let max_sessions = self.max_sessions;
+        let build = self.build;
+        let supervisor = thread::Builder::new()
+            .name("pipeline-server".into())
+            .spawn(move || {
+                supervise(
+                    listener,
+                    build,
+                    make_sink,
+                    max_sessions,
+                    &flag,
+                    &worker_progress,
+                )
+            })
+            .map_err(PipelineError::Io)?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            progress,
+            supervisor,
+        })
+    }
+}
+
+/// Control handle for a running [`PipelineServer`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    progress: Arc<Progress>,
+    supervisor: JoinHandle<Result<ServerReport, PipelineError>>,
+}
+
+impl ServerHandle {
+    /// The address the server is accepting on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of sessions fully served so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the counter.
+    pub fn sessions_completed(&self) -> u64 {
+        *self
+            .progress
+            .completed
+            .lock()
+            .expect("progress lock poisoned")
+    }
+
+    /// Blocks until at least `n` sessions have been fully served —
+    /// connection acceptance is asynchronous (a client may write its
+    /// whole stream and exit while the connection still sits in the
+    /// accept backlog), so a caller that knows its client fleet size
+    /// waits here before [`shutdown`](Self::shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the counter.
+    pub fn wait_for_completed(&self, n: u64) {
+        let mut completed = self
+            .progress
+            .completed
+            .lock()
+            .expect("progress lock poisoned");
+        while *completed < n {
+            completed = self
+                .progress
+                .changed
+                .wait(completed)
+                .expect("progress lock poisoned");
+        }
+    }
+
+    /// Gracefully shuts the server down: stops accepting new
+    /// connections, lets every in-flight session drain to its natural
+    /// end (each recording its own per-session [`StreamEnd`]), joins
+    /// the worker pool and returns the final [`ServerReport`]. If the
+    /// accept loop had already stopped on a fatal error, the completed
+    /// sessions are still reported, with the cause in
+    /// [`ServerReport::accept_error`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Io`] only if the service threads could
+    /// not be spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server's supervisor thread panicked.
+    pub fn shutdown(self) -> Result<ServerReport, PipelineError> {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake a blocking accept() with a throwaway connection; if the
+        // acceptor is waiting on a session slot instead, the next freed
+        // slot re-checks the flag.
+        let _ = TcpStream::connect(self.addr);
+        self.supervisor.join().expect("server supervisor panicked")
+    }
+}
+
+/// The supervisor: spawns the worker pool, runs the accept loop with
+/// slot-based backpressure, then drains and aggregates.
+fn supervise<F>(
+    listener: TcpListener,
+    mut build: Box<dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send>,
+    mut make_sink: F,
+    max_sessions: usize,
+    shutdown: &AtomicBool,
+    progress: &Arc<Progress>,
+) -> Result<ServerReport, PipelineError>
+where
+    F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
+{
+    // Rendezvous job channel: a send only completes when an idle worker
+    // is already waiting. `ready` counts idle workers — the acceptor
+    // takes a token *before* accepting, so at most `max_sessions`
+    // connections are ever in flight and the rest queue in the OS
+    // backlog (accept-time backpressure).
+    let (job_tx, job_rx) = bounded::<SessionJob>(0);
+    let (ready_tx, ready_rx) = unbounded::<()>();
+    let (report_tx, report_rx) = unbounded::<SessionReport>();
+    let mut workers = Vec::with_capacity(max_sessions);
+    for w in 0..max_sessions {
+        let job_rx: Receiver<SessionJob> = job_rx.clone();
+        let ready_tx: Sender<()> = ready_tx.clone();
+        let report_tx: Sender<SessionReport> = report_tx.clone();
+        let progress = Arc::clone(progress);
+        let worker = thread::Builder::new()
+            .name(format!("session-worker-{w}"))
+            .spawn(move || loop {
+                if ready_tx.send(()).is_err() {
+                    return; // supervisor gone
+                }
+                match job_rx.recv() {
+                    Ok(job) => {
+                        // A panicking operator or user-supplied sink must
+                        // not lose the session's slot in the report (or
+                        // deadlock `wait_for_completed`): catch it and
+                        // report the session as failed.
+                        let fallback = SessionReport {
+                            id: job.info.id,
+                            peer: job.info.peer.clone(),
+                            end: StreamEnd::Unclean { repaired_scopes: 0 },
+                            received: 0,
+                            wire_bytes: 0,
+                            stats: StreamStats::default(),
+                            error: None,
+                        };
+                        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_session(job)
+                        }))
+                        .unwrap_or_else(|panic| SessionReport {
+                            error: Some(format!("session panicked: {}", panic_message(&panic))),
+                            ..fallback
+                        });
+                        let delivered = report_tx.send(report).is_ok();
+                        progress.bump();
+                        if !delivered {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // job channel closed: shutdown
+                }
+            })
+            .map_err(PipelineError::Io)?;
+        workers.push(worker);
+    }
+    drop(job_rx);
+    drop(ready_tx);
+    drop(report_tx);
+
+    let mut accept_error: Option<String> = None;
+    let mut next_id = 0u64;
+    // `true` while the acceptor holds an idle-worker token it has not
+    // yet spent on a dispatched session (a transiently failed accept
+    // must not leak the slot, or a one-slot server would deadlock).
+    let mut have_slot = false;
+    loop {
+        if !have_slot {
+            // Wait for a free session slot first; recv fails only if
+            // every worker died, which ends the run.
+            if ready_rx.recv().is_err() {
+                break;
+            }
+            have_slot = true;
+        }
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shutdown.load(Ordering::Acquire) {
+                    // The shutdown wake-up connection (or a client that
+                    // raced it): stop accepting.
+                    break;
+                }
+                next_id += 1;
+                let info = SessionInfo {
+                    id: next_id,
+                    peer: peer.to_string(),
+                };
+                let sink = make_sink(&info);
+                match build(next_id) {
+                    Ok(chain) => {
+                        if job_tx
+                            .send(SessionJob {
+                                stream,
+                                info,
+                                chain,
+                                sink,
+                            })
+                            .is_err()
+                        {
+                            break; // all workers gone
+                        }
+                        have_slot = false;
+                    }
+                    Err(e) => {
+                        accept_error = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            // Per-connection failures (a backlogged client resetting
+            // before it was accepted, an interrupted syscall) are the
+            // client's problem, not the fleet's: keep serving.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) => {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                accept_error = Some(PipelineError::Io(e).to_string());
+                break;
+            }
+        }
+    }
+    // Close the job channel: workers finish their in-flight session,
+    // then exit. In-flight sessions drain to their natural end — even
+    // when the acceptor died, completed sessions keep their reports.
+    drop(job_tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let mut sessions: Vec<SessionReport> = report_rx.iter().collect();
+    sessions.sort_by_key(|s| s.id);
+    let mut aggregate = StreamStats::default();
+    for s in &sessions {
+        aggregate.merge(&s.stats);
+    }
+    Ok(ServerReport {
+        sessions,
+        aggregate,
+        accept_error,
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Drives one session: decode → cloned chain → session sink, with the
+/// same scope-repair semantics as single-connection `streamin` and the
+/// same fused `feed_chain`/`flush_chain` step as the streaming driver
+/// and the sharded runtime's workers.
+fn run_session(job: SessionJob) -> SessionReport {
+    let SessionJob {
+        stream,
+        info,
+        chain,
+        mut sink,
+    } = job;
+    let _ = stream.set_nodelay(true);
+    let mut ops = chain.into_ops();
+    let mut stats: Vec<StageStats> = ops.iter().map(|op| StageStats::new(op.name())).collect();
+    let mut totals = SinkTotals::default();
+    let mut streamin = StreamIn::new(stream);
+    let mut error: Option<String> = None;
+    loop {
+        match streamin.next_record() {
+            Ok(Some(record)) => {
+                if let Err(e) = feed_chain(&mut ops, &mut stats, record, &mut totals, sink.as_mut())
+                {
+                    // The session's own chain or sink failed: the chain
+                    // is no longer trustworthy, so end the session
+                    // without pushing repairs through it.
+                    error = Some(e.to_string());
+                    streamin.abort_repair();
+                    break;
+                }
+            }
+            Ok(None) => {
+                // Natural end (clean or disconnect-repaired): the
+                // repairs already flowed through the chain via next();
+                // flush operator state exactly like end-of-stream.
+                if let Err(e) = flush_chain(&mut ops, &mut stats, &mut totals, sink.as_mut()) {
+                    error = Some(e.to_string());
+                }
+                break;
+            }
+            Err(e) => {
+                // Poisoned wire (CRC mismatch, bad magic, I/O failure):
+                // repair this session's scopes through its chain and
+                // flush, leaving the downstream scope-consistent.
+                error = Some(e.to_string());
+                for repair in streamin.abort_repair() {
+                    if feed_chain(&mut ops, &mut stats, repair, &mut totals, sink.as_mut()).is_err()
+                    {
+                        break;
+                    }
+                }
+                let _ = flush_chain(&mut ops, &mut stats, &mut totals, sink.as_mut());
+                break;
+            }
+        }
+    }
+    let end = streamin
+        .end()
+        .unwrap_or(StreamEnd::Unclean { repaired_scopes: 0 });
+    SessionReport {
+        id: info.id,
+        peer: info.peer,
+        end,
+        received: streamin.received(),
+        wire_bytes: streamin.wire_bytes(),
+        stats: StreamStats {
+            stages: stats,
+            source_records: streamin.received(),
+            sink_records: totals.records,
+            sink_bytes: totals.bytes,
+        },
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_frame, write_eos, write_record};
+    use crate::net::send_all;
+    use crate::operator::SharedSink;
+    use crate::ops::{MapPayload, Passthrough};
+    use crate::record::{Payload, Record, RecordKind};
+    use std::io::Write;
+    use std::sync::Mutex;
+
+    fn scoped_records(tag: f64, n: usize) -> Vec<Record> {
+        let mut v = vec![Record::open_scope(1, vec![])];
+        for i in 0..n {
+            v.push(Record::data(0, Payload::f64(vec![tag, i as f64])).with_seq(i as u64));
+        }
+        v.push(Record::close_scope(1));
+        v
+    }
+
+    fn doubling_chain() -> Pipeline {
+        let mut p = Pipeline::new();
+        p.add(MapPayload::new("double", |v: &mut [f64]| {
+            v.iter_mut().for_each(|x| *x *= 2.0);
+        }));
+        p
+    }
+
+    /// Per-session sink registry: (session id, its collected output).
+    type SessionOutputs = Arc<Mutex<Vec<(u64, SharedSink)>>>;
+
+    /// Starts a server whose per-session sinks land in a shared map of
+    /// (session id → records).
+    fn start_collecting(
+        server: PipelineServer,
+        listener: TcpListener,
+    ) -> (ServerHandle, SessionOutputs) {
+        let outputs: SessionOutputs = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::clone(&outputs);
+        let handle = server
+            .start(listener, move |info| {
+                let sink = SharedSink::new();
+                registry.lock().unwrap().push((info.id, sink.clone()));
+                Box::new(sink)
+            })
+            .unwrap();
+        (handle, outputs)
+    }
+
+    #[test]
+    fn four_concurrent_sessions_each_match_single_lane() {
+        let mut server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        server.set_max_sessions(4);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let clients: Vec<_> = (0..4u64)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    let records = scoped_records(c as f64, 20 + c as usize);
+                    // All four connect before any sends: genuinely
+                    // concurrent sessions.
+                    let mut out = crate::net::StreamOut::connect(addr).unwrap();
+                    barrier.wait();
+                    let mut devnull = crate::operator::NullSink;
+                    for r in &records {
+                        crate::operator::Operator::on_record(&mut out, r.clone(), &mut devnull)
+                            .unwrap();
+                    }
+                    crate::operator::Operator::on_eos(&mut out, &mut devnull).unwrap();
+                    records
+                })
+            })
+            .collect();
+        let sent: Vec<Vec<Record>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+        handle.wait_for_completed(4);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.sessions.len(), 4);
+        assert_eq!(report.clean_sessions(), 4);
+
+        // Each session's output is byte-identical to running its input
+        // through the single-lane streaming driver.
+        let outputs = outputs.lock().unwrap();
+        for (id, sink) in outputs.iter() {
+            let got = sink.take();
+            let matched = sent.iter().any(|records| {
+                let mut expected = Vec::new();
+                doubling_chain()
+                    .run_streaming(records.clone().into_iter(), &mut expected)
+                    .unwrap();
+                expected == got
+            });
+            assert!(matched, "session {id} output matches no client's stream");
+        }
+        // Aggregate totals equal the sum of the per-session stats.
+        let total_in: u64 = report.sessions.iter().map(|s| s.received).sum();
+        assert_eq!(report.aggregate.source_records, total_in);
+        assert_eq!(total_in as usize, sent.iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn disconnect_repairs_one_session_without_disturbing_others() {
+        let mut server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        server.set_max_sessions(3);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        // One crashing client: opens a scope, sends data, vanishes.
+        let crasher = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = std::io::BufWriter::new(stream);
+            write_record(&mut w, &Record::open_scope(9, vec![])).unwrap();
+            write_record(&mut w, &Record::data(0, Payload::f64(vec![5.0]))).unwrap();
+            w.flush().unwrap();
+            // Dropped without CloseScope or sentinel: simulated crash.
+        });
+        // Two healthy clients.
+        let healthy: Vec<_> = (0..2u64)
+            .map(|c| thread::spawn(move || send_all(addr, &scoped_records(c as f64, 10)).unwrap()))
+            .collect();
+        crasher.join().unwrap();
+        for h in healthy {
+            h.join().unwrap();
+        }
+
+        handle.wait_for_completed(3);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(report.clean_sessions(), 2);
+        assert_eq!(report.repaired_sessions(), 1);
+        let unclean: Vec<_> = report.sessions.iter().filter(|s| !s.is_clean()).collect();
+        assert_eq!(unclean.len(), 1);
+        assert_eq!(unclean[0].end, StreamEnd::Unclean { repaired_scopes: 1 });
+        assert!(unclean[0].error.is_none(), "a crash is repair, not error");
+
+        // The crashed session's output ends with the BadCloseScope that
+        // traversed its chain; every session's output is balanced.
+        for (id, sink) in outputs.lock().unwrap().iter() {
+            let got = sink.take();
+            crate::scope::validate_scopes(&got).unwrap();
+            if *id == unclean[0].id {
+                assert_eq!(got.last().unwrap().kind, RecordKind::BadCloseScope);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_aborts_only_that_session_with_repair() {
+        let mut server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        server.set_max_sessions(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        // Corrupt client: valid open + data, then a frame whose payload
+        // byte is flipped (CRC mismatch), then more valid traffic that
+        // must never be trusted.
+        let corrupt = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = std::io::BufWriter::new(stream);
+            write_record(&mut w, &Record::open_scope(3, vec![])).unwrap();
+            write_record(&mut w, &Record::data(0, Payload::f64(vec![1.0]))).unwrap();
+            let mut frame = encode_frame(&Record::data(0, Payload::f64(vec![2.0])));
+            let mid = crate::codec::HEADER_LEN + 2;
+            frame[mid] ^= 0xFF; // payload corruption: CRC now fails
+            w.write_all(&frame).unwrap();
+            write_record(&mut w, &Record::close_scope(3)).unwrap();
+            write_eos(&mut w).unwrap();
+            w.flush().unwrap();
+        });
+        let healthy = thread::spawn(move || send_all(addr, &scoped_records(7.0, 12)).unwrap());
+        corrupt.join().unwrap();
+        healthy.join().unwrap();
+
+        handle.wait_for_completed(2);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.clean_sessions(), 1);
+        let bad: Vec<_> = report.sessions.iter().filter(|s| !s.is_clean()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].end, StreamEnd::Unclean { repaired_scopes: 1 });
+        let err = bad[0].error.as_deref().unwrap();
+        assert!(
+            err.contains("crc"),
+            "error should name the CRC failure: {err}"
+        );
+
+        for (id, sink) in outputs.lock().unwrap().iter() {
+            let got = sink.take();
+            crate::scope::validate_scopes(&got).unwrap();
+            if *id == bad[0].id {
+                // open + data + synthesized BadCloseScope; nothing after
+                // the corruption was trusted.
+                assert_eq!(got.len(), 3);
+                assert_eq!(got[2].kind, RecordKind::BadCloseScope);
+            } else {
+                assert_eq!(got.len(), 12 + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn client_dying_mid_frame_is_repaired_in_place() {
+        let mut server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        server.set_max_sessions(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        let truncator = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = std::io::BufWriter::new(stream);
+            write_record(&mut w, &Record::open_scope(2, vec![])).unwrap();
+            write_record(&mut w, &Record::data(0, Payload::f64(vec![4.0]))).unwrap();
+            // Half a frame, then death: the reader sees a truncated
+            // stream, not a codec error.
+            let frame = encode_frame(&Record::data(0, Payload::f64(vec![8.0])));
+            w.write_all(&frame[..frame.len() / 2]).unwrap();
+            w.flush().unwrap();
+        });
+        let healthy = thread::spawn(move || send_all(addr, &scoped_records(1.0, 5)).unwrap());
+        truncator.join().unwrap();
+        healthy.join().unwrap();
+
+        handle.wait_for_completed(2);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.sessions.len(), 2);
+        let bad: Vec<_> = report.sessions.iter().filter(|s| !s.is_clean()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].end, StreamEnd::Unclean { repaired_scopes: 1 });
+        assert_eq!(bad[0].received, 2);
+        for (_id, sink) in outputs.lock().unwrap().iter() {
+            crate::scope::validate_scopes(&sink.take()).unwrap();
+        }
+    }
+
+    #[test]
+    fn session_limit_applies_accept_time_backpressure() {
+        // One slot, slow sessions: a second client's traffic is not
+        // served until the first session finishes, but both complete.
+        let mut server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        server.set_max_sessions(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, _outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        let clients: Vec<_> = (0..3u64)
+            .map(|c| thread::spawn(move || send_all(addr, &scoped_records(c as f64, 50)).unwrap()))
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        handle.wait_for_completed(3);
+        assert_eq!(handle.sessions_completed(), 3);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(report.clean_sessions(), 3);
+        // Serialized through one slot: session ids are still 1..=3.
+        let ids: Vec<u64> = report.sessions.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_session_is_reported_and_does_not_wedge_the_pool() {
+        // A user-supplied sink that panics mid-session must neither
+        // deadlock wait_for_completed nor vanish from the report, and
+        // the worker slot must survive to serve the next client.
+        struct PanicSink;
+        impl Sink for PanicSink {
+            fn push(&mut self, _record: Record) -> Result<(), PipelineError> {
+                panic!("sink exploded");
+            }
+        }
+        let healthy_out = SharedSink::new();
+        let registered = healthy_out.clone();
+        let first = Arc::new(AtomicBool::new(true));
+        let mut server = PipelineServer::from_pipeline(&Pipeline::new()).unwrap();
+        server.set_max_sessions(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = server
+            .start(listener, move |_info| {
+                if first.swap(false, Ordering::SeqCst) {
+                    Box::new(PanicSink)
+                } else {
+                    Box::new(registered.clone())
+                }
+            })
+            .unwrap();
+        let addr = handle.local_addr();
+
+        send_all(addr, &scoped_records(1.0, 3)).unwrap();
+        handle.wait_for_completed(1); // deadlocks here if panics leak
+        send_all(addr, &scoped_records(2.0, 3)).unwrap();
+        handle.wait_for_completed(2);
+
+        let report = handle.shutdown().unwrap();
+        assert!(report.accept_error.is_none());
+        assert_eq!(report.sessions.len(), 2);
+        let err = report.sessions[0].error.as_deref().unwrap();
+        assert!(err.contains("panicked"), "got: {err}");
+        assert!(report.sessions[1].is_clean());
+        assert_eq!(healthy_out.take().len(), 5);
+    }
+
+    #[test]
+    fn shutdown_with_no_sessions_is_immediate_and_empty() {
+        let server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = server
+            .start(listener, |_info| Box::new(crate::operator::NullSink))
+            .unwrap();
+        let report = handle.shutdown().unwrap();
+        assert!(report.sessions.is_empty());
+        assert_eq!(report.aggregate, StreamStats::default());
+    }
+
+    #[test]
+    fn factory_route_builds_one_chain_per_session() {
+        let built = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&built);
+        let mut server = PipelineServer::from_factory(move |_id| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            let mut p = Pipeline::new();
+            p.add(Passthrough);
+            p
+        });
+        server.set_max_sessions(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, _outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+        for c in 0..3u64 {
+            send_all(addr, &scoped_records(c as f64, 3)).unwrap();
+        }
+        handle.wait_for_completed(3);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(built.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn non_cloneable_chain_is_rejected_up_front() {
+        struct Opaque;
+        impl crate::operator::Operator for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn on_record(
+                &mut self,
+                record: Record,
+                out: &mut dyn Sink,
+            ) -> Result<(), PipelineError> {
+                out.push(record)
+            }
+        }
+        let mut p = Pipeline::new();
+        p.add(Opaque);
+        let err = PipelineServer::from_pipeline(&p).unwrap_err();
+        assert!(err.to_string().contains("opaque"));
+    }
+
+    #[test]
+    fn wire_bytes_are_session_tagged() {
+        let server = PipelineServer::from_pipeline(&Pipeline::new()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, _outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+        let records = scoped_records(0.0, 4);
+        let expected: u64 = records
+            .iter()
+            .map(|r| encode_frame(r).len() as u64)
+            .sum::<u64>()
+            + 4; // EOS sentinel
+        send_all(addr, &records).unwrap();
+        handle.wait_for_completed(1);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.sessions[0].wire_bytes, expected);
+        assert_eq!(report.sessions[0].received as usize, records.len());
+    }
+}

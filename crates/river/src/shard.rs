@@ -460,7 +460,7 @@ mod tests {
         }));
         p.add(ScopeSum::new(999));
         p.add(RecordFilter::new("drop-odd-seq", |r: &Record| {
-            r.seq % 2 == 0 || r.subtype == 999
+            r.seq.is_multiple_of(2) || r.subtype == 999
         }));
         p
     }

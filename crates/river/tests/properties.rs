@@ -229,7 +229,7 @@ proptest! {
             }));
             p.add(Buffering(Vec::new()));
             if keep_even {
-                p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+                p.add(RecordFilter::new("evens", |r: &Record| r.seq.is_multiple_of(2)));
             }
             p
         };
@@ -254,7 +254,7 @@ proptest! {
         let build = move || {
             let mut p = Pipeline::new();
             if keep_even {
-                p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+                p.add(RecordFilter::new("evens", |r: &Record| r.seq.is_multiple_of(2)));
             }
             p.add(MapPayload::new("id", |_: &mut [f64]| {}));
             p
@@ -278,7 +278,7 @@ proptest! {
                 v.iter_mut().for_each(|x| *x *= gain);
             }));
             if keep_even {
-                p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+                p.add(RecordFilter::new("evens", |r: &Record| r.seq.is_multiple_of(2)));
             }
             p
         };
@@ -306,7 +306,7 @@ proptest! {
                 v.iter_mut().for_each(|x| *x *= gain);
             }));
             if keep_even {
-                p.add(RecordFilter::new("evens", |r: &Record| r.seq % 2 == 0));
+                p.add(RecordFilter::new("evens", |r: &Record| r.seq.is_multiple_of(2)));
             }
             if with_sum {
                 p.add(ScopeSum::new(999));

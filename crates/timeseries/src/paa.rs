@@ -39,7 +39,7 @@ pub fn paa(q: &[f64], segments: usize) -> Vec<f64> {
         return q.to_vec();
     }
     // Exact-division fast path.
-    if n % segments == 0 {
+    if n.is_multiple_of(segments) {
         let len = n / segments;
         return q
             .chunks_exact(len)

@@ -1,141 +1,156 @@
-//! Distributed pipeline: three "hosts" connected over real TCP sockets,
-//! exactly the Dynamic River composition of the paper's Figure 5 —
-//! sensor → extraction segment → analysis sink — followed by a
-//! demonstration of fault recovery (`BadCloseScope` synthesis) and
-//! dynamic segment relocation between in-process hosts.
+//! Distributed pipeline: one analysis host serving a fleet of sensor
+//! clients over real TCP sockets — the Dynamic River composition of the
+//! paper's Figure 5 run as a **multi-session service**. Several sensor
+//! hosts stream their clips concurrently; the server runs each session
+//! through its own clone of the analysis chain, repairs sessions whose
+//! sensors crash mid-clip, and reports per-session plus aggregate
+//! statistics on graceful shutdown.
 //!
 //! ```text
 //! cargo run --release --example distributed_pipeline
 //! ```
 
 use acoustic_ensembles::core::ops::clip_to_records;
-use acoustic_ensembles::core::pipeline::extraction_segment;
 use acoustic_ensembles::core::prelude::*;
-use acoustic_ensembles::river::net::{send_all, serve_once};
+use acoustic_ensembles::river::codec::write_record;
+use acoustic_ensembles::river::net::send_all;
+use acoustic_ensembles::river::operator::SharedSink;
 use acoustic_ensembles::river::prelude::*;
-use acoustic_ensembles::river::segment::{run_network_segment, RelocatablePipeline};
-use crossbeam::channel::unbounded;
-use std::net::TcpListener;
+use std::io::{BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-fn main() {
-    let cfg = ExtractorConfig::default();
-    let synth = ClipSynthesizer::new(SynthConfig::paper());
-    let clip = synth.clip(SpeciesCode::Rwbl, 11);
+const SENSORS: u64 = 4;
+const MAX_SESSIONS: usize = 3; // fewer slots than sensors: backpressure
+
+fn sensor_clip(cfg: &ExtractorConfig, seed: u64) -> Vec<Record> {
+    let synth = ClipSynthesizer::new(SynthConfig {
+        clip_seconds: 10.0,
+        ..SynthConfig::paper()
+    });
+    let clip = synth.clip(SpeciesCode::Rwbl, seed);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
-    let records = clip_to_records(
+    clip_to_records(
         &clip.samples[..usable],
         cfg.sample_rate,
         cfg.record_len,
         &[],
-    );
-    println!(
-        "sensor host: one 30 s clip -> {} records ({} audio)",
-        records.len(),
-        records.len() - 2
-    );
+    )
+}
 
-    // ---- Part 1: three hosts over TCP -------------------------------
-    let segment_listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let segment_addr = segment_listener.local_addr().unwrap();
-    let sink_listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let sink_addr = sink_listener.local_addr().unwrap();
+fn main() {
+    let cfg = ExtractorConfig::default();
+    let extractor = EnsembleExtractor::new(cfg);
 
-    // Host C: analysis sink.
-    let sink = thread::spawn(move || {
-        let mut records: Vec<Record> = Vec::new();
-        let (end, streamin_received) = serve_once(&sink_listener, &mut records).unwrap();
-        (end, streamin_received, records)
-    });
-    // Host B: the extraction segment (saxanomaly -> trigger -> cutter).
-    let seg_cfg = cfg;
-    let segment = thread::spawn(move || {
-        run_network_segment(&segment_listener, sink_addr, extraction_segment(seg_cfg)).unwrap()
-    });
-    // Host A: the sensor source. `send_all` drives one framed
-    // `streamout` connection and reports how many records it sent.
-    let sent = send_all(segment_addr, &records).unwrap();
-    println!("sensor host: streamout sent {sent} records");
-
-    let upstream_end = segment.join().unwrap();
-    let (sink_end, streamin_received, received) = sink.join().unwrap();
-    let ensembles = received
-        .iter()
-        .filter(|r| {
-            r.kind == RecordKind::OpenScope
-                && r.scope_type == acoustic_ensembles::core::scope_type::ENSEMBLE
-        })
-        .count();
-    println!(
-        "segment host: upstream ended {upstream_end:?}; sink streamin received {} records ({} ensembles), ended {sink_end:?}",
-        streamin_received, ensembles
-    );
-
-    // ---- Part 2: fault recovery --------------------------------------
-    // The sensor dies mid-clip: streamin synthesizes BadCloseScope so the
-    // downstream scope state resynchronizes.
+    // ---- The analysis host -------------------------------------------
+    // One server, one Figure 5 chain per session, per-session sinks
+    // registered in a shared map so we can inspect each stream after.
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = listener.local_addr().unwrap();
-    let crashing = records.clone();
+    let outputs: Arc<Mutex<Vec<(u64, String, SharedSink)>>> = Arc::new(Mutex::new(Vec::new()));
+    let registry = Arc::clone(&outputs);
+    let handle = extractor
+        .serve(listener, MAX_SESSIONS, move |info| {
+            let sink = SharedSink::new();
+            registry
+                .lock()
+                .unwrap()
+                .push((info.id, info.peer.clone(), sink.clone()));
+            Box::new(sink)
+        })
+        .unwrap();
+    let addr = handle.local_addr();
+    println!(
+        "analysis host: serving the Figure 5 chain on {addr} ({MAX_SESSIONS} concurrent session slots)"
+    );
+
+    // ---- The sensor fleet --------------------------------------------
+    // Four sensor hosts push their clips concurrently; with only three
+    // session slots, the fourth waits in the accept backlog until a
+    // slot frees (accept-time backpressure, not half-service).
+    let clients: Vec<_> = (0..SENSORS)
+        .map(|s| {
+            thread::spawn(move || {
+                let cfg = ExtractorConfig::default();
+                let records = sensor_clip(&cfg, 11 + s);
+                let sent = send_all(addr, &records).unwrap();
+                println!("sensor {s}: streamout sent {sent} records");
+                sent
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // ---- A crashing sensor -------------------------------------------
+    // Dies mid-clip without CloseScope or sentinel: only its session is
+    // repaired (BadCloseScope through its own chain); the fleet's
+    // sessions are untouched.
+    let crash_records = sensor_clip(&cfg, 99);
     thread::spawn(move || {
-        use acoustic_ensembles::river::codec::write_record;
-        use std::io::{BufWriter, Write};
-        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
         let mut w = BufWriter::new(stream);
-        // Send the clip open + a few records, then vanish without closing.
-        for r in crashing.iter().take(5) {
+        for r in crash_records.iter().take(5) {
             write_record(&mut w, r).unwrap();
         }
         w.flush().unwrap();
         // Dropped here: simulated crash.
-    });
-    let mut repaired: Vec<Record> = Vec::new();
-    let (end, crash_received) = serve_once(&listener, &mut repaired).unwrap();
-    println!(
-        "\nfault injection: sensor crashed mid-clip -> streamin received {crash_received} records, ended {end:?}; last record: {}",
-        repaired.last().map(|r| r.to_string()).unwrap_or_default()
-    );
-    acoustic_ensembles::river::scope::validate_scopes(&repaired)
-        .expect("repaired stream is scope-balanced");
-    println!("repaired stream passes scope validation");
+    })
+    .join()
+    .unwrap();
 
-    // ---- Part 3: dynamic segment relocation --------------------------
-    let (in_tx, in_rx) = crossbeam::channel::bounded::<Record>(0);
-    let (out_tx, out_rx) = unbounded();
-    let seg = RelocatablePipeline::spawn(
-        move || extraction_segment(cfg),
-        in_rx,
-        out_tx,
-        "field-station-7",
-    );
-    // Stream two clips; relocate between them "to a better host".
-    let clip_records = |seed: u64| {
-        let c = synth.clip(SpeciesCode::Rwbl, seed);
-        let usable = c.samples.len() - c.samples.len() % cfg.record_len;
-        clip_to_records(&c.samples[..usable], cfg.sample_rate, cfg.record_len, &[])
-    };
-    for r in clip_records(21) {
-        in_tx.send(r).unwrap();
-    }
-    seg.relocate("observatory-core-2");
-    for r in clip_records(22) {
-        in_tx.send(r).unwrap();
-    }
-    drop(in_tx);
-    let report = seg.join().unwrap();
-    let out: Vec<Record> = out_rx.iter().collect();
-    acoustic_ensembles::river::scope::validate_scopes(&out).expect("balanced after relocation");
+    // ---- Graceful shutdown -------------------------------------------
+    handle.wait_for_completed(SENSORS + 1);
+    let report = handle.shutdown().unwrap();
     println!(
-        "\nrelocation: {} records processed across {} migration(s); final host '{}'",
-        report.records_in,
-        report.migrations.len(),
-        report.final_host
+        "\nanalysis host: served {} sessions ({} clean, {} repaired)",
+        report.sessions.len(),
+        report.clean_sessions(),
+        report.repaired_sessions()
     );
-    for m in &report.migrations {
+    for s in &report.sessions {
         println!(
-            "  moved {} -> {} after record {}",
-            m.from, m.to, m.at_record
+            "  session {} [{}]: {} records in, {} wire bytes, ended {:?}{}",
+            s.id,
+            s.peer,
+            s.received,
+            s.wire_bytes,
+            s.end,
+            s.error
+                .as_deref()
+                .map(|e| format!(" ({e})"))
+                .unwrap_or_default()
         );
     }
-    println!("output stream ({} records) is scope-balanced", out.len());
+    println!(
+        "aggregate: {} records in -> {} records out ({} bytes) across all sessions",
+        report.aggregate.source_records, report.aggregate.sink_records, report.aggregate.sink_bytes
+    );
+
+    // Every session's output — including the crashed one — is
+    // scope-balanced, and ensembles were extracted per session.
+    for (id, peer, sink) in outputs.lock().unwrap().iter() {
+        let records = sink.take();
+        acoustic_ensembles::river::scope::validate_scopes(&records)
+            .expect("session output is scope-balanced");
+        let ensembles = records
+            .iter()
+            .filter(|r| {
+                r.kind == RecordKind::OpenScope
+                    && r.scope_type == acoustic_ensembles::core::scope_type::ENSEMBLE
+            })
+            .count();
+        let repaired = records.iter().any(|r| r.kind == RecordKind::BadCloseScope);
+        println!(
+            "session {id} [{peer}]: {} output records, {ensembles} ensembles{}",
+            records.len(),
+            if repaired {
+                " (scope repaired after sensor crash)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("\nall session outputs pass scope validation");
 }

@@ -7,13 +7,17 @@ use acoustic_ensembles::core::pipeline::{extraction_segment, full_pipeline};
 use acoustic_ensembles::core::prelude::*;
 use acoustic_ensembles::core::{scope_type, subtype};
 use acoustic_ensembles::river::fault::{DropCloses, TruncateAfter};
-use acoustic_ensembles::river::net::{send_all, serve_once, StreamEnd};
+use acoustic_ensembles::river::net::{send_all, serve_once, StreamEnd, StreamOut};
+use acoustic_ensembles::river::operator::{NullSink, Operator, SharedSink};
 use acoustic_ensembles::river::ops::ScopeRepair;
 use acoustic_ensembles::river::prelude::*;
 use acoustic_ensembles::river::scope::validate_scopes;
 use acoustic_ensembles::river::segment::{run_network_segment, RelocatablePipeline};
+use acoustic_ensembles::river::serve::PipelineServer;
 use crossbeam::channel::{bounded, unbounded};
-use std::net::TcpListener;
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 
 fn clip_records(cfg: &ExtractorConfig, seed: u64) -> Vec<Record> {
@@ -29,6 +33,198 @@ fn clip_records(cfg: &ExtractorConfig, seed: u64) -> Vec<Record> {
         cfg.record_len,
         &[],
     )
+}
+
+/// The acceptance run for the multi-session service layer: four
+/// concurrent sensor clients push distinct clips through one
+/// [`PipelineServer`] running the complete Figure 5 chain, a fifth
+/// client crashes mid-clip, and the server is then shut down
+/// gracefully. Every surviving session's output must be
+/// **byte-identical** to running that client's records through the
+/// single-lane streaming driver, and the crash must surface as a
+/// `BadCloseScope` repair in its own session only.
+#[test]
+fn concurrent_sessions_through_one_server_match_single_lane() {
+    let cfg = ExtractorConfig::default();
+    let synth = ClipSynthesizer::new(SynthConfig {
+        clip_seconds: 6.0,
+        ..SynthConfig::paper()
+    });
+    let clip_records = |seed: u64| {
+        let clip = synth.clip(SpeciesCode::Noca, seed);
+        let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+        clip_to_records(
+            &clip.samples[..usable],
+            cfg.sample_rate,
+            cfg.record_len,
+            &[],
+        )
+    };
+    let clips: Vec<Vec<Record>> = (20..24u64).map(clip_records).collect();
+    // Single-lane reference: what the fused streaming driver produces
+    // for each client's records on a fresh Figure 5 chain.
+    let expected: Vec<Vec<Record>> = clips
+        .iter()
+        .map(|records| {
+            let mut out = Vec::new();
+            full_pipeline(cfg, true)
+                .run_streaming(records.clone().into_iter(), &mut out)
+                .unwrap();
+            out
+        })
+        .collect();
+
+    // One server, session outputs registered by peer address.
+    let outputs: Arc<Mutex<HashMap<String, SharedSink>>> = Arc::new(Mutex::new(HashMap::new()));
+    let registry = Arc::clone(&outputs);
+    let mut server = PipelineServer::from_factory(move |_session| full_pipeline(cfg, true));
+    server.set_max_sessions(4);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = server
+        .start(listener, move |info| {
+            let sink = SharedSink::new();
+            registry
+                .lock()
+                .unwrap()
+                .insert(info.peer.clone(), sink.clone());
+            Box::new(sink)
+        })
+        .unwrap();
+    let addr = handle.local_addr();
+
+    // Four clients connect first, then all send concurrently.
+    let barrier = Arc::new(Barrier::new(4));
+    let clients: Vec<_> = clips
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, records)| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let peer = stream.local_addr().unwrap().to_string();
+                let mut out = StreamOut::new(stream);
+                barrier.wait();
+                let mut devnull = NullSink;
+                for r in &records {
+                    out.on_record(r.clone(), &mut devnull).unwrap();
+                }
+                out.on_eos(&mut devnull).unwrap();
+                (i, peer)
+            })
+        })
+        .collect();
+    let peers: Vec<(usize, String)> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    handle.wait_for_completed(4);
+
+    // A fifth client dies mid-clip: open scope, a few records, gone.
+    let crashing = clip_records(42);
+    let crash_peer = thread::spawn(move || {
+        use acoustic_ensembles::river::codec::write_record;
+        use std::io::{BufWriter, Write};
+        let stream = TcpStream::connect(addr).unwrap();
+        let peer = stream.local_addr().unwrap().to_string();
+        let mut w = BufWriter::new(stream);
+        for r in crashing.iter().take(8) {
+            write_record(&mut w, r).unwrap();
+        }
+        w.flush().unwrap();
+        peer
+        // Dropped: no CloseScope, no sentinel.
+    })
+    .join()
+    .unwrap();
+    handle.wait_for_completed(5);
+
+    let report = handle.shutdown().unwrap();
+    assert_eq!(report.sessions.len(), 5);
+    assert_eq!(report.clean_sessions(), 4);
+    assert_eq!(report.repaired_sessions(), 1);
+
+    let outputs = outputs.lock().unwrap();
+    // Each healthy session's output is byte-identical to its client's
+    // single-lane reference.
+    for (i, peer) in &peers {
+        let got = outputs.get(peer).expect("session output registered").take();
+        assert_eq!(
+            got, expected[*i],
+            "session for client {i} diverged from the single-lane run"
+        );
+    }
+    // The crashed session — and only it — was scope-repaired.
+    let crashed = report
+        .sessions
+        .iter()
+        .find(|s| s.peer == crash_peer)
+        .expect("crashed session reported");
+    assert_eq!(crashed.end, StreamEnd::Unclean { repaired_scopes: 1 });
+    assert_eq!(crashed.received, 8);
+    let crashed_out = outputs.get(&crash_peer).unwrap().take();
+    validate_scopes(&crashed_out).unwrap();
+    assert_eq!(crashed_out.last().unwrap().kind, RecordKind::BadCloseScope);
+    for s in &report.sessions {
+        if s.peer != crash_peer {
+            assert_eq!(s.end, StreamEnd::Clean, "session {} disturbed", s.id);
+        }
+    }
+    // Aggregate statistics fold every session's counters.
+    let total_received: u64 = report.sessions.iter().map(|s| s.received).sum();
+    assert_eq!(report.aggregate.source_records, total_received);
+    assert_eq!(
+        total_received as usize,
+        clips.iter().map(Vec::len).sum::<usize>() + 8
+    );
+}
+
+#[test]
+fn extractor_serve_runs_figure5_per_session() {
+    // The core-facade route: EnsembleExtractor::serve with two clients,
+    // asserting pattern output arrives per session.
+    let cfg = ExtractorConfig::default();
+    let ex = EnsembleExtractor::new(cfg);
+    let outputs: Arc<Mutex<Vec<SharedSink>>> = Arc::new(Mutex::new(Vec::new()));
+    let registry = Arc::clone(&outputs);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = ex
+        .serve(listener, 2, move |_info| {
+            let sink = SharedSink::new();
+            registry.lock().unwrap().push(sink.clone());
+            Box::new(sink)
+        })
+        .unwrap();
+    let addr = handle.local_addr();
+    let clients: Vec<_> = (7..9u64)
+        .map(|seed| {
+            thread::spawn(move || {
+                let cfg = ExtractorConfig::default();
+                let synth = ClipSynthesizer::new(SynthConfig::paper());
+                let clip = synth.clip(SpeciesCode::Rwbl, seed);
+                let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
+                let records = clip_to_records(
+                    &clip.samples[..usable],
+                    cfg.sample_rate,
+                    cfg.record_len,
+                    &[],
+                );
+                send_all(addr, &records).unwrap()
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    handle.wait_for_completed(2);
+    let report = handle.shutdown().unwrap();
+    assert_eq!(report.sessions.len(), 2);
+    assert_eq!(report.clean_sessions(), 2);
+    for sink in outputs.lock().unwrap().iter() {
+        let records = sink.take();
+        validate_scopes(&records).unwrap();
+        // Song clips produce pattern vectors through the full chain.
+        assert!(records
+            .iter()
+            .any(|r| r.kind == RecordKind::Data && r.subtype == subtype::PATTERN));
+    }
 }
 
 #[test]

@@ -29,7 +29,7 @@ fn quickstart_extracts_ensembles_from_a_paper_scale_clip() {
     for e in &ensembles {
         assert!(e.start >= prev_end, "ensembles out of order");
         assert!(e.end <= clip.samples.len(), "ensemble exceeds the clip");
-        assert!(e.len() > 0);
+        assert!(!e.is_empty());
         prev_end = e.end;
     }
 
@@ -52,7 +52,7 @@ fn facade_reexports_cover_every_subsystem() {
     // One call into each re-exported crate, so a broken re-export (not
     // just a broken implementation) is caught here.
     let fft = acoustic_ensembles::dsp::Fft::new(8);
-    let spectrum = fft.forward(&vec![acoustic_ensembles::dsp::Complex64::new(1.0, 0.0); 8]);
+    let spectrum = fft.forward(&[acoustic_ensembles::dsp::Complex64::new(1.0, 0.0); 8]);
     assert_eq!(spectrum.len(), 8);
 
     let z = acoustic_ensembles::sax::znormalize(&[1.0, 2.0, 3.0, 4.0]);
