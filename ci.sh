@@ -59,6 +59,30 @@ bench_check() {
     }'
 }
 
+# --- wire compactness gate -------------------------------------------
+# Reads the two wire-format lines of BENCH_fig5.json and fails unless
+# v2 (compact f32 frames) costs at most half the bytes per record of
+# v1 on the same clip — the headline claim of DESIGN.md §13.
+wire_bytes_for() {
+    grep -m1 "\"format\": \"$2\"" "$1" |
+        sed -E 's/.*"wire_bytes_per_record": ([0-9.]+).*/\1/'
+}
+wire_check() {
+    local cur=BENCH_fig5.json v1 v2
+    v1=$(wire_bytes_for "$cur" v1)
+    v2=$(wire_bytes_for "$cur" v2)
+    [ -n "$v1" ] || { echo "wire-check: no v1 line in $cur" >&2; exit 1; }
+    [ -n "$v2" ] || { echo "wire-check: no v2 line in $cur" >&2; exit 1; }
+    awk -v v1="$v1" -v v2="$v2" 'BEGIN {
+        printf "wire-check: bytes/record: v1 %.1f, v2 %.1f (ratio %.4f)\n", v1, v2, v2 / v1
+        if (v2 > 0.5 * v1) {
+            print "wire-check: FAIL — v2 frames exceed half the v1 wire cost"
+            exit 1
+        }
+        print "wire-check: OK"
+    }'
+}
+
 if [ "${1:-}" = "bench-check" ]; then
     bench_check
     exit 0
@@ -109,12 +133,30 @@ if [ "${1:-}" != "quick" ]; then
     # throughput and parallel scaling. Worker counts beyond the host's
     # cores are clamped (and flagged "clamped": true) so a small CI
     # host cannot fake a parallel slowdown.
+    # Decoder fuzz smoke: bounded, deterministic (fixed seeds inside the
+    # battery, fixed iteration count here) so CI time is predictable and
+    # failures reproduce with plain `FUZZ_ITERS=2048 cargo test`.
+    phase "fuzz smoke (decoder battery, FUZZ_ITERS=2048)"
+    FUZZ_ITERS=2048 cargo test -q -p dynamic-river --test fuzz_decoder
+
     phase "BENCH_fig5.json (sharded scaling: 1/2/4 workers)"
     : > BENCH_fig5.json
     for workers in 1 2 4; do
         cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
             --json --repeat 8 --workers "$workers" | tee -a BENCH_fig5.json
     done
+
+    # Wire-format trajectory: bytes-per-record each format pays for the
+    # same clip, appended to the same artifact so the compression ratio
+    # is tracked commit-over-commit.
+    phase "BENCH_fig5.json (wire bytes per record: v1 vs v2)"
+    for fmt in v1 v2; do
+        cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
+            --wire-json "$fmt" | tee -a BENCH_fig5.json
+    done
+
+    phase "wire-check (v2 frames at most half the v1 bytes)"
+    wire_check
 
     phase "bench-check (workers=1 throughput vs BENCH_baseline.json)"
     bench_check

@@ -30,20 +30,55 @@
 //! records the host parallelism and `clamped` flags a reduced worker
 //! count, so a flat curve on a small machine is not mistaken for a
 //! runtime regression.
+//!
+//! `--wire-json v1|v2` skips the pipeline run and instead measures the
+//! sensor uplink: it encodes the clip's record stream with the chosen
+//! wire format (v2 uses the compact f32 sample encoding) and prints
+//! `{"wire_bytes_per_record": …, "format": "v1"|"v2"}`. `ci.sh`
+//! appends both lines to `BENCH_fig5.json` and gates v2 at ≤ 50% of
+//! v1 (DESIGN.md §13).
 
+use dynamic_river::codec::{encode_frame_with, SampleEncoding, WireFormat};
 use dynamic_river::CountingSink;
 use ensemble_bench::{header, Scale};
+use ensemble_core::ops::clip_to_records;
 use ensemble_core::ops::clips_record_source;
 use ensemble_core::pipeline::{full_pipeline, full_pipeline_sharded};
 use ensemble_core::prelude::*;
 
 /// Parses `--flag N` from the argument list.
 fn flag_value(flag: &str) -> Option<usize> {
+    flag_str(flag).and_then(|v| v.parse().ok())
+}
+
+/// Returns the argument following `--flag`, verbatim.
+fn flag_str(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
+}
+
+/// `--wire-json v1|v2`: encodes the clip's record stream with one wire
+/// format and prints bytes-per-record, the uplink cost a sensor pays
+/// per record on the wire (v2 sends compact f32 samples).
+fn wire_json(which: &str, cfg: &ExtractorConfig, samples: &[f64]) {
+    let format = match which {
+        "v1" => WireFormat::V1,
+        "v2" => WireFormat::V2(SampleEncoding::F32),
+        other => panic!("--wire-json expects v1 or v2, got {other}"),
+    };
+    let records = clip_to_records(samples, cfg.sample_rate, cfg.record_len, &[]);
+    let wire_bytes: usize = records
+        .iter()
+        .map(|r| encode_frame_with(r, format).len())
+        .sum();
+    println!(
+        "{{\"wire_bytes_per_record\": {:.1}, \"format\": \"{}\"}}",
+        wire_bytes as f64 / records.len() as f64,
+        which
+    );
 }
 
 fn main() {
@@ -62,6 +97,10 @@ fn main() {
     let clip = synth.clip(SpeciesCode::Noca, scale.seed);
     let usable = clip.samples.len() - clip.samples.len() % cfg.record_len;
     let samples = &clip.samples[..usable];
+    if let Some(which) = flag_str("--wire-json") {
+        wire_json(&which, &cfg, samples);
+        return;
+    }
     // The archive: the clip repeated `clips` times, each repetition its
     // own clip scope — produced lazily, one clip in memory at a time.
     let archive = || {

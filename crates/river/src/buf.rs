@@ -161,6 +161,78 @@ impl SampleBuf {
         self.as_slice().to_vec()
     }
 
+    /// Builds a canonical buffer by collecting an exact-size sample
+    /// iterator **directly into the shared allocation** — the decode
+    /// path's constructor: no intermediate `Vec<f64>` is built and then
+    /// copied into the `Arc`, so wire decode pays exactly one pass over
+    /// the samples.
+    fn collect_exact(iter: impl ExactSizeIterator<Item = f64>) -> SampleBuf {
+        let data: Arc<[f64]> = iter.collect();
+        let len = data.len();
+        SampleBuf {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Decodes little-endian `f64` wire bytes into a canonical buffer
+    /// (offset 0, view length == backing length) in a single pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of 8 — the codec
+    /// validates wire lengths before constructing buffers.
+    pub fn from_f64_le_bytes(bytes: &[u8]) -> SampleBuf {
+        assert!(
+            bytes.len().is_multiple_of(8),
+            "f64 byte length {} not a multiple of 8",
+            bytes.len()
+        );
+        Self::collect_exact(
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        )
+    }
+
+    /// Decodes little-endian `f32` wire bytes (the compact v2 sample
+    /// encoding), widening each sample to `f64`, in a single pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of 4.
+    pub fn from_f32_le_bytes(bytes: &[u8]) -> SampleBuf {
+        assert!(
+            bytes.len().is_multiple_of(4),
+            "f32 byte length {} not a multiple of 4",
+            bytes.len()
+        );
+        Self::collect_exact(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f64::from(f32::from_le_bytes(c.try_into().expect("4-byte chunk")))),
+        )
+    }
+
+    /// Decodes little-endian `i16` wire bytes quantized with a
+    /// per-record `scale` factor (sample = quantized × scale — the v2
+    /// `i16` encoding), in a single pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of 2.
+    pub fn from_i16_scaled_le_bytes(scale: f64, bytes: &[u8]) -> SampleBuf {
+        assert!(
+            bytes.len().is_multiple_of(2),
+            "i16 byte length {} not a multiple of 2",
+            bytes.len()
+        );
+        Self::collect_exact(bytes.chunks_exact(2).map(move |c| {
+            f64::from(i16::from_le_bytes(c.try_into().expect("2-byte chunk"))) * scale
+        }))
+    }
+
     /// Detaches the view from any larger backing allocation: after
     /// this, the buffer owns exactly its own samples.
     ///

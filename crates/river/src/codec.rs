@@ -23,7 +23,38 @@
 //! A special 4-byte end-of-stream sentinel `"RVEO"` marks *clean* stream
 //! termination; its absence at EOF tells the reader the upstream died
 //! unexpectedly.
+//!
+//! # Wire format v2
+//!
+//! The compact v2 frame replaces the fixed 28-byte header with
+//! varint-encoded fields and a TLV (type-length-value) body, cutting the
+//! per-record overhead and — with the `f32`/`i16` sample encodings —
+//! roughly halving sample payload bytes:
+//!
+//! ```text
+//! offset  size     field
+//! 0       1        magic 0xB2
+//! 1       1        record kind tag
+//! 2       varint   subtype
+//! ·       varint   scope depth
+//! ·       varint   scope type
+//! ·       varint   sequence number
+//! ·       varint   body length (bytes)
+//! ·       n        TLV body blocks
+//! ·+n     4        CRC-32 (IEEE, LE) over bytes [0, ·+n)
+//! ```
+//!
+//! Each body block is `varint type · varint length · value`. Unknown
+//! block types are **skipped, not fatal** — a v2 reader stays compatible
+//! with future extensions. At most one *payload* block (types 1–9) may
+//! appear; a body with none decodes as [`Payload::Empty`].
+//!
+//! Both formats coexist on one stream: the [`Decoder`] distinguishes
+//! them per frame by the first byte (`'R'` → v1 frame or sentinel,
+//! `0xB2` → v2), so version negotiation is simply the sender's choice of
+//! [`WireFormat`].
 
+use crate::buf::SampleBuf;
 use crate::error::PipelineError;
 use crate::record::{Payload, Record, RecordKind};
 use bytes::{BufMut, Bytes, BytesMut};
@@ -35,9 +66,53 @@ pub const MAGIC: [u8; 4] = *b"RVDR";
 pub const EOS_MAGIC: [u8; 4] = *b"RVEO";
 /// Wire format version.
 pub const VERSION: u8 = 1;
+/// Compact frame magic (first byte of every v2 frame). Distinct from
+/// `b'R'` so both versions coexist on one stream.
+pub const V2_MAGIC: u8 = 0xB2;
+/// Compact wire format version.
+pub const VERSION_V2: u8 = 2;
 /// Maximum accepted payload length (64 MiB) — guards against corrupted
 /// length fields allocating unbounded memory.
 pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// How v2 frames encode `F64`/`Complex` sample payloads on the wire.
+///
+/// Chosen per stream by the sender; the receiver reads the block type,
+/// so mixed encodings on one stream also decode fine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleEncoding {
+    /// Lossless 8-byte samples (bit-identical round trip).
+    #[default]
+    F64,
+    /// 4-byte samples: ~half the payload at `f32` precision.
+    F32,
+    /// 2-byte quantized samples with a per-record `f64` scale factor;
+    /// absolute error is bounded by `scale / 2 = max|x| / 65534`.
+    /// Records whose samples cannot be represented (non-finite values,
+    /// or a scale that underflows to zero) fall back to lossless f64
+    /// blocks automatically.
+    I16,
+}
+
+/// The frame format a sender emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Fixed-header v1 frames (the seed format; always lossless).
+    #[default]
+    V1,
+    /// Compact varint/TLV v2 frames with the given sample encoding.
+    V2(SampleEncoding),
+}
+
+impl WireFormat {
+    /// The wire version byte this format produces.
+    pub fn version(self) -> u8 {
+        match self {
+            WireFormat::V1 => VERSION,
+            WireFormat::V2(_) => VERSION_V2,
+        }
+    }
+}
 
 /// Computes the IEEE CRC-32 of `data` (table-driven, from scratch).
 pub fn crc32(data: &[u8]) -> u32 {
@@ -64,6 +139,83 @@ pub fn crc32(data: &[u8]) -> u32 {
         crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
+}
+
+/// Appends a LEB128 unsigned varint (7 bits per byte, low bits first,
+/// high bit = continuation).
+fn put_uvarint(out: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Byte-slice reader for varint/TLV parsing. All `take_*` methods return
+/// `None` (not an error) when the slice runs out, so the same parser
+/// serves both "is this frame complete yet?" scanning and full decoding.
+struct ByteCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteCursor<'a> {
+    fn new(buf: &'a [u8]) -> ByteCursor<'a> {
+        ByteCursor { buf, pos: 0 }
+    }
+
+    fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take_u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads one LEB128 varint. `Ok(None)` means the slice ended
+    /// mid-varint (more bytes needed); malformed varints (more than 10
+    /// bytes, or overflowing u64) are codec errors.
+    fn take_uvarint(&mut self) -> Result<Option<u64>, PipelineError> {
+        let mut val = 0u64;
+        let mut shift = 0u32;
+        let mut used = 0usize;
+        loop {
+            let Some(&b) = self.buf.get(self.pos + used) else {
+                return Ok(None);
+            };
+            let low = u64::from(b & 0x7F);
+            if shift == 63 && low > 1 {
+                return Err(PipelineError::Codec("varint overflows u64".into()));
+            }
+            val |= low << shift;
+            used += 1;
+            if b & 0x80 == 0 {
+                self.pos += used;
+                return Ok(Some(val));
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(PipelineError::Codec("varint longer than 10 bytes".into()));
+            }
+        }
+    }
 }
 
 fn encode_payload(payload: &Payload, out: &mut BytesMut) {
@@ -119,15 +271,13 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Payload, PipelineError> {
                 )));
             }
             // Decoding always yields a canonical owned buffer: offset 0,
-            // view length == backing length.
-            let v: Vec<f64> = bytes
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                .collect();
+            // view length == backing length, collected straight into the
+            // shared allocation.
+            let buf = SampleBuf::from_f64_le_bytes(bytes);
             Ok(if tag == 1 {
-                Payload::f64(v)
+                Payload::F64(buf)
             } else {
-                Payload::complex(v)
+                Payload::Complex(buf)
             })
         }
         3 => Ok(Payload::Bytes(Bytes::copy_from_slice(bytes))),
@@ -211,6 +361,163 @@ pub fn encode_frame(record: &Record) -> Vec<u8> {
 /// The fixed frame header length (before payload).
 pub const HEADER_LEN: usize = 28;
 
+// v2 TLV payload block types. 1–9 are payload blocks (at most one per
+// frame); all other types are reserved for future extensions and are
+// skipped by decoders.
+const TLV_F64_AS_F64: u64 = 1;
+const TLV_F64_AS_F32: u64 = 2;
+const TLV_F64_AS_I16: u64 = 3;
+const TLV_COMPLEX_AS_F64: u64 = 4;
+const TLV_COMPLEX_AS_F32: u64 = 5;
+const TLV_COMPLEX_AS_I16: u64 = 6;
+const TLV_BYTES: u64 = 7;
+const TLV_TEXT: u64 = 8;
+const TLV_PAIRS: u64 = 9;
+
+fn put_block(out: &mut BytesMut, ty: u64, value: &[u8]) {
+    put_uvarint(out, ty);
+    put_uvarint(out, value.len() as u64);
+    out.extend_from_slice(value);
+}
+
+/// Emits one sample block, choosing among the lossless f64, compact f32
+/// and quantized i16 representations. The i16 path falls back to f64
+/// when quantization cannot bound the error: non-finite samples, or a
+/// maximum magnitude so small that `max / 32767` underflows to zero.
+fn put_sample_block(
+    out: &mut BytesMut,
+    samples: &[f64],
+    enc: SampleEncoding,
+    types: (u64, u64, u64),
+) {
+    let (t_f64, t_f32, t_i16) = types;
+    match enc {
+        SampleEncoding::F32 => {
+            put_uvarint(out, t_f32);
+            put_uvarint(out, (samples.len() * 4) as u64);
+            out.reserve(samples.len() * 4);
+            for &x in samples {
+                out.put_f32_le(x as f32);
+            }
+            return;
+        }
+        SampleEncoding::I16 => {
+            let max = samples.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+            let scale = max / f64::from(i16::MAX);
+            let representable =
+                samples.iter().all(|x| x.is_finite()) && (max == 0.0 || scale > 0.0);
+            if representable {
+                put_uvarint(out, t_i16);
+                put_uvarint(out, (8 + samples.len() * 2) as u64);
+                out.put_f64_le(scale);
+                out.reserve(samples.len() * 2);
+                for &x in samples {
+                    let q = if scale == 0.0 {
+                        0.0
+                    } else {
+                        (x / scale).round()
+                    };
+                    out.put_i16_le(q.clamp(-32767.0, 32767.0) as i16);
+                }
+                return;
+            }
+        }
+        SampleEncoding::F64 => {}
+    }
+    put_uvarint(out, t_f64);
+    put_uvarint(out, (samples.len() * 8) as u64);
+    out.reserve(samples.len() * 8);
+    for &x in samples {
+        out.put_f64_le(x);
+    }
+}
+
+fn encode_body_v2(payload: &Payload, enc: SampleEncoding, out: &mut BytesMut) {
+    match payload {
+        // Empty is the *absence* of a payload block, not a block of its
+        // own — an all-unknown (or empty) body decodes as Empty.
+        Payload::Empty => {}
+        Payload::F64(v) => put_sample_block(
+            out,
+            v.as_slice(),
+            enc,
+            (TLV_F64_AS_F64, TLV_F64_AS_F32, TLV_F64_AS_I16),
+        ),
+        Payload::Complex(v) => put_sample_block(
+            out,
+            v.as_slice(),
+            enc,
+            (TLV_COMPLEX_AS_F64, TLV_COMPLEX_AS_F32, TLV_COMPLEX_AS_I16),
+        ),
+        Payload::Bytes(b) => put_block(out, TLV_BYTES, b),
+        Payload::Text(s) => put_block(out, TLV_TEXT, s.as_bytes()),
+        Payload::Pairs(pairs) => {
+            let mut tmp = BytesMut::new();
+            put_uvarint(&mut tmp, pairs.len() as u64);
+            for (k, v) in pairs {
+                put_uvarint(&mut tmp, k.len() as u64);
+                tmp.extend_from_slice(k.as_bytes());
+                put_uvarint(&mut tmp, v.len() as u64);
+                tmp.extend_from_slice(v.as_bytes());
+            }
+            put_block(out, TLV_PAIRS, &tmp);
+        }
+    }
+}
+
+/// Encodes one record as a compact v2 wire frame.
+///
+/// # Example
+///
+/// ```
+/// use dynamic_river::codec::{decode_frame, encode_frame_v2, SampleEncoding};
+/// use dynamic_river::record::{Payload, Record};
+///
+/// let rec = Record::data(1, Payload::f64(vec![1.0, -1.0])).with_seq(5);
+/// let frame = encode_frame_v2(&rec, SampleEncoding::F64);
+/// let (decoded, used) = decode_frame(&frame).unwrap().unwrap();
+/// assert_eq!(decoded, rec);
+/// assert_eq!(used, frame.len());
+/// ```
+pub fn encode_frame_v2(record: &Record, enc: SampleEncoding) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    encode_body_v2(&record.payload, enc, &mut body);
+    let mut out = BytesMut::with_capacity(16 + body.len());
+    out.put_u8(V2_MAGIC);
+    out.put_u8(record.kind.tag());
+    put_uvarint(&mut out, u64::from(record.subtype));
+    put_uvarint(&mut out, u64::from(record.scope_depth));
+    put_uvarint(&mut out, u64::from(record.scope_type));
+    put_uvarint(&mut out, record.seq);
+    put_uvarint(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+    let crc = crc32(&out);
+    out.put_u32_le(crc);
+    out.to_vec()
+}
+
+/// Encodes one record in the given [`WireFormat`].
+pub fn encode_frame_with(record: &Record, format: WireFormat) -> Vec<u8> {
+    match format {
+        WireFormat::V1 => encode_frame(record),
+        WireFormat::V2(enc) => encode_frame_v2(record, enc),
+    }
+}
+
+/// Writes one framed record in the given [`WireFormat`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Io`] on sink failure.
+pub fn write_record_with<W: Write>(
+    mut writer: W,
+    record: &Record,
+    format: WireFormat,
+) -> Result<(), PipelineError> {
+    writer.write_all(&encode_frame_with(record, format))?;
+    Ok(())
+}
+
 /// Attempts to decode one frame from the front of `buf`.
 ///
 /// Returns `Ok(None)` when more bytes are needed, or
@@ -221,64 +528,300 @@ pub const HEADER_LEN: usize = 28;
 /// Returns [`PipelineError::Codec`] for bad magic, version, CRC, tags or
 /// malformed payloads.
 pub fn decode_frame(buf: &[u8]) -> Result<Option<(Record, usize)>, PipelineError> {
-    if buf.len() < 4 {
-        return Ok(None);
+    match scan(buf)? {
+        Scan::Need(_) => Ok(None),
+        Scan::Eos => Err(PipelineError::Codec("end-of-stream sentinel".into())),
+        Scan::Frame { version, total } => {
+            if buf.len() < total {
+                return Ok(None);
+            }
+            let record = if version == VERSION {
+                parse_frame_v1(&buf[..total])?
+            } else {
+                parse_frame_v2(&buf[..total])?
+            };
+            Ok(Some((record, total)))
+        }
     }
-    if buf[..4] == EOS_MAGIC {
-        return Err(PipelineError::Codec("end-of-stream sentinel".into()));
+}
+
+/// What the front of a byte buffer holds — the single place frame
+/// boundaries for both wire versions are computed. Everything layered on
+/// top ([`decode_frame`], [`Decoder`], [`frame_len`], the counted read
+/// path) consults this rather than re-indexing headers by hand.
+enum Scan {
+    /// More bytes are required: the buffer must grow to at least this
+    /// total length before another scan can make progress.
+    Need(usize),
+    /// The clean end-of-stream sentinel (4 bytes).
+    Eos,
+    /// A frame header: the complete frame spans `total` bytes.
+    Frame { version: u8, total: usize },
+}
+
+fn scan(buf: &[u8]) -> Result<Scan, PipelineError> {
+    let Some(&first) = buf.first() else {
+        return Ok(Scan::Need(1));
+    };
+    match first {
+        b'R' => {
+            if buf.len() < 4 {
+                return Ok(Scan::Need(4));
+            }
+            if buf[..4] == EOS_MAGIC {
+                return Ok(Scan::Eos);
+            }
+            if buf[..4] != MAGIC {
+                return Err(PipelineError::Codec(format!(
+                    "bad frame magic {:02x?}",
+                    &buf[..4]
+                )));
+            }
+            if buf.len() >= 5 && buf[4] != VERSION {
+                return Err(PipelineError::Codec(format!(
+                    "unsupported version {}",
+                    buf[4]
+                )));
+            }
+            if buf.len() < HEADER_LEN {
+                return Ok(Scan::Need(HEADER_LEN));
+            }
+            let payload_len = u32::from_le_bytes([buf[24], buf[25], buf[26], buf[27]]) as usize;
+            if payload_len > MAX_PAYLOAD {
+                return Err(PipelineError::Codec(format!(
+                    "payload length {payload_len} exceeds maximum {MAX_PAYLOAD}"
+                )));
+            }
+            Ok(Scan::Frame {
+                version: VERSION,
+                total: HEADER_LEN + payload_len + 4,
+            })
+        }
+        V2_MAGIC => {
+            let mut cur = ByteCursor::new(&buf[1..]);
+            if cur.take_u8().is_none() {
+                return Ok(Scan::Need(buf.len() + 1));
+            }
+            // subtype, scope depth, scope type, seq.
+            for _ in 0..4 {
+                if cur.take_uvarint()?.is_none() {
+                    return Ok(Scan::Need(buf.len() + 1));
+                }
+            }
+            let Some(body_len) = cur.take_uvarint()? else {
+                return Ok(Scan::Need(buf.len() + 1));
+            };
+            if body_len > MAX_PAYLOAD as u64 {
+                return Err(PipelineError::Codec(format!(
+                    "payload length {body_len} exceeds maximum {MAX_PAYLOAD}"
+                )));
+            }
+            let header_end = 1 + cur.pos();
+            Ok(Scan::Frame {
+                version: VERSION_V2,
+                total: header_end + body_len as usize + 4,
+            })
+        }
+        b => Err(PipelineError::Codec(format!("bad frame magic [{b:02x}]"))),
     }
-    if buf[..4] != MAGIC {
+}
+
+/// Returns the total length of the complete frame (or sentinel) at the
+/// front of `buf`, or `Ok(None)` if more bytes are needed — the frame
+/// boundary finder used by frame-aware fault injectors.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Codec`] for unrecognizable frame headers.
+pub fn frame_len(buf: &[u8]) -> Result<Option<usize>, PipelineError> {
+    match scan(buf)? {
+        Scan::Need(_) => Ok(None),
+        Scan::Eos => Ok(Some(4)),
+        Scan::Frame { total, .. } => Ok((buf.len() >= total).then_some(total)),
+    }
+}
+
+fn check_crc(frame: &[u8]) -> Result<(), PipelineError> {
+    let body_end = frame.len() - 4;
+    let expected = u32::from_le_bytes(frame[body_end..].try_into().expect("4 bytes"));
+    let actual = crc32(&frame[..body_end]);
+    if expected != actual {
         return Err(PipelineError::Codec(format!(
-            "bad frame magic {:02x?}",
-            &buf[..4]
+            "crc mismatch: frame says {expected:#010x}, computed {actual:#010x}"
         )));
     }
-    if buf.len() < HEADER_LEN {
-        return Ok(None);
+    Ok(())
+}
+
+/// Parses one complete v1 frame (`frame.len()` == the scanned total).
+fn parse_frame_v1(frame: &[u8]) -> Result<Record, PipelineError> {
+    let kind = RecordKind::from_tag(frame[5])
+        .ok_or_else(|| PipelineError::Codec(format!("unknown record kind {}", frame[5])))?;
+    let subtype = u16::from_le_bytes([frame[6], frame[7]]);
+    let scope_depth = u32::from_le_bytes([frame[8], frame[9], frame[10], frame[11]]);
+    let scope_type = u16::from_le_bytes([frame[12], frame[13]]);
+    let payload_tag = frame[14];
+    let seq = u64::from_le_bytes(frame[16..24].try_into().expect("8 bytes"));
+    check_crc(frame)?;
+    let payload = decode_payload(payload_tag, &frame[HEADER_LEN..frame.len() - 4])?;
+    Ok(Record {
+        kind,
+        subtype,
+        scope_depth,
+        scope_type,
+        seq,
+        payload,
+    })
+}
+
+/// Parses one complete v2 frame (`frame.len()` == the scanned total).
+fn parse_frame_v2(frame: &[u8]) -> Result<Record, PipelineError> {
+    check_crc(frame)?;
+    let mut cur = ByteCursor::new(&frame[1..frame.len() - 4]);
+    let kind_tag = cur.take_u8().expect("scanned header");
+    let kind = RecordKind::from_tag(kind_tag)
+        .ok_or_else(|| PipelineError::Codec(format!("unknown record kind {kind_tag}")))?;
+    let field = |v: Option<u64>| v.expect("scanned header");
+    let subtype = u16::try_from(field(cur.take_uvarint()?))
+        .map_err(|_| PipelineError::Codec("subtype out of range".into()))?;
+    let scope_depth = u32::try_from(field(cur.take_uvarint()?))
+        .map_err(|_| PipelineError::Codec("scope depth out of range".into()))?;
+    let scope_type = u16::try_from(field(cur.take_uvarint()?))
+        .map_err(|_| PipelineError::Codec("scope type out of range".into()))?;
+    let seq = field(cur.take_uvarint()?);
+    let _body_len = field(cur.take_uvarint()?);
+    let body_start = 1 + cur.pos();
+    let payload = decode_body_v2(&frame[body_start..frame.len() - 4])?;
+    Ok(Record {
+        kind,
+        subtype,
+        scope_depth,
+        scope_type,
+        seq,
+        payload,
+    })
+}
+
+fn decode_body_v2(body: &[u8]) -> Result<Payload, PipelineError> {
+    let truncated = || PipelineError::Codec("truncated TLV block header".into());
+    let mut cur = ByteCursor::new(body);
+    let mut payload: Option<Payload> = None;
+    while !cur.is_empty() {
+        let ty = cur.take_uvarint()?.ok_or_else(truncated)?;
+        let len = usize::try_from(cur.take_uvarint()?.ok_or_else(truncated)?)
+            .map_err(|_| PipelineError::Codec("TLV block length overflows".into()))?;
+        let value = cur
+            .take_bytes(len)
+            .ok_or_else(|| PipelineError::Codec("TLV block length exceeds body".into()))?;
+        // Unknown block types are skipped, not fatal: forward
+        // compatibility with future extensions.
+        if let 1..=9 = ty {
+            if payload.is_some() {
+                return Err(PipelineError::Codec(
+                    "duplicate payload block in frame body".into(),
+                ));
+            }
+            payload = Some(decode_block(ty, value)?);
+        }
     }
-    let version = buf[4];
-    if version != VERSION {
-        return Err(PipelineError::Codec(format!(
-            "unsupported version {version}"
-        )));
+    Ok(payload.unwrap_or(Payload::Empty))
+}
+
+fn decode_block(ty: u64, value: &[u8]) -> Result<Payload, PipelineError> {
+    let codec_err = |m: String| PipelineError::Codec(m);
+    let complex = matches!(
+        ty,
+        TLV_COMPLEX_AS_F64 | TLV_COMPLEX_AS_F32 | TLV_COMPLEX_AS_I16
+    );
+    // Complex payloads are interleaved [re, im, …] pairs; an odd sample
+    // count must not enter through the wire.
+    let check_pairs = |samples: usize| -> Result<(), PipelineError> {
+        if complex && !samples.is_multiple_of(2) {
+            return Err(codec_err(format!(
+                "complex payload of {samples} samples is not a whole number of (re, im) pairs"
+            )));
+        }
+        Ok(())
+    };
+    let wrap = |buf: SampleBuf| {
+        if complex {
+            Payload::Complex(buf)
+        } else {
+            Payload::F64(buf)
+        }
+    };
+    match ty {
+        TLV_F64_AS_F64 | TLV_COMPLEX_AS_F64 => {
+            if !value.len().is_multiple_of(8) {
+                return Err(codec_err(format!(
+                    "f64 payload length {} not a multiple of 8",
+                    value.len()
+                )));
+            }
+            check_pairs(value.len() / 8)?;
+            Ok(wrap(SampleBuf::from_f64_le_bytes(value)))
+        }
+        TLV_F64_AS_F32 | TLV_COMPLEX_AS_F32 => {
+            if !value.len().is_multiple_of(4) {
+                return Err(codec_err(format!(
+                    "f32 payload length {} not a multiple of 4",
+                    value.len()
+                )));
+            }
+            check_pairs(value.len() / 4)?;
+            Ok(wrap(SampleBuf::from_f32_le_bytes(value)))
+        }
+        TLV_F64_AS_I16 | TLV_COMPLEX_AS_I16 => {
+            if value.len() < 8 {
+                return Err(codec_err(
+                    "i16 sample block shorter than its scale header".into(),
+                ));
+            }
+            let (scale_bytes, rest) = value.split_at(8);
+            let scale = f64::from_le_bytes(scale_bytes.try_into().expect("8 bytes"));
+            if !scale.is_finite() || scale < 0.0 {
+                return Err(codec_err(format!("invalid i16 scale factor {scale}")));
+            }
+            if !rest.len().is_multiple_of(2) {
+                return Err(codec_err(format!(
+                    "i16 payload length {} not a multiple of 2",
+                    rest.len()
+                )));
+            }
+            check_pairs(rest.len() / 2)?;
+            Ok(wrap(SampleBuf::from_i16_scaled_le_bytes(scale, rest)))
+        }
+        TLV_BYTES => Ok(Payload::Bytes(Bytes::copy_from_slice(value))),
+        TLV_TEXT => String::from_utf8(value.to_vec())
+            .map(Payload::Text)
+            .map_err(|e| codec_err(format!("invalid utf-8 text payload: {e}"))),
+        TLV_PAIRS => {
+            let truncated = || PipelineError::Codec("truncated pairs payload".into());
+            let mut cur = ByteCursor::new(value);
+            let count = cur.take_uvarint()?.ok_or_else(truncated)?;
+            if count > value.len() as u64 {
+                return Err(codec_err("pairs count exceeds payload".into()));
+            }
+            let take_str = |cur: &mut ByteCursor<'_>| -> Result<String, PipelineError> {
+                let len = usize::try_from(cur.take_uvarint()?.ok_or_else(truncated)?)
+                    .map_err(|_| truncated())?;
+                let bytes = cur.take_bytes(len).ok_or_else(truncated)?;
+                String::from_utf8(bytes.to_vec())
+                    .map_err(|e| PipelineError::Codec(format!("invalid utf-8 in pairs: {e}")))
+            };
+            let mut pairs = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let k = take_str(&mut cur)?;
+                let v = take_str(&mut cur)?;
+                pairs.push((k, v));
+            }
+            if !cur.is_empty() {
+                return Err(codec_err("trailing bytes after pairs payload".into()));
+            }
+            Ok(Payload::Pairs(pairs))
+        }
+        _ => unreachable!("decode_block called only for known payload block types"),
     }
-    let kind = RecordKind::from_tag(buf[5])
-        .ok_or_else(|| PipelineError::Codec(format!("unknown record kind {}", buf[5])))?;
-    let subtype = u16::from_le_bytes([buf[6], buf[7]]);
-    let scope_depth = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
-    let scope_type = u16::from_le_bytes([buf[12], buf[13]]);
-    let payload_tag = buf[14];
-    let seq = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
-    let payload_len = u32::from_le_bytes([buf[24], buf[25], buf[26], buf[27]]) as usize;
-    if payload_len > MAX_PAYLOAD {
-        return Err(PipelineError::Codec(format!(
-            "payload length {payload_len} exceeds maximum {MAX_PAYLOAD}"
-        )));
-    }
-    let total = HEADER_LEN + payload_len + 4;
-    if buf.len() < total {
-        return Ok(None);
-    }
-    let body_end = HEADER_LEN + payload_len;
-    let expected_crc = u32::from_le_bytes(buf[body_end..body_end + 4].try_into().expect("4"));
-    let actual_crc = crc32(&buf[..body_end]);
-    if expected_crc != actual_crc {
-        return Err(PipelineError::Codec(format!(
-            "crc mismatch: frame says {expected_crc:#010x}, computed {actual_crc:#010x}"
-        )));
-    }
-    let payload = decode_payload(payload_tag, &buf[HEADER_LEN..body_end])?;
-    Ok(Some((
-        Record {
-            kind,
-            subtype,
-            scope_depth,
-            scope_type,
-            seq,
-            payload,
-        },
-        total,
-    )))
 }
 
 /// Writes one framed record to a [`Write`] sink. A `&mut W` may be
@@ -314,6 +857,231 @@ pub enum ReadOutcome {
     UncleanEnd,
 }
 
+/// A decode event emitted by the incremental [`Decoder`].
+#[derive(Debug, PartialEq)]
+pub enum DecodeEvent {
+    /// A complete frame decoded to a record.
+    Record(Record),
+    /// The clean end-of-stream sentinel was consumed.
+    CleanEnd,
+}
+
+/// Push-based incremental frame decoder: feed it byte chunks of *any*
+/// size (network reads, fuzzer fragments, whole streams) and it emits
+/// complete records as they materialize, for both wire versions on the
+/// same stream.
+///
+/// The decoder is a state machine over an internal buffer. After any
+/// error it is *poisoned* — further calls keep failing — because a
+/// byte stream is meaningless past an unrecognizable frame boundary;
+/// recovery happens at the session layer, not by resynchronizing bytes.
+///
+/// # Example
+///
+/// ```
+/// use dynamic_river::codec::{encode_frame, DecodeEvent, Decoder};
+/// use dynamic_river::record::{Payload, Record};
+///
+/// let frame = encode_frame(&Record::data(1, Payload::f64(vec![1.0])));
+/// let mut dec = Decoder::new();
+/// // Feed the frame one byte at a time: the record pops out whole.
+/// let mut events = Vec::new();
+/// for b in &frame {
+///     dec.feed(std::slice::from_ref(b), &mut events).unwrap();
+/// }
+/// assert!(matches!(events.as_slice(), [DecodeEvent::Record(_)]));
+/// ```
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames; compacted on
+    /// the next push so polling never memmoves per frame.
+    start: usize,
+    /// Clean end seen: any further bytes are a protocol error.
+    done: bool,
+    poisoned: bool,
+    /// Version of the most recently decoded frame.
+    version: Option<u8>,
+}
+
+impl Decoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame — at EOF
+    /// this is the partial-frame residue (it still counts as wire
+    /// traffic for session accounting).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The wire version of the most recently decoded frame, if any —
+    /// how a receiver learns what the peer negotiated simply by
+    /// decoding.
+    pub fn wire_version(&self) -> Option<u8> {
+        self.version
+    }
+
+    /// Whether the clean end-of-stream sentinel has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Exact additional bytes required before [`poll`](Decoder::poll)
+    /// can make progress, or 0 when an event/error is already pending.
+    /// Readers that must not over-read a shared stream (the counted
+    /// read path) use this to size exact reads.
+    pub fn needed(&self) -> usize {
+        if self.done || self.poisoned {
+            return 0;
+        }
+        let buf = self.pending();
+        match scan(buf) {
+            // Poll will surface the error.
+            Err(_) => 0,
+            Ok(Scan::Need(n)) => n.saturating_sub(buf.len()).max(1),
+            Ok(Scan::Eos) => 0,
+            Ok(Scan::Frame { total, .. }) => total.saturating_sub(buf.len()),
+        }
+    }
+
+    /// Appends bytes to the decode buffer without polling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Codec`] when the decoder is poisoned or
+    /// bytes arrive after the clean end-of-stream sentinel.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<(), PipelineError> {
+        if self.poisoned {
+            return Err(poisoned_err());
+        }
+        if self.done && !bytes.is_empty() {
+            self.poisoned = true;
+            return Err(PipelineError::Codec(
+                "bytes after end-of-stream sentinel".into(),
+            ));
+        }
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Feeds a chunk and drains every event it completes into `out`
+    /// (events decoded before an error are kept).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Codec`] for malformed bytes; the decoder
+    /// is poisoned afterwards.
+    pub fn feed(&mut self, bytes: &[u8], out: &mut Vec<DecodeEvent>) -> Result<(), PipelineError> {
+        self.push_bytes(bytes)?;
+        while let Some(ev) = self.poll()? {
+            out.push(ev);
+        }
+        Ok(())
+    }
+
+    /// Attempts to decode one event from the buffered bytes; `Ok(None)`
+    /// means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Codec`] for malformed bytes; the decoder
+    /// is poisoned afterwards.
+    pub fn poll(&mut self) -> Result<Option<DecodeEvent>, PipelineError> {
+        if self.poisoned {
+            return Err(poisoned_err());
+        }
+        if self.done {
+            // The CleanEnd event was already emitted; any residue is a
+            // protocol error surfaced on this later poll so the clean
+            // end itself is never swallowed.
+            if self.buffered() > 0 {
+                self.poisoned = true;
+                return Err(PipelineError::Codec(
+                    "bytes after end-of-stream sentinel".into(),
+                ));
+            }
+            return Ok(None);
+        }
+        let buf = self.pending();
+        let scanned = match scan(buf) {
+            Ok(s) => s,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+        match scanned {
+            Scan::Need(_) => Ok(None),
+            Scan::Eos => {
+                self.start += 4;
+                self.done = true;
+                Ok(Some(DecodeEvent::CleanEnd))
+            }
+            Scan::Frame { version, total } => {
+                if buf.len() < total {
+                    return Ok(None);
+                }
+                let parsed = if version == VERSION {
+                    parse_frame_v1(&buf[..total])
+                } else {
+                    parse_frame_v2(&buf[..total])
+                };
+                match parsed {
+                    Ok(record) => {
+                        self.start += total;
+                        self.version = Some(version);
+                        Ok(Some(DecodeEvent::Record(record)))
+                    }
+                    Err(e) => {
+                        self.poisoned = true;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declares the byte stream over. Nothing buffered (or too few bytes
+    /// to even tell a frame from the sentinel) is an *unclean* end the
+    /// caller reports as such; a partial frame is a mid-frame
+    /// disconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Disconnected`] when the stream ends
+    /// inside a frame.
+    pub fn end_of_input(&self) -> Result<(), PipelineError> {
+        if self.done || self.poisoned || self.buffered() == 0 {
+            return Ok(());
+        }
+        // Fewer than 4 non-v2 bytes cannot be told apart from a partial
+        // sentinel, so they report as a plain unclean end (matching v1
+        // reader behavior); a v2 magic byte unambiguously starts a
+        // frame.
+        if self.pending()[0] != V2_MAGIC && self.buffered() < 4 {
+            return Ok(());
+        }
+        Err(PipelineError::Disconnected(
+            "stream truncated mid-frame".into(),
+        ))
+    }
+}
+
+fn poisoned_err() -> PipelineError {
+    PipelineError::Codec("decoder poisoned by earlier error".into())
+}
+
 /// Reads one frame from a [`Read`] source (blocking). A `&mut R` may be
 /// passed.
 ///
@@ -336,45 +1104,36 @@ pub fn read_record<R: Read>(reader: R) -> Result<ReadOutcome, PipelineError> {
 ///
 /// Same contract as [`read_record`].
 pub fn read_record_counted<R: Read>(mut reader: R) -> Result<(ReadOutcome, u64), PipelineError> {
-    let mut magic = [0u8; 4];
-    match read_exact_or_eof(&mut reader, &mut magic)? {
-        ReadFill::Eof => return Ok((ReadOutcome::UncleanEnd, 0)),
-        ReadFill::Partial(n) => return Ok((ReadOutcome::UncleanEnd, n as u64)),
-        ReadFill::Full => {}
-    }
-    if magic == EOS_MAGIC {
-        return Ok((ReadOutcome::CleanEnd, 4));
-    }
-    if magic != MAGIC {
-        return Err(PipelineError::Codec(format!(
-            "bad frame magic {magic:02x?}"
-        )));
-    }
-    let mut rest_header = [0u8; HEADER_LEN - 4];
-    reader.read_exact(&mut rest_header).map_err(unclean)?;
-    let mut frame = Vec::with_capacity(HEADER_LEN + 64);
-    frame.extend_from_slice(&magic);
-    frame.extend_from_slice(&rest_header);
-    let payload_len = u32::from_le_bytes(frame[24..28].try_into().expect("4 bytes")) as usize;
-    if payload_len > MAX_PAYLOAD {
-        return Err(PipelineError::Codec(format!(
-            "payload length {payload_len} exceeds maximum {MAX_PAYLOAD}"
-        )));
-    }
-    let mut body = vec![0u8; payload_len + 4];
-    reader.read_exact(&mut body).map_err(unclean)?;
-    frame.extend_from_slice(&body);
-    match decode_frame(&frame)? {
-        Some((record, used)) => Ok((ReadOutcome::Record(record), used as u64)),
-        None => Err(PipelineError::Codec("incomplete frame after read".into())),
-    }
-}
-
-fn unclean(e: io::Error) -> PipelineError {
-    if e.kind() == io::ErrorKind::UnexpectedEof {
-        PipelineError::Disconnected("stream truncated mid-frame".into())
-    } else {
-        PipelineError::Io(e)
+    // One frame, one throwaway decoder: every byte it buffers was read
+    // exactly for this frame (the `needed()` hints keep reads exact), so
+    // the reader is never over-drained and the byte count is precise.
+    let mut dec = Decoder::new();
+    let mut counted = 0u64;
+    loop {
+        match dec.poll()? {
+            Some(DecodeEvent::Record(record)) => return Ok((ReadOutcome::Record(record), counted)),
+            Some(DecodeEvent::CleanEnd) => return Ok((ReadOutcome::CleanEnd, counted)),
+            None => {}
+        }
+        let need = dec.needed();
+        debug_assert!(need > 0, "poll returned None without requesting bytes");
+        let mut chunk = vec![0u8; need];
+        match read_exact_or_eof(&mut reader, &mut chunk)? {
+            ReadFill::Full => {
+                counted += need as u64;
+                dec.push_bytes(&chunk)?;
+            }
+            ReadFill::Partial(n) => {
+                counted += n as u64;
+                dec.push_bytes(&chunk[..n])?;
+                dec.end_of_input()?;
+                return Ok((ReadOutcome::UncleanEnd, counted));
+            }
+            ReadFill::Eof => {
+                dec.end_of_input()?;
+                return Ok((ReadOutcome::UncleanEnd, counted));
+            }
+        }
     }
 }
 
@@ -629,5 +1388,321 @@ mod tests {
         let len = frame.len();
         frame[len - 4..].copy_from_slice(&crc.to_le_bytes());
         assert!(decode_frame(&frame).is_err());
+    }
+
+    // ---- wire format v2 ----------------------------------------------
+
+    /// Rewrites the trailing CRC of a hand-mutated frame so the check
+    /// under test (not the CRC) is what fires.
+    fn fix_crc(frame: &mut [u8]) {
+        let body_end = frame.len() - 4;
+        let crc = crc32(&frame[..body_end]);
+        frame[body_end..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    #[test]
+    fn v2_lossless_round_trip_all_payloads() {
+        for rec in samples() {
+            for enc in [
+                SampleEncoding::F64,
+                SampleEncoding::F32,
+                SampleEncoding::I16,
+            ] {
+                let frame = encode_frame_v2(&rec, enc);
+                let (decoded, used) = decode_frame(&frame).unwrap().unwrap();
+                assert_eq!(used, frame.len(), "{enc:?}");
+                if enc == SampleEncoding::F64
+                    || !matches!(rec.payload, Payload::F64(_) | Payload::Complex(_))
+                {
+                    // Non-sample payloads are lossless under every encoding.
+                    assert_eq!(decoded, rec, "{enc:?}");
+                } else {
+                    assert_eq!(decoded.kind, rec.kind);
+                    assert_eq!(decoded.seq, rec.seq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_is_more_compact_than_v1() {
+        // The acceptance target: an 840-sample data record (the paper's
+        // record length) in f32 mode is at most half the v1 frame.
+        let samples: Vec<f64> = (0..840).map(|i| (i as f64 * 0.01).sin()).collect();
+        let rec = Record::data(2, Payload::f64(samples)).with_seq(1234);
+        let v1 = encode_frame(&rec).len();
+        let f32_len = encode_frame_v2(&rec, SampleEncoding::F32).len();
+        let i16_len = encode_frame_v2(&rec, SampleEncoding::I16).len();
+        assert!(f32_len * 2 <= v1, "f32 {f32_len} vs v1 {v1}");
+        assert!(i16_len * 3 <= v1, "i16 {i16_len} vs v1 {v1}");
+    }
+
+    #[test]
+    fn v2_i16_quantization_error_is_bounded() {
+        let samples: Vec<f64> = (0..512).map(|i| (i as f64 * 0.37).sin() * 3.25).collect();
+        let max = samples.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let bound = max / f64::from(i16::MAX) / 2.0 * (1.0 + 1e-9);
+        let rec = Record::data(2, Payload::f64(samples.clone()));
+        let frame = encode_frame_v2(&rec, SampleEncoding::I16);
+        let (decoded, _) = decode_frame(&frame).unwrap().unwrap();
+        let buf = decoded.payload.as_f64_buf().unwrap();
+        assert_eq!(buf.len(), samples.len());
+        for (a, b) in samples.iter().zip(buf.iter()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn v2_i16_nonrepresentable_samples_fall_back_to_lossless() {
+        // Non-finite samples and subnormal magnitudes (scale underflows
+        // to zero) cannot be quantized with a bounded error: the encoder
+        // silently emits the lossless f64 block instead.
+        for samples in [vec![1.0, f64::NAN, 3.0], vec![0.0, 4e-320]] {
+            let rec = Record::data(2, Payload::f64(samples.clone()));
+            let frame = encode_frame_v2(&rec, SampleEncoding::I16);
+            let (decoded, _) = decode_frame(&frame).unwrap().unwrap();
+            let buf = decoded.payload.as_f64_buf().unwrap();
+            for (a, b) in samples.iter().zip(buf.iter()) {
+                assert!(a.to_bits() == b.to_bits(), "{a} vs {b}");
+            }
+        }
+        // All-zero records stay on the i16 path (scale 0 ⇒ exact zeros).
+        let rec = Record::data(2, Payload::f64(vec![0.0; 16]));
+        let (decoded, _) = decode_frame(&encode_frame_v2(&rec, SampleEncoding::I16))
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn v2_unknown_tlv_blocks_are_skipped() {
+        // Splice an unknown block (type 200) ahead of the payload block:
+        // a forward-compatible reader must decode the record unchanged.
+        let rec = Record::data(5, Payload::Text("hi".into())).with_seq(7);
+        let frame = encode_frame_v2(&rec, SampleEncoding::F64);
+        // Rebuild the frame with the extra block prepended to the body.
+        let mut body = BytesMut::new();
+        put_uvarint(&mut body, 200);
+        put_uvarint(&mut body, 3);
+        body.extend_from_slice(b"xyz");
+        encode_body_v2(&rec.payload, SampleEncoding::F64, &mut body);
+        let mut out = BytesMut::new();
+        out.put_u8(V2_MAGIC);
+        out.put_u8(rec.kind.tag());
+        put_uvarint(&mut out, u64::from(rec.subtype));
+        put_uvarint(&mut out, u64::from(rec.scope_depth));
+        put_uvarint(&mut out, u64::from(rec.scope_type));
+        put_uvarint(&mut out, rec.seq);
+        put_uvarint(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        let crc = crc32(&out);
+        out.put_u32_le(crc);
+        let spliced = out.to_vec();
+        assert_ne!(spliced, frame);
+        let (decoded, used) = decode_frame(&spliced).unwrap().unwrap();
+        assert_eq!(decoded, rec);
+        assert_eq!(used, spliced.len());
+    }
+
+    #[test]
+    fn v2_duplicate_payload_block_rejected() {
+        let rec = Record::data(5, Payload::Text("hi".into()));
+        let mut body = BytesMut::new();
+        encode_body_v2(&rec.payload, SampleEncoding::F64, &mut body);
+        encode_body_v2(&rec.payload, SampleEncoding::F64, &mut body);
+        let mut out = BytesMut::new();
+        out.put_u8(V2_MAGIC);
+        out.put_u8(rec.kind.tag());
+        for _ in 0..4 {
+            put_uvarint(&mut out, 0);
+        }
+        put_uvarint(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        let crc = crc32(&out);
+        out.put_u32_le(crc);
+        let err = decode_frame(&out).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(m) if m.contains("duplicate")));
+    }
+
+    #[test]
+    fn v2_i16_scale_is_validated_on_decode() {
+        // Corrupt the 8-byte scale inside an i16 block, then repair the
+        // CRC so the *scale check* (not the checksum) is what fires.
+        let rec = Record::data(1, Payload::f64(vec![1.0, -0.5, 0.25]));
+        let frame = encode_frame_v2(&rec, SampleEncoding::I16);
+        let scale = 1.0 / f64::from(i16::MAX);
+        let pos = frame
+            .windows(8)
+            .position(|w| w == scale.to_le_bytes())
+            .expect("scale bytes present in i16 frame");
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut mutated = frame.clone();
+            mutated[pos..pos + 8].copy_from_slice(&bad.to_le_bytes());
+            fix_crc(&mut mutated);
+            let err = decode_frame(&mutated).unwrap_err();
+            assert!(
+                matches!(&err, PipelineError::Codec(m) if m.contains("scale")),
+                "scale {bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_crc_corruption_detected() {
+        let mut frame = encode_frame_v2(&samples()[1], SampleEncoding::F64);
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0xFF;
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(_)));
+    }
+
+    #[test]
+    fn v2_partial_frames_request_more_bytes() {
+        let frame = encode_frame_v2(&samples()[1], SampleEncoding::F32);
+        for cut in [0usize, 1, 2, 5, frame.len() - 1] {
+            assert!(decode_frame(&frame[..cut]).unwrap().is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn varint_round_trips_and_rejects_malformed() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut out = BytesMut::new();
+            put_uvarint(&mut out, v);
+            let mut cur = ByteCursor::new(&out);
+            assert_eq!(cur.take_uvarint().unwrap(), Some(v));
+            assert!(cur.is_empty());
+        }
+        // Incomplete: continuation bit set, no next byte.
+        assert_eq!(ByteCursor::new(&[0x80]).take_uvarint().unwrap(), None);
+        // Too long: 10 continuation bytes.
+        assert!(ByteCursor::new(&[0x80; 11]).take_uvarint().is_err());
+        // Overflow: 10th byte contributes more than u64's last bit.
+        let mut overflow = [0xFFu8; 10];
+        overflow[9] = 0x02;
+        assert!(ByteCursor::new(&overflow).take_uvarint().is_err());
+    }
+
+    #[test]
+    fn decoder_chunked_feed_yields_same_records() {
+        let mut wire = Vec::new();
+        for (i, rec) in samples().iter().enumerate() {
+            // Mixed versions on one stream.
+            let format = if i % 2 == 0 {
+                WireFormat::V1
+            } else {
+                WireFormat::V2(SampleEncoding::F64)
+            };
+            wire.extend_from_slice(&encode_frame_with(rec, format));
+        }
+        write_eos(&mut wire).unwrap();
+
+        for chunk in [1usize, 3, 7, wire.len()] {
+            let mut dec = Decoder::new();
+            let mut events = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece, &mut events).unwrap();
+            }
+            let records: Vec<&Record> = events
+                .iter()
+                .filter_map(|e| match e {
+                    DecodeEvent::Record(r) => Some(r),
+                    DecodeEvent::CleanEnd => None,
+                })
+                .collect();
+            assert_eq!(records.len(), samples().len(), "chunk {chunk}");
+            assert!(events.last() == Some(&DecodeEvent::CleanEnd));
+            assert_eq!(dec.wire_version(), Some(VERSION_V2));
+            assert!(dec.is_done());
+            for (got, want) in records.iter().zip(samples().iter()) {
+                assert_eq!(*got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_end_of_input_mid_frame_is_disconnect() {
+        let frame = encode_frame_v2(&samples()[1], SampleEncoding::F64);
+        let mut dec = Decoder::new();
+        let mut events = Vec::new();
+        dec.feed(&frame[..frame.len() / 2], &mut events).unwrap();
+        assert!(events.is_empty());
+        assert!(matches!(
+            dec.end_of_input().unwrap_err(),
+            PipelineError::Disconnected(_)
+        ));
+        // An empty decoder, or a partial sentinel, ends uncleanly but
+        // without a disconnect error.
+        assert!(Decoder::new().end_of_input().is_ok());
+        let mut dec = Decoder::new();
+        dec.feed(b"RV", &mut events).unwrap();
+        assert!(dec.end_of_input().is_ok());
+    }
+
+    #[test]
+    fn decoder_rejects_bytes_after_sentinel_and_stays_poisoned() {
+        let mut dec = Decoder::new();
+        let mut events = Vec::new();
+        let mut wire = Vec::new();
+        write_eos(&mut wire).unwrap();
+        wire.push(0x00);
+        let err = dec.feed(&wire, &mut events).unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(m) if m.contains("sentinel")));
+        // The clean end decoded before the stray byte is preserved.
+        assert_eq!(events, vec![DecodeEvent::CleanEnd]);
+        assert!(matches!(
+            dec.feed(&[], &mut events).unwrap_err(),
+            PipelineError::Codec(m) if m.contains("poisoned")
+        ));
+    }
+
+    #[test]
+    fn frame_len_reports_boundaries_for_both_versions() {
+        let rec = &samples()[1];
+        for format in [WireFormat::V1, WireFormat::V2(SampleEncoding::I16)] {
+            let frame = encode_frame_with(rec, format);
+            assert_eq!(frame_len(&frame).unwrap(), Some(frame.len()));
+            assert_eq!(frame_len(&frame[..frame.len() - 1]).unwrap(), None);
+            let mut extended = frame.clone();
+            extended.extend_from_slice(b"tail");
+            assert_eq!(frame_len(&extended).unwrap(), Some(frame.len()));
+        }
+        assert_eq!(frame_len(&EOS_MAGIC).unwrap(), Some(4));
+        assert!(frame_len(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn counted_reads_handle_v2_frames() {
+        let mut wire = Vec::new();
+        let mut expected = 0u64;
+        for rec in samples() {
+            let frame = encode_frame_v2(&rec, SampleEncoding::F64);
+            expected += frame.len() as u64;
+            wire.extend_from_slice(&frame);
+        }
+        write_eos(&mut wire).unwrap();
+        let mut cursor = wire.as_slice();
+        let mut counted = 0u64;
+        let mut records = 0usize;
+        loop {
+            let (outcome, n) = read_record_counted(&mut cursor).unwrap();
+            counted += n;
+            match outcome {
+                ReadOutcome::Record(_) => records += 1,
+                ReadOutcome::CleanEnd => break,
+                ReadOutcome::UncleanEnd => panic!("unexpected unclean end"),
+            }
+        }
+        assert_eq!(records, samples().len());
+        assert_eq!(counted, expected + 4);
     }
 }

@@ -168,6 +168,145 @@ impl Operator for CorruptSubtype {
     }
 }
 
+/// One wire-level mutation a [`WireMangler`] can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mangle {
+    /// Flip one bit somewhere in one frame.
+    FlipBit,
+    /// Drop the tail of the stream from inside a frame.
+    Truncate,
+    /// Insert garbage bytes between two frames.
+    InsertGarbage,
+    /// Duplicate a whole frame in place.
+    DuplicateFrame,
+    /// Remove a whole frame.
+    DeleteFrame,
+}
+
+/// Byte-level corruption injector that understands *frame boundaries*
+/// for both wire versions (via [`crate::codec::frame_len`]), so tests
+/// and the fuzz harness can aim mutations precisely: inside a frame
+/// (checksum territory), between frames (magic/sync territory), or at
+/// whole-frame granularity (duplicate/delete). Deterministic: the same
+/// seed always produces the same mangled bytes.
+#[derive(Debug, Clone)]
+pub struct WireMangler {
+    state: u64,
+}
+
+impl WireMangler {
+    /// Creates a mangler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        WireMangler {
+            // xorshift64 has one fixed point at 0; nudge it off.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    /// Next pseudo-random u64 (xorshift64 — no external RNG needed).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform-ish index in `0..n` (`n` must be non-zero).
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Splits a wire byte stream at frame boundaries. Trailing bytes
+    /// that do not form a complete frame (or are unparseable) are
+    /// returned as a final undersized chunk.
+    pub fn frames(wire: &[u8]) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        let mut rest = wire;
+        while !rest.is_empty() {
+            match crate::codec::frame_len(rest) {
+                Ok(Some(n)) => {
+                    frames.push(rest[..n].to_vec());
+                    rest = &rest[n..];
+                }
+                Ok(None) | Err(_) => {
+                    frames.push(rest.to_vec());
+                    break;
+                }
+            }
+        }
+        frames
+    }
+
+    /// Applies one mutation to a copy of `wire`, returning the mangled
+    /// bytes. Empty input is returned unchanged.
+    pub fn mangle(&mut self, wire: &[u8], how: Mangle) -> Vec<u8> {
+        if wire.is_empty() {
+            return Vec::new();
+        }
+        match how {
+            Mangle::FlipBit => {
+                let mut out = wire.to_vec();
+                let at = self.index(out.len());
+                out[at] ^= 1 << self.index(8);
+                out
+            }
+            Mangle::Truncate => wire[..self.index(wire.len())].to_vec(),
+            Mangle::InsertGarbage => {
+                let frames = Self::frames(wire);
+                let at = self.index(frames.len() + 1);
+                let mut out = Vec::with_capacity(wire.len() + 8);
+                for (i, f) in frames.iter().enumerate() {
+                    if i == at {
+                        let garbage = self.next_u64().to_le_bytes();
+                        out.extend_from_slice(&garbage);
+                    }
+                    out.extend_from_slice(f);
+                }
+                if at == frames.len() {
+                    out.extend_from_slice(&self.next_u64().to_le_bytes());
+                }
+                out
+            }
+            Mangle::DuplicateFrame => {
+                let frames = Self::frames(wire);
+                let at = self.index(frames.len());
+                let mut out = Vec::with_capacity(wire.len() + frames[at].len());
+                for (i, f) in frames.iter().enumerate() {
+                    out.extend_from_slice(f);
+                    if i == at {
+                        out.extend_from_slice(f);
+                    }
+                }
+                out
+            }
+            Mangle::DeleteFrame => {
+                let frames = Self::frames(wire);
+                let at = self.index(frames.len());
+                let mut out = Vec::with_capacity(wire.len());
+                for (i, f) in frames.iter().enumerate() {
+                    if i != at {
+                        out.extend_from_slice(f);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Picks one of the mutation kinds pseudo-randomly.
+    pub fn pick(&mut self) -> Mangle {
+        match self.next_u64() % 5 {
+            0 => Mangle::FlipBit,
+            1 => Mangle::Truncate,
+            2 => Mangle::InsertGarbage,
+            3 => Mangle::DuplicateFrame,
+            _ => Mangle::DeleteFrame,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +381,58 @@ mod tests {
     #[should_panic(expected = "k must be non-zero")]
     fn rejects_zero_k() {
         DropCloses::every(0);
+    }
+
+    fn wire() -> Vec<u8> {
+        use crate::codec::{write_eos, write_record_with, SampleEncoding, WireFormat};
+        let mut buf = Vec::new();
+        for (i, r) in stream().iter().enumerate() {
+            let fmt = if i % 2 == 0 {
+                WireFormat::V1
+            } else {
+                WireFormat::V2(SampleEncoding::F32)
+            };
+            write_record_with(&mut buf, r, fmt).unwrap();
+        }
+        write_eos(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn mangler_splits_mixed_version_wire_at_frame_boundaries() {
+        let wire = wire();
+        let frames = WireMangler::frames(&wire);
+        // 18 records + the EOS sentinel.
+        assert_eq!(frames.len(), 19);
+        assert_eq!(frames.iter().map(Vec::len).sum::<usize>(), wire.len());
+        assert_eq!(frames.last().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn mangler_is_deterministic_per_seed() {
+        let wire = wire();
+        for how in [
+            Mangle::FlipBit,
+            Mangle::Truncate,
+            Mangle::InsertGarbage,
+            Mangle::DuplicateFrame,
+            Mangle::DeleteFrame,
+        ] {
+            let a = WireMangler::new(42).mangle(&wire, how);
+            let b = WireMangler::new(42).mangle(&wire, how);
+            assert_eq!(a, b, "{how:?}");
+            let c = WireMangler::new(43).mangle(&wire, how);
+            assert!(a != c || how == Mangle::DeleteFrame || how == Mangle::DuplicateFrame);
+        }
+    }
+
+    #[test]
+    fn whole_frame_mutations_change_frame_counts() {
+        let wire = wire();
+        let baseline = WireMangler::frames(&wire).len();
+        let dup = WireMangler::new(7).mangle(&wire, Mangle::DuplicateFrame);
+        assert_eq!(WireMangler::frames(&dup).len(), baseline + 1);
+        let del = WireMangler::new(7).mangle(&wire, Mangle::DeleteFrame);
+        assert_eq!(WireMangler::frames(&del).len(), baseline - 1);
     }
 }

@@ -37,8 +37,12 @@
 //! - [`source::Source`] — pull-based record producers feeding the
 //!   streaming driver: iterators, fallible closures, and chunked
 //!   sample sources.
-//! - [`codec`] — the length-prefixed, CRC-32-protected wire format used
-//!   by [`net::StreamOut`] / [`net::StreamIn`] across TCP.
+//! - [`codec`] — the CRC-32-protected wire formats used by
+//!   [`net::StreamOut`] / [`net::StreamIn`] across TCP: fixed-header v1
+//!   frames plus the compact varint/TLV v2 frames
+//!   ([`codec::WireFormat`]) with `f32`/`i16` sample encodings, decoded
+//!   by a push-based incremental [`codec::Decoder`] that handles both
+//!   versions on one stream (see `DESIGN.md` §13).
 //! - [`serve`] — the multi-session service layer: a
 //!   [`serve::PipelineServer`] accepts many concurrent `streamin`
 //!   connections, runs each through its own cloned operator chain on a
@@ -90,6 +94,7 @@ pub mod source;
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::buf::SampleBuf;
+    pub use crate::codec::{DecodeEvent, Decoder, SampleEncoding, WireFormat};
     pub use crate::error::PipelineError;
     pub use crate::operator::{CountingSink, FnSink, NullSink, Operator, SharedSink, Sink};
     pub use crate::ops::{

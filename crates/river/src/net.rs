@@ -9,31 +9,49 @@
 //! scopes open, the `streamin` operator will generate `BadCloseScope`
 //! records to close all open scopes."
 
-use crate::codec::{read_record_counted, write_eos, write_record, ReadOutcome};
+use crate::codec::{write_eos, write_record_with, DecodeEvent, Decoder, WireFormat};
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
 use crate::record::Record;
 use crate::scope::ScopeTracker;
 use crate::source::Source;
 use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 
 /// `streamout`: an operator that forwards every record over a byte sink
 /// (typically a TCP connection) and emits the clean end-of-stream
 /// sentinel when the pipeline finishes.
+///
+/// The sender picks the [`WireFormat`] — that *is* the version
+/// negotiation: receivers detect the version per frame, so v1 peers
+/// keep working and v2 senders get compact frames with no handshake
+/// round trip.
 pub struct StreamOut<W: Write + Send> {
     writer: BufWriter<W>,
     sent: u64,
+    format: WireFormat,
 }
 
 impl<W: Write + Send> StreamOut<W> {
-    /// Wraps a byte sink.
+    /// Wraps a byte sink (emitting v1 frames, the default).
     pub fn new(writer: W) -> Self {
         StreamOut {
             writer: BufWriter::new(writer),
             sent: 0,
+            format: WireFormat::V1,
         }
+    }
+
+    /// Selects the wire format for every subsequent record.
+    pub fn with_format(mut self, format: WireFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// The wire format this sender emits.
+    pub fn format(&self) -> WireFormat {
+        self.format
     }
 
     /// Records sent so far.
@@ -61,7 +79,7 @@ impl<W: Write + Send> Operator for StreamOut<W> {
     }
 
     fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
-        write_record(&mut self.writer, &record)?;
+        write_record_with(&mut self.writer, &record, self.format)?;
         self.sent += 1;
         // streamout is usually terminal, but passing records through lets
         // callers tee the stream locally as well.
@@ -101,7 +119,16 @@ pub enum StreamEnd {
 /// the pull API so each session can interleave decoding with its own
 /// operator chain.
 pub struct StreamIn<R: Read> {
-    reader: BufReader<R>,
+    reader: R,
+    /// Incremental frame decoder: chunks go in, records come out. It
+    /// buffers internally, so no `BufReader` wrapper is needed.
+    decoder: Decoder,
+    /// Decoded events not yet delivered to the caller.
+    events: VecDeque<DecodeEvent>,
+    /// A decode error found mid-chunk, held back until every record
+    /// decoded *before* it has been delivered (frame-at-a-time readers
+    /// had exactly this ordering).
+    pending_error: Option<PipelineError>,
     tracker: ScopeTracker,
     received: u64,
     wire_bytes: u64,
@@ -115,13 +142,23 @@ impl<R: Read> StreamIn<R> {
     /// Wraps a byte source.
     pub fn new(reader: R) -> Self {
         StreamIn {
-            reader: BufReader::new(reader),
+            reader,
+            decoder: Decoder::new(),
+            events: VecDeque::new(),
+            pending_error: None,
             tracker: ScopeTracker::new(),
             received: 0,
             wire_bytes: 0,
             repairs: VecDeque::new(),
             done: None,
         }
+    }
+
+    /// The wire version of the most recently decoded frame, if any —
+    /// what this peer's sender negotiated, learned passively from the
+    /// bytes themselves.
+    pub fn wire_version(&self) -> Option<u8> {
+        self.decoder.wire_version()
     }
 
     /// Records received so far (synthesized repairs are not counted).
@@ -165,9 +202,8 @@ impl<R: Read> StreamIn<R> {
             if self.done.is_some() {
                 return Ok(None);
             }
-            match read_record_counted(&mut self.reader) {
-                Ok((ReadOutcome::Record(record), n)) => {
-                    self.wire_bytes += n;
+            match self.events.pop_front() {
+                Some(DecodeEvent::Record(record)) => {
                     // Scope accounting; violations at the network boundary
                     // are repaired (stray closes dropped), not fatal.
                     match self.tracker.observe(&record) {
@@ -179,18 +215,40 @@ impl<R: Read> StreamIn<R> {
                         Err(e) => return Err(e),
                     }
                 }
-                Ok((ReadOutcome::CleanEnd, n)) => {
+                Some(DecodeEvent::CleanEnd) => {
                     // A clean end with open scopes still repairs them: the
                     // upstream said goodbye mid-scope.
-                    self.wire_bytes += n;
                     self.queue_repairs(true);
+                    continue;
                 }
-                Ok((ReadOutcome::UncleanEnd, n)) => {
-                    self.wire_bytes += n;
-                    self.queue_repairs(false);
+                None => {}
+            }
+            if let Some(e) = self.pending_error.take() {
+                return Err(e);
+            }
+            let mut chunk = [0u8; 8192];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF. Every byte read was already counted, including
+                    // any partial trailing frame the decoder still holds.
+                    match self.decoder.end_of_input() {
+                        Ok(()) | Err(PipelineError::Disconnected(_)) => self.queue_repairs(false),
+                        Err(e) => return Err(e),
+                    }
                 }
-                Err(PipelineError::Disconnected(_)) => self.queue_repairs(false),
-                Err(e) => return Err(e),
+                Ok(n) => {
+                    self.wire_bytes += n as u64;
+                    let mut decoded = Vec::new();
+                    let fed = self.decoder.feed(&chunk[..n], &mut decoded);
+                    self.events.extend(decoded);
+                    if let Err(e) = fed {
+                        // Records decoded before the bad frame flow out
+                        // first; the error surfaces right after them.
+                        self.pending_error = Some(e);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(PipelineError::Io(e)),
             }
         }
     }
@@ -284,7 +342,21 @@ pub fn serve_once(
 ///
 /// Returns [`PipelineError::Io`] on connection or write failure.
 pub fn send_all<A: ToSocketAddrs>(addr: A, records: &[Record]) -> Result<u64, PipelineError> {
-    let mut out = StreamOut::connect(addr)?;
+    send_all_with(addr, records, WireFormat::V1)
+}
+
+/// Like [`send_all`], but emitting frames in the given [`WireFormat`] —
+/// how a sensor opts into the compact v2 wire.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Io`] on connection or write failure.
+pub fn send_all_with<A: ToSocketAddrs>(
+    addr: A,
+    records: &[Record],
+    format: WireFormat,
+) -> Result<u64, PipelineError> {
+    let mut out = StreamOut::connect(addr)?.with_format(format);
     let mut sink = crate::operator::NullSink;
     for r in records {
         out.on_record(r.clone(), &mut sink)?;
@@ -296,6 +368,7 @@ pub fn send_all<A: ToSocketAddrs>(addr: A, records: &[Record]) -> Result<u64, Pi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{write_record, SampleEncoding};
     use crate::record::{Payload, RecordKind};
     use std::net::TcpListener;
     use std::thread;
@@ -474,6 +547,97 @@ mod tests {
         assert_eq!(rest[0].scope_type, 3);
         assert_eq!(si.end(), Some(StreamEnd::Unclean { repaired_scopes: 2 }));
         assert!(si.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn v2_stream_round_trips_and_reports_version() {
+        let mut buf = Vec::new();
+        {
+            let mut op = StreamOut::new(&mut buf).with_format(WireFormat::V2(SampleEncoding::F64));
+            let mut tee: Vec<Record> = Vec::new();
+            for r in scoped_records(20) {
+                op.on_record(r, &mut tee).unwrap();
+            }
+            op.on_eos(&mut tee).unwrap();
+        }
+        let expected_bytes = buf.len() as u64;
+        let mut sink: Vec<Record> = Vec::new();
+        let mut si = StreamIn::new(buf.as_slice());
+        assert_eq!(si.wire_version(), None);
+        assert_eq!(si.pump(&mut sink).unwrap(), StreamEnd::Clean);
+        assert_eq!(sink, scoped_records(20));
+        assert_eq!(si.wire_version(), Some(crate::codec::VERSION_V2));
+        assert_eq!(si.wire_bytes(), expected_bytes);
+    }
+
+    #[test]
+    fn mixed_version_frames_on_one_stream() {
+        // A v1 sender and a v2 sender sharing one byte stream (e.g. a
+        // proxy splice) decode seamlessly: versions are per frame.
+        let records = scoped_records(6);
+        let mut buf = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            let format = if i % 2 == 0 {
+                WireFormat::V1
+            } else {
+                WireFormat::V2(SampleEncoding::F64)
+            };
+            write_record_with(&mut buf, r, format).unwrap();
+        }
+        write_eos(&mut buf).unwrap();
+        let mut sink: Vec<Record> = Vec::new();
+        let mut si = StreamIn::new(buf.as_slice());
+        assert_eq!(si.pump(&mut sink).unwrap(), StreamEnd::Clean);
+        assert_eq!(sink, records);
+    }
+
+    #[test]
+    fn v2_unclean_disconnect_synthesizes_bad_closes() {
+        let fmt = WireFormat::V2(SampleEncoding::F32);
+        let mut buf = Vec::new();
+        write_record_with(&mut buf, &Record::open_scope(3, vec![]), fmt).unwrap();
+        write_record_with(&mut buf, &Record::open_scope(4, vec![]), fmt).unwrap();
+        write_record_with(&mut buf, &Record::data(1, Payload::f64(vec![1.0])), fmt).unwrap();
+        // Truncate mid-frame: the sensor died while writing.
+        let full = buf.len();
+        buf.extend_from_slice(
+            &crate::codec::encode_frame_with(&Record::data(1, Payload::f64(vec![2.0])), fmt)[..9],
+        );
+        let mut sink: Vec<Record> = Vec::new();
+        let mut si = StreamIn::new(buf.as_slice());
+        let end = si.pump(&mut sink).unwrap();
+        assert_eq!(end, StreamEnd::Unclean { repaired_scopes: 2 });
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink[3].kind, RecordKind::BadCloseScope);
+        // The partial trailing frame still counts as wire traffic.
+        assert_eq!(si.wire_bytes(), (full + 9) as u64);
+        crate::scope::validate_scopes(&sink).unwrap();
+    }
+
+    #[test]
+    fn records_before_a_corrupt_frame_are_delivered_first() {
+        // Two good frames then a CRC-corrupted one, all fed from one
+        // buffer: the good records come out before the error fires.
+        let records = scoped_records(1);
+        let mut buf = Vec::new();
+        write_record(&mut buf, &records[0]).unwrap();
+        write_record(&mut buf, &records[1]).unwrap();
+        let mut bad =
+            crate::codec::encode_frame_with(&records[2], WireFormat::V2(SampleEncoding::F64));
+        // Flip a CRC byte: the frame length stays intact, so this is a
+        // deterministic checksum failure rather than apparent truncation.
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        buf.extend_from_slice(&bad);
+        let mut si = StreamIn::new(buf.as_slice());
+        assert_eq!(si.next_record().unwrap().unwrap(), records[0]);
+        assert_eq!(si.next_record().unwrap().unwrap(), records[1]);
+        let err = si.next_record().unwrap_err();
+        assert!(matches!(err, PipelineError::Codec(_)));
+        // The session layer's standard recovery still applies.
+        let repairs = si.abort_repair();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(si.end(), Some(StreamEnd::Unclean { repaired_scopes: 1 }));
     }
 
     #[test]

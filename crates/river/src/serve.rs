@@ -129,6 +129,10 @@ pub struct SessionReport {
     pub wire_bytes: u64,
     /// Per-stage statistics of the session's cloned chain.
     pub stats: StreamStats,
+    /// Wire format version the peer sent (`None` if no frame decoded) —
+    /// negotiation is sender-driven, so this is how the server learns
+    /// which format each session used.
+    pub wire_version: Option<u8>,
     /// The codec/chain/sink error that ended the session, if any. Scope
     /// repair has already been applied when this is set.
     pub error: Option<String>,
@@ -420,6 +424,7 @@ where
                             received: 0,
                             wire_bytes: 0,
                             stats: StreamStats::default(),
+                            wire_version: None,
                             error: None,
                         };
                         let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -620,6 +625,7 @@ fn run_session(job: SessionJob) -> SessionReport {
             sink_records: totals.records,
             sink_bytes: totals.bytes,
         },
+        wire_version: streamin.wire_version(),
         error,
     }
 }
@@ -1006,5 +1012,137 @@ mod tests {
         let report = handle.shutdown().unwrap();
         assert_eq!(report.sessions[0].wire_bytes, expected);
         assert_eq!(report.sessions[0].received as usize, records.len());
+        assert_eq!(report.sessions[0].wire_version, Some(crate::codec::VERSION));
+    }
+
+    #[test]
+    fn sessions_report_their_negotiated_wire_version() {
+        use crate::codec::{SampleEncoding, WireFormat};
+        use crate::net::send_all_with;
+        let mut server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        server.set_max_sessions(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        send_all(addr, &scoped_records(1.0, 8)).unwrap();
+        handle.wait_for_completed(1);
+        send_all_with(
+            addr,
+            &scoped_records(2.0, 8),
+            WireFormat::V2(SampleEncoding::F64),
+        )
+        .unwrap();
+        handle.wait_for_completed(2);
+
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.clean_sessions(), 2);
+        let mut versions: Vec<Option<u8>> =
+            report.sessions.iter().map(|s| s.wire_version).collect();
+        versions.sort();
+        assert_eq!(
+            versions,
+            vec![Some(crate::codec::VERSION), Some(crate::codec::VERSION_V2)]
+        );
+        // Both sessions produced the same doubled output regardless of
+        // the wire format that carried them in.
+        for (_id, sink) in outputs.lock().unwrap().iter() {
+            let got = sink.take();
+            assert_eq!(got.len(), 8 + 2);
+            crate::scope::validate_scopes(&got).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_v2_frame_aborts_only_that_session_with_repair() {
+        use crate::codec::{encode_frame_with, SampleEncoding, WireFormat};
+        let fmt = WireFormat::V2(SampleEncoding::F64);
+        let mut server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        server.set_max_sessions(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        let corrupt = thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = std::io::BufWriter::new(stream);
+            w.write_all(&encode_frame_with(&Record::open_scope(3, vec![]), fmt))
+                .unwrap();
+            w.write_all(&encode_frame_with(
+                &Record::data(0, Payload::f64(vec![1.0])),
+                fmt,
+            ))
+            .unwrap();
+            // Flip a CRC byte: frame length stays intact, checksum fails.
+            let mut frame = encode_frame_with(&Record::data(0, Payload::f64(vec![2.0])), fmt);
+            let last = frame.len() - 1;
+            frame[last] ^= 0xFF;
+            w.write_all(&frame).unwrap();
+            w.write_all(&encode_frame_with(&Record::close_scope(3), fmt))
+                .unwrap();
+            write_eos(&mut w).unwrap();
+            w.flush().unwrap();
+        });
+        let healthy = thread::spawn(move || send_all(addr, &scoped_records(7.0, 12)).unwrap());
+        corrupt.join().unwrap();
+        healthy.join().unwrap();
+
+        handle.wait_for_completed(2);
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.clean_sessions(), 1);
+        let bad: Vec<_> = report.sessions.iter().filter(|s| !s.is_clean()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].end, StreamEnd::Unclean { repaired_scopes: 1 });
+        assert_eq!(bad[0].wire_version, Some(crate::codec::VERSION_V2));
+        let err = bad[0].error.as_deref().unwrap();
+        assert!(
+            err.contains("crc"),
+            "error should name the CRC failure: {err}"
+        );
+
+        for (id, sink) in outputs.lock().unwrap().iter() {
+            let got = sink.take();
+            crate::scope::validate_scopes(&got).unwrap();
+            if *id == bad[0].id {
+                assert_eq!(got.len(), 3);
+                assert_eq!(got[2].kind, RecordKind::BadCloseScope);
+            } else {
+                assert_eq!(got.len(), 12 + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn client_dying_mid_v2_frame_is_repaired_in_place() {
+        use crate::codec::{encode_frame_with, SampleEncoding, WireFormat};
+        let fmt = WireFormat::V2(SampleEncoding::I16);
+        let server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = std::io::BufWriter::new(stream);
+            w.write_all(&encode_frame_with(&Record::open_scope(2, vec![]), fmt))
+                .unwrap();
+            let frame = encode_frame_with(&Record::data(0, Payload::f64(vec![8.0; 64])), fmt);
+            w.write_all(&frame[..frame.len() / 2]).unwrap();
+            w.flush().unwrap();
+            // Dropped mid-frame: simulated crash.
+        })
+        .join()
+        .unwrap();
+
+        handle.wait_for_completed(1);
+        let report = handle.shutdown().unwrap();
+        let s = &report.sessions[0];
+        assert_eq!(s.end, StreamEnd::Unclean { repaired_scopes: 1 });
+        assert!(s.error.is_none(), "truncation is repair, not error");
+        assert_eq!(s.wire_version, Some(crate::codec::VERSION_V2));
+        let (_, sink) = &outputs.lock().unwrap()[0];
+        let got = sink.take();
+        crate::scope::validate_scopes(&got).unwrap();
+        assert_eq!(got.last().unwrap().kind, RecordKind::BadCloseScope);
     }
 }

@@ -3,7 +3,10 @@
 //! threaded vs sharded).
 
 use bytes::Bytes;
-use dynamic_river::codec::{decode_frame, encode_frame, write_eos, write_record};
+use dynamic_river::codec::{
+    decode_frame, encode_frame, encode_frame_v2, encode_frame_with, write_eos, write_record,
+    write_record_with, DecodeEvent, Decoder, SampleEncoding, WireFormat,
+};
 use dynamic_river::fault::{DropCloses, FailAfter, TruncateAfter};
 use dynamic_river::net::StreamIn;
 use dynamic_river::ops::{ScopeRepair, ScopeSum};
@@ -372,6 +375,132 @@ proptest! {
         let single_bad = single.iter().filter(|r| r.kind == RecordKind::BadCloseScope).count();
         let sharded_bad = sharded.iter().filter(|r| r.kind == RecordKind::BadCloseScope).count();
         prop_assert_eq!(single_bad, sharded_bad);
+    }
+
+    /// Differential v1 ↔ v2: for any record — offset `SampleBuf` views,
+    /// every scope type, empty payloads — the lossless v2 frame decodes
+    /// to exactly the record the v1 frame decodes to, and v2 encoding is
+    /// canonical (decode → re-encode is byte-identical).
+    #[test]
+    fn v2_lossless_decodes_identically_to_v1(rec in arb_record()) {
+        let v1 = encode_frame(&rec);
+        let v2 = encode_frame_v2(&rec, SampleEncoding::F64);
+        let (from_v1, used1) = decode_frame(&v1).unwrap().unwrap();
+        let (from_v2, used2) = decode_frame(&v2).unwrap().unwrap();
+        prop_assert_eq!(used1, v1.len());
+        prop_assert_eq!(used2, v2.len());
+        prop_assert_eq!(&from_v1, &from_v2);
+        prop_assert_eq!(&from_v1, &rec);
+        prop_assert_eq!(encode_frame_v2(&from_v2, SampleEncoding::F64), v2);
+    }
+
+    /// The f32 encoding loses exactly the bits `f64 → f32 → f64` loses,
+    /// nothing more: each decoded sample equals its f32-rounded source.
+    #[test]
+    fn v2_f32_samples_round_to_f32_exactly(rec in arb_record()) {
+        let frame = encode_frame_v2(&rec, SampleEncoding::F32);
+        let (decoded, _) = decode_frame(&frame).unwrap().unwrap();
+        let pairs = |p: &Payload| -> Option<(Vec<f64>, Vec<f64>)> {
+            match p {
+                Payload::F64(b) | Payload::Complex(b) => Some((b.to_vec(), Vec::new())),
+                _ => None,
+            }
+        };
+        if let (Some((orig, _)), Some((got, _))) = (pairs(&rec.payload), pairs(&decoded.payload)) {
+            prop_assert_eq!(orig.len(), got.len());
+            for (a, b) in orig.iter().zip(got.iter()) {
+                prop_assert_eq!(f64::from(*a as f32).to_bits(), b.to_bits());
+            }
+        } else {
+            // Non-sample payloads are lossless under every encoding.
+            prop_assert_eq!(decoded, rec);
+        }
+    }
+
+    /// The i16 encoding's absolute error is bounded by `scale / 2` with
+    /// `scale = max|x| / 32767`, per record.
+    #[test]
+    fn v2_i16_error_stays_within_half_scale(rec in arb_record()) {
+        let frame = encode_frame_v2(&rec, SampleEncoding::I16);
+        let (decoded, _) = decode_frame(&frame).unwrap().unwrap();
+        let samples = |p: &Payload| -> Option<Vec<f64>> {
+            match p {
+                Payload::F64(b) | Payload::Complex(b) => Some(b.to_vec()),
+                _ => None,
+            }
+        };
+        if let (Some(orig), Some(got)) = (samples(&rec.payload), samples(&decoded.payload)) {
+            prop_assert_eq!(orig.len(), got.len());
+            let max = orig.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+            let bound = max / f64::from(i16::MAX) / 2.0 * (1.0 + 1e-9);
+            for (a, b) in orig.iter().zip(got.iter()) {
+                prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+            }
+        } else {
+            prop_assert_eq!(decoded, rec);
+        }
+    }
+
+    /// Chunking invariance: however a mixed-version byte stream is
+    /// split, the incremental decoder yields the identical record
+    /// sequence and clean end.
+    #[test]
+    fn decoder_chunking_invariant(
+        records in prop::collection::vec(arb_record(), 0..12),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..9),
+        enc_pick in any::<u8>(),
+    ) {
+        let mut wire = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            let format = match (i + enc_pick as usize) % 4 {
+                0 => WireFormat::V1,
+                1 => WireFormat::V2(SampleEncoding::F64),
+                2 => WireFormat::V2(SampleEncoding::F32),
+                _ => WireFormat::V2(SampleEncoding::I16),
+            };
+            write_record_with(&mut wire, r, format).unwrap();
+        }
+        write_eos(&mut wire).unwrap();
+
+        // Reference: one whole-stream feed.
+        let mut reference = Vec::new();
+        Decoder::new().feed(&wire, &mut reference).unwrap();
+
+        // Arbitrary split points (duplicates and 0 collapse harmlessly).
+        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(wire.len() + 1)).collect();
+        points.push(0);
+        points.push(wire.len());
+        points.sort_unstable();
+        let mut chunked = Vec::new();
+        let mut dec = Decoder::new();
+        for pair in points.windows(2) {
+            dec.feed(&wire[pair[0]..pair[1]], &mut chunked).unwrap();
+        }
+        prop_assert_eq!(&chunked, &reference);
+        prop_assert_eq!(chunked.len(), records.len() + 1);
+        prop_assert!(matches!(chunked.last(), Some(DecodeEvent::CleanEnd)));
+    }
+
+    /// Single-bit corruption in a v2 frame is always detected — decode
+    /// never silently yields a different record, and every failure is a
+    /// recoverable `Codec` error (never a panic, never `Io`).
+    #[test]
+    fn v2_detects_bit_flips_recoverably(
+        rec in arb_record(),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode_frame_with(&rec, WireFormat::V2(SampleEncoding::F64));
+        let idx = byte_idx.index(frame.len());
+        frame[idx] ^= 1 << bit;
+        match decode_frame(&frame) {
+            Ok(Some((decoded, _))) => prop_assert_eq!(decoded, rec, "corruption went unnoticed"),
+            Ok(None) => {} // length field corrupted upward: more bytes requested
+            Err(e) => {
+                let is_codec = matches!(e, PipelineError::Codec(_));
+                prop_assert!(is_codec, "non-codec error from pure bytes: {}", e);
+            }
+        }
     }
 
     /// A crashing operator (`FailAfter`) aborts the sharded run with an

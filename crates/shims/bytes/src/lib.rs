@@ -189,6 +189,16 @@ pub trait BufMut {
     fn put_f64_le(&mut self, v: f64) {
         self.put_slice(&v.to_le_bytes());
     }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i16`.
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_slice(&v.to_le_bytes());
+    }
 }
 
 impl BufMut for BytesMut {
@@ -232,8 +242,10 @@ mod tests {
         m.put_u32_le(0x0405_0607);
         m.put_u64_le(0x0808_0808_0808_0808);
         m.put_f64_le(1.0);
+        m.put_f32_le(2.0);
+        m.put_i16_le(-2);
         m.extend_from_slice(b"xy");
-        assert_eq!(m.len(), 1 + 2 + 4 + 8 + 8 + 2);
+        assert_eq!(m.len(), 1 + 2 + 4 + 8 + 8 + 4 + 2 + 2);
         assert_eq!(m[0], 1);
         assert_eq!(&m[1..3], &[0x03, 0x02]);
         let frozen = m.clone().freeze();

@@ -13,7 +13,7 @@
 use acoustic_ensembles::core::ops::clip_to_records;
 use acoustic_ensembles::core::prelude::*;
 use acoustic_ensembles::river::codec::write_record;
-use acoustic_ensembles::river::net::send_all;
+use acoustic_ensembles::river::net::send_all_with;
 use acoustic_ensembles::river::operator::SharedSink;
 use acoustic_ensembles::river::prelude::*;
 use std::io::{BufWriter, Write};
@@ -67,14 +67,22 @@ fn main() {
     // ---- The sensor fleet --------------------------------------------
     // Four sensor hosts push their clips concurrently; with only three
     // session slots, the fourth waits in the accept backlog until a
-    // slot frees (accept-time backpressure, not half-service).
+    // slot frees (accept-time backpressure, not half-service). The
+    // fleet is mixed-generation: even sensors still speak the v1 wire,
+    // odd sensors upgraded to the compact v2/f32 frames — the server
+    // detects each sender's format and reports it per session.
     let clients: Vec<_> = (0..SENSORS)
         .map(|s| {
             thread::spawn(move || {
                 let cfg = ExtractorConfig::default();
                 let records = sensor_clip(&cfg, 11 + s);
-                let sent = send_all(addr, &records).unwrap();
-                println!("sensor {s}: streamout sent {sent} records");
+                let format = if s % 2 == 0 {
+                    WireFormat::V1
+                } else {
+                    WireFormat::V2(SampleEncoding::F32)
+                };
+                let sent = send_all_with(addr, &records, format).unwrap();
+                println!("sensor {s}: streamout sent {sent} records ({format:?} wire)");
                 sent
             })
         })
@@ -111,11 +119,12 @@ fn main() {
     );
     for s in &report.sessions {
         println!(
-            "  session {} [{}]: {} records in, {} wire bytes, ended {:?}{}",
+            "  session {} [{}]: {} records in, {} wire bytes (wire v{}), ended {:?}{}",
             s.id,
             s.peer,
             s.received,
             s.wire_bytes,
+            s.wire_version.map_or_else(|| "?".into(), |v| v.to_string()),
             s.end,
             s.error
                 .as_deref()
