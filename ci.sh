@@ -5,6 +5,8 @@
 #                        #   bench compile + examples + perf json + gate)
 #   ./ci.sh quick        # tier-1 only (build --release && test -q)
 #   ./ci.sh bench-check  # compare BENCH_fig5.json vs BENCH_baseline.json
+#   ./ci.sh stage-bench  # append per-stage spectral ns/record lines to
+#                        #   BENCH_fig5.json (requires a release build)
 #
 # Requires only a Rust toolchain — the workspace has no network
 # dependencies (see DESIGN.md § Shims). Every phase prints its
@@ -83,8 +85,23 @@ wire_check() {
     }'
 }
 
+# --- per-stage spectral cost -----------------------------------------
+# Appends one {"stage": …, "ns_per_record": …} line per spectral stage
+# to BENCH_fig5.json: the four oracle operators, their chained total,
+# and the fused `spectrum` replacement — the per-stage evidence that
+# the real-input FFT path is where the throughput win comes from
+# (DESIGN.md §14).
+stage_bench() {
+    cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
+        --stage-json | tee -a BENCH_fig5.json
+}
+
 if [ "${1:-}" = "bench-check" ]; then
     bench_check
+    exit 0
+fi
+if [ "${1:-}" = "stage-bench" ]; then
+    stage_bench
     exit 0
 fi
 
@@ -154,6 +171,11 @@ if [ "${1:-}" != "quick" ]; then
         cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
             --wire-json "$fmt" | tee -a BENCH_fig5.json
     done
+
+    # Per-stage spectral cost, same artifact: shows which stage the
+    # single-lane throughput comes from (dft vs fused spectrum).
+    phase "BENCH_fig5.json (per-stage spectral ns/record)"
+    stage_bench
 
     phase "wire-check (v2 frames at most half the v1 bytes)"
     wire_check

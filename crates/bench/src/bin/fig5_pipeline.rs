@@ -37,13 +37,24 @@
 //! `{"wire_bytes_per_record": …, "format": "v1"|"v2"}`. `ci.sh`
 //! appends both lines to `BENCH_fig5.json` and gates v2 at ≤ 50% of
 //! v1 (DESIGN.md §13).
+//!
+//! `--spectral fused|oracle` selects the spectral implementation: the
+//! fused `spectrum` operator (default) or the original four-operator
+//! `welchwindow → float2cplx → dft → cabs` oracle chain; the `--json`
+//! line reports the choice in its `"spectrum"` field.
+//!
+//! `--stage-json` skips the full run and instead times the spectral
+//! chain stage by stage (cumulative operator-chain prefixes over the
+//! same audio records, differenced), printing one
+//! `{"stage": …, "ns_per_record": …}` line per stage — the per-stage
+//! evidence behind the fused path's throughput claim (DESIGN.md §14).
 
 use dynamic_river::codec::{encode_frame_with, SampleEncoding, WireFormat};
 use dynamic_river::CountingSink;
 use ensemble_bench::{header, Scale};
 use ensemble_core::ops::clip_to_records;
 use ensemble_core::ops::clips_record_source;
-use ensemble_core::pipeline::{full_pipeline, full_pipeline_sharded};
+use ensemble_core::pipeline::{full_pipeline_sharded_with, full_pipeline_with, SpectralPath};
 use ensemble_core::prelude::*;
 
 /// Parses `--flag N` from the argument list.
@@ -81,6 +92,81 @@ fn wire_json(which: &str, cfg: &ExtractorConfig, samples: &[f64]) {
     );
 }
 
+/// `--stage-json`: per-stage cost of the spectral chain. Each
+/// cumulative prefix of the oracle chain (and the fused `spectrum`
+/// operator) is timed over the same pool of audio records; differencing
+/// adjacent prefixes isolates one stage's ns/record. Best-of-3 runs,
+/// with an empty pipeline timed as the framework baseline.
+fn stage_json(cfg: &ExtractorConfig, samples: &[f64]) {
+    use dynamic_river::{Operator, Payload, Pipeline, Record};
+    use ensemble_core::ops::{Cabs, Dft, Float2Cplx, Spectrum, WelchWindow};
+    use ensemble_core::subtype;
+
+    let mut records: Vec<Record> = Vec::new();
+    'fill: loop {
+        for chunk in samples.chunks_exact(cfg.record_len) {
+            records.push(Record::data(subtype::AUDIO, Payload::f64(chunk.to_vec())));
+            if records.len() >= 1_000 {
+                break 'fill;
+            }
+        }
+    }
+    let n = records.len() as f64;
+
+    let time_chain = |ops: &dyn Fn() -> Vec<Box<dyn Operator>>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut p = Pipeline::new();
+            for op in ops() {
+                p.add_boxed(op);
+            }
+            let input = records.clone();
+            let t0 = std::time::Instant::now();
+            let out = p.run(input).expect("stage bench run");
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(out);
+        }
+        best
+    };
+
+    let t_empty = time_chain(&Vec::new);
+    let t_w = time_chain(&|| vec![Box::new(WelchWindow::new()) as Box<dyn Operator>]);
+    let t_wf = time_chain(&|| {
+        vec![
+            Box::new(WelchWindow::new()) as Box<dyn Operator>,
+            Box::new(Float2Cplx::new()),
+        ]
+    });
+    let t_wfd = time_chain(&|| {
+        vec![
+            Box::new(WelchWindow::new()) as Box<dyn Operator>,
+            Box::new(Float2Cplx::new()),
+            Box::new(Dft::new()),
+        ]
+    });
+    let t_wfdc = time_chain(&|| {
+        vec![
+            Box::new(WelchWindow::new()) as Box<dyn Operator>,
+            Box::new(Float2Cplx::new()),
+            Box::new(Dft::new()),
+            Box::new(Cabs::new()),
+        ]
+    });
+    let t_spec = time_chain(&|| vec![Box::new(Spectrum::new()) as Box<dyn Operator>]);
+
+    let per = |hi: f64, lo: f64| ((hi - lo) / n * 1e9).max(0.0);
+    for (stage, ns) in [
+        ("welchwindow", per(t_w, t_empty)),
+        ("float2cplx", per(t_wf, t_w)),
+        ("dft", per(t_wfd, t_wf)),
+        ("cabs", per(t_wfdc, t_wfd)),
+        ("oracle_chain", per(t_wfdc, t_empty)),
+        ("spectrum", per(t_spec, t_empty)),
+    ] {
+        println!("{{\"stage\": \"{stage}\", \"ns_per_record\": {ns:.0}}}");
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let scale = Scale::from_args();
@@ -101,6 +187,15 @@ fn main() {
         wire_json(&which, &cfg, samples);
         return;
     }
+    if std::env::args().any(|a| a == "--stage-json") {
+        stage_json(&cfg, samples);
+        return;
+    }
+    let spectral = match flag_str("--spectral").as_deref() {
+        None | Some("fused") => SpectralPath::Fused,
+        Some("oracle") => SpectralPath::Oracle,
+        Some(other) => panic!("--spectral expects fused or oracle, got {other}"),
+    };
     // The archive: the clip repeated `clips` times, each repetition its
     // own clip scope — produced lazily, one clip in memory at a time.
     let archive = || {
@@ -116,11 +211,11 @@ fn main() {
     let mut sink = CountingSink::default();
     let t0 = std::time::Instant::now();
     let stats = if workers > 1 {
-        full_pipeline_sharded(cfg, true, workers)
+        full_pipeline_sharded_with(cfg, true, workers, spectral)
             .run(archive(), &mut sink)
             .expect("sharded pipeline run")
     } else {
-        full_pipeline(cfg, true)
+        full_pipeline_with(cfg, true, spectral)
             .run_streaming(archive(), &mut sink)
             .expect("pipeline run")
     };
@@ -129,7 +224,7 @@ fn main() {
     if json {
         let bytes_in = stats.stages.first().map_or(0, |s| s.bytes_in);
         println!(
-            "{{\"workers\": {}, \"requested_workers\": {}, \"clamped\": {}, \"clips\": {}, \"cores\": {}, \"records_per_sec\": {:.1}, \"bytes_in\": {}, \"bytes_out\": {}, \"peak_burst\": {}}}",
+            "{{\"workers\": {}, \"requested_workers\": {}, \"clamped\": {}, \"clips\": {}, \"cores\": {}, \"records_per_sec\": {:.1}, \"bytes_in\": {}, \"bytes_out\": {}, \"peak_burst\": {}, \"spectrum\": \"{}\"}}",
             workers,
             requested_workers,
             clamped,
@@ -138,7 +233,11 @@ fn main() {
             stats.source_records as f64 / elapsed,
             bytes_in,
             stats.sink_bytes,
-            stats.max_peak_burst()
+            stats.max_peak_burst(),
+            match spectral {
+                SpectralPath::Fused => "fused",
+                SpectralPath::Oracle => "oracle",
+            }
         );
         return;
     }

@@ -1,16 +1,20 @@
 //! `dft`: the discrete Fourier transform stage (paper §3).
 
+use crate::ops::plan_cache::PlanCache;
 use crate::subtype;
 use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 use river_dsp::{Complex64, Fft};
-use std::collections::HashMap;
 
 /// The `dft` operator: transforms interleaved-complex records in place.
-/// FFT plans are cached per record length (Bluestein handles the
-/// non-power-of-two production length).
+/// FFT plans are cached per record length in a bounded cache (Bluestein
+/// handles the non-power-of-two production length), and the
+/// deinterleave and Bluestein scratch buffers are reused across records
+/// so the steady state allocates nothing beyond COW output buffers.
 #[derive(Debug, Default, Clone)]
 pub struct Dft {
-    plans: HashMap<usize, Fft>,
+    plans: PlanCache<Fft>,
+    buf: Vec<Complex64>,
+    scratch: Vec<Complex64>,
 }
 
 impl Dft {
@@ -35,12 +39,16 @@ impl Operator for Dft {
                     ));
                 }
                 let n = v.len() / 2;
-                let plan = self.plans.entry(n).or_insert_with(|| Fft::new(n));
-                let mut buf: Vec<Complex64> = v
-                    .chunks_exact(2)
-                    .map(|c| Complex64::new(c[0], c[1]))
-                    .collect();
-                plan.forward_in_place(&mut buf);
+                let plan = self.plans.get_or_insert_with(n, Fft::new);
+                self.buf.clear();
+                self.buf
+                    .extend(v.chunks_exact(2).map(|c| Complex64::new(c[0], c[1])));
+                let need = plan.scratch_len();
+                if self.scratch.len() < need {
+                    self.scratch.resize(need, Complex64::ZERO);
+                }
+                plan.forward_scratch(&mut self.buf, &mut self.scratch[..need]);
+                let buf = &self.buf;
                 // Every sample gets overwritten, so a shared buffer
                 // should not pay make_mut's copy of doomed data — build
                 // the output directly instead. Uniquely owned buffers
@@ -48,7 +56,7 @@ impl Operator for Dft {
                 // place with no allocation at all.
                 if v.is_shared() {
                     let mut interleaved = Vec::with_capacity(2 * n);
-                    for z in &buf {
+                    for z in buf {
                         interleaved.push(z.re);
                         interleaved.push(z.im);
                     }
@@ -133,6 +141,20 @@ mod tests {
             .unwrap();
         }
         assert_eq!(op.plans.len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        let mut op = Dft::new();
+        let mut sink: Vec<Record> = Vec::new();
+        for n in 1..100usize {
+            op.on_record(
+                Record::data(subtype::SPECTRUM, Payload::complex(vec![0.0; n * 2])),
+                &mut sink,
+            )
+            .unwrap();
+        }
+        assert!(op.plans.len() <= op.plans.capacity());
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! Acquisition: [`wav2rec::Wav2Rec`] (and [`readout::Readout`] for
 //! archival). Ensemble extraction: [`saxanomaly::SaxAnomaly`] →
 //! [`trigger_op::TriggerOp`] → [`cutter::Cutter`]. Spectral
-//! featurization: [`reslice::Reslice`] → [`welchwindow::WelchWindow`] →
-//! [`float2cplx::Float2Cplx`] → [`dft::Dft`] → [`cabs::Cabs`] →
-//! [`cutout::Cutout`] → optional [`paa_op::PaaOp`] →
-//! [`rec2vect::Rec2Vect`].
+//! featurization: [`reslice::Reslice`] → [`spectrum::Spectrum`] (the
+//! fused window × real-FFT → magnitude hot path) → [`cutout::Cutout`]
+//! → optional [`paa_op::PaaOp`] → [`rec2vect::Rec2Vect`]. The unfused
+//! chain [`welchwindow::WelchWindow`] → [`float2cplx::Float2Cplx`] →
+//! [`dft::Dft`] → [`cabs::Cabs`] is kept as `spectrum`'s differential
+//! oracle and remains fully supported.
 //!
 //! All operators preserve scope discipline: clip scopes pass through
 //! `saxanomaly`/`trigger`, `cutter` nests ensemble scopes inside clip
@@ -20,10 +22,12 @@ pub mod dft;
 pub mod float2cplx;
 pub mod logscale;
 pub mod paa_op;
+pub mod plan_cache;
 pub mod readout;
 pub mod rec2vect;
 pub mod reslice;
 pub mod saxanomaly;
+pub mod spectrum;
 pub mod trigger_op;
 pub mod wav2rec;
 pub mod welchwindow;
@@ -35,10 +39,12 @@ pub use dft::Dft;
 pub use float2cplx::Float2Cplx;
 pub use logscale::LogScale;
 pub use paa_op::PaaOp;
+pub use plan_cache::PlanCache;
 pub use readout::Readout;
 pub use rec2vect::Rec2Vect;
 pub use reslice::Reslice;
 pub use saxanomaly::SaxAnomaly;
+pub use spectrum::Spectrum;
 pub use trigger_op::TriggerOp;
 pub use wav2rec::{
     clip_buf_to_records, clip_record_source, clip_to_records, clips_record_source, Wav2Rec,

@@ -1,15 +1,19 @@
 //! `welchwindow`: applies a Welch window to each record, "helping
 //! minimize edge effects between records" (paper §3).
 
+use crate::ops::plan_cache::PlanCache;
 use crate::subtype;
 use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 use river_dsp::window::WindowKind;
 
 /// The `welchwindow` operator. Applies the window to the `F64` payload
-/// of audio records; caches coefficients per record length.
+/// of audio records; coefficient tables are cached per record length in
+/// a bounded cache, so a stream alternating between two lengths (e.g.
+/// full and resliced records) no longer recomputes the table on every
+/// record the way the old single-slot cache did.
 #[derive(Debug, Default, Clone)]
 pub struct WelchWindow {
-    coeffs: Vec<f64>,
+    coeffs: PlanCache<Vec<f64>>,
 }
 
 impl WelchWindow {
@@ -27,14 +31,14 @@ impl Operator for WelchWindow {
     fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
         if record.kind == RecordKind::Data && record.subtype == subtype::AUDIO {
             if let Payload::F64(ref mut v) = record.payload {
-                if self.coeffs.len() != v.len() {
-                    self.coeffs = WindowKind::Welch.coefficients(v.len());
-                }
+                let coeffs = self
+                    .coeffs
+                    .get_or_insert_with(v.len(), |n| WindowKind::Welch.coefficients(n));
                 // Copy-on-write: records that share a clip allocation
                 // (views from wav2rec/cutter/reslice) are copied once
                 // here — the first stage that rewrites samples —
                 // uniquely owned buffers are windowed in place.
-                for (x, w) in v.make_mut().iter_mut().zip(&self.coeffs) {
+                for (x, w) in v.make_mut().iter_mut().zip(coeffs.iter()) {
                     *x *= w;
                 }
             }
@@ -74,6 +78,33 @@ mod tests {
         p.add(WelchWindow::new());
         let input = vec![Record::data(subtype::SCORE, Payload::f64(vec![1.0; 4]))];
         assert_eq!(p.run(input.clone()).unwrap(), input);
+    }
+
+    #[test]
+    fn alternating_lengths_reuse_cached_coefficients() {
+        let mut op = WelchWindow::new();
+        let mut sink: Vec<Record> = Vec::new();
+        // The old single-slot cache recomputed the table on every record
+        // of this stream; the per-length cache holds both.
+        for _ in 0..4 {
+            for n in [840usize, 420] {
+                op.on_record(
+                    Record::data(subtype::AUDIO, Payload::f64(vec![1.0; n])),
+                    &mut sink,
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(op.coeffs.len(), 2);
+        // And the cache stays bounded under adversarial length streams.
+        for n in 1..100usize {
+            op.on_record(
+                Record::data(subtype::AUDIO, Payload::f64(vec![1.0; n])),
+                &mut sink,
+            )
+            .unwrap();
+        }
+        assert!(op.coeffs.len() <= op.coeffs.capacity());
     }
 
     #[test]

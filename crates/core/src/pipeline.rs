@@ -4,12 +4,28 @@
 use crate::config::ExtractorConfig;
 use crate::ops::{
     Cabs, Cutout, Cutter, Dft, Float2Cplx, LogScale, PaaOp, Rec2Vect, Reslice, SaxAnomaly,
-    TriggerOp, WelchWindow,
+    Spectrum, TriggerOp, WelchWindow,
 };
 use dynamic_river::Pipeline;
 use river_dsp::window::WindowKind;
-use river_dsp::{Complex64, Fft};
+use river_dsp::{Complex64, RealFft};
 use river_sax::paa::paa_by_factor;
+
+/// Which spectral implementation the featurization segment runs.
+///
+/// The fused path is the production default; the oracle chain is the
+/// original four-operator decomposition, kept as a differential
+/// reference (property tests assert the two agree record-for-record to
+/// ≤ 1e-9 relative error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpectralPath {
+    /// The fused `spectrum` operator: Welch window × real-input FFT →
+    /// magnitudes in one pass over planned scratch.
+    #[default]
+    Fused,
+    /// The unfused `welchwindow` → `float2cplx` → `dft` → `cabs` chain.
+    Oracle,
+}
 
 /// Builds the ensemble-extraction segment (`saxanomaly` → `trigger` →
 /// `cutter`), the first half of Figure 5.
@@ -21,18 +37,36 @@ pub fn extraction_segment(config: ExtractorConfig) -> Pipeline {
     p
 }
 
-/// Builds the spectral featurization segment (`[reslice]` →
-/// `welchwindow` → `float2cplx` → `dft` → `cabs` → `cutout` → `[paa]`
-/// → `rec2vect`), the second half of Figure 5.
+/// Builds the spectral featurization segment, the second half of
+/// Figure 5, using the default fused spectral path: `[reslice]` →
+/// `spectrum` → `cutout` → `[paa]` → `[logscale]` → `rec2vect`.
 pub fn featurization_segment(config: ExtractorConfig, with_paa: bool) -> Pipeline {
+    featurization_segment_with(config, with_paa, SpectralPath::Fused)
+}
+
+/// Builds the featurization segment with an explicit spectral path —
+/// [`SpectralPath::Oracle`] substitutes the original `welchwindow` →
+/// `float2cplx` → `dft` → `cabs` chain for the fused `spectrum` stage.
+pub fn featurization_segment_with(
+    config: ExtractorConfig,
+    with_paa: bool,
+    spectral: SpectralPath,
+) -> Pipeline {
     let mut p = Pipeline::new();
     if config.reslice {
         p.add(Reslice::new());
     }
-    p.add(WelchWindow::new());
-    p.add(Float2Cplx::new());
-    p.add(Dft::new());
-    p.add(Cabs::new());
+    match spectral {
+        SpectralPath::Fused => {
+            p.add(Spectrum::new());
+        }
+        SpectralPath::Oracle => {
+            p.add(WelchWindow::new());
+            p.add(Float2Cplx::new());
+            p.add(Dft::new());
+            p.add(Cabs::new());
+        }
+    }
     p.add(Cutout::new(
         config.cutout_low_hz,
         config.cutout_high_hz,
@@ -60,13 +94,22 @@ pub fn featurization_segment(config: ExtractorConfig, with_paa: bool) -> Pipelin
 /// let p = full_pipeline(ExtractorConfig::default(), false);
 /// assert_eq!(
 ///     p.names(),
-///     ["saxanomaly", "trigger", "cutter", "welchwindow", "float2cplx",
-///      "dft", "cabs", "cutout", "logscale", "rec2vect"]
+///     ["saxanomaly", "trigger", "cutter", "spectrum", "cutout",
+///      "logscale", "rec2vect"]
 /// );
 /// ```
 pub fn full_pipeline(config: ExtractorConfig, with_paa: bool) -> Pipeline {
+    full_pipeline_with(config, with_paa, SpectralPath::Fused)
+}
+
+/// Builds the complete Figure 5 pipeline with an explicit spectral path.
+pub fn full_pipeline_with(
+    config: ExtractorConfig,
+    with_paa: bool,
+    spectral: SpectralPath,
+) -> Pipeline {
     let mut p = extraction_segment(config);
-    p.extend(featurization_segment(config, with_paa));
+    p.extend(featurization_segment_with(config, with_paa, spectral));
     p
 }
 
@@ -106,8 +149,20 @@ pub fn full_pipeline_sharded(
     with_paa: bool,
     workers: usize,
 ) -> dynamic_river::shard::ShardedPipeline {
-    dynamic_river::shard::ShardedPipeline::from_factory(workers, |_| {
-        full_pipeline(config, with_paa)
+    full_pipeline_sharded_with(config, with_paa, workers, SpectralPath::Fused)
+}
+
+/// [`full_pipeline_sharded`] with an explicit spectral path; used by the
+/// benchmarks to compare fused and oracle throughput under identical
+/// sharding.
+pub fn full_pipeline_sharded_with(
+    config: ExtractorConfig,
+    with_paa: bool,
+    workers: usize,
+    spectral: SpectralPath,
+) -> dynamic_river::shard::ShardedPipeline {
+    dynamic_river::shard::ShardedPipeline::from_factory(workers, move |_| {
+        full_pipeline_with(config, with_paa, spectral)
     })
 }
 
@@ -122,7 +177,7 @@ pub fn featurize_ensemble(
     with_paa: bool,
 ) -> Vec<Vec<f64>> {
     let n = config.record_len;
-    let fft = Fft::new(n);
+    let fft = RealFft::new(n);
     let window = WindowKind::Welch.coefficients(n);
     let lo = config.cutout_low_bin();
     let hi = config.cutout_high_bin();
@@ -141,15 +196,14 @@ pub fn featurize_ensemble(
     }
 
     let mut spectra: Vec<Vec<f64>> = Vec::with_capacity(records.len());
+    let mut all_mags = vec![0.0; n];
+    let mut scratch = vec![Complex64::ZERO; fft.scratch_len()];
     for rec in &records {
-        let windowed: Vec<Complex64> = rec
-            .iter()
-            .zip(&window)
-            .map(|(&x, &w)| Complex64::from_real(x * w))
-            .collect();
-        let mut buf = windowed;
-        fft.forward_in_place(&mut buf);
-        let mags: Vec<f64> = buf[lo..hi].iter().map(|z| z.abs()).collect();
+        // Same fused window × real-FFT → magnitude pass as the
+        // `spectrum` operator, so the direct path stays bit-identical to
+        // the operator pipeline.
+        fft.magnitudes_into(rec, Some(&window), &mut all_mags, &mut scratch);
+        let mags: Vec<f64> = all_mags[lo..hi].to_vec();
         let mut reduced = if with_paa {
             paa_by_factor(&mags, config.paa_factor)
         } else {
@@ -186,6 +240,10 @@ mod tests {
         );
         assert_eq!(
             featurization_segment(cfg, true).names(),
+            ["spectrum", "cutout", "paa", "logscale", "rec2vect"]
+        );
+        assert_eq!(
+            featurization_segment_with(cfg, true, SpectralPath::Oracle).names(),
             [
                 "welchwindow",
                 "float2cplx",

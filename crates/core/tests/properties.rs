@@ -1,7 +1,9 @@
 //! Property-based tests for ensemble extraction and featurization.
 
 use ensemble_core::extract::AdaptiveTrigger;
-use ensemble_core::pipeline::featurize_ensemble;
+use ensemble_core::pipeline::{
+    featurize_ensemble, full_pipeline_sharded_with, full_pipeline_with, SpectralPath,
+};
 use ensemble_core::prelude::*;
 use proptest::prelude::*;
 
@@ -123,5 +125,101 @@ proptest! {
             t.push(baseline);
         }
         prop_assert!(!t.push(baseline));
+    }
+}
+
+/// Runs the full Figure 5 pipeline over `clips` with the given spectral
+/// path, both streaming and sharded, returning (streaming, sharded)
+/// outputs.
+fn run_both_modes(
+    cfg: ExtractorConfig,
+    with_paa: bool,
+    spectral: SpectralPath,
+    clips: &[Vec<f64>],
+    workers: usize,
+) -> (Vec<dynamic_river::Record>, Vec<dynamic_river::Record>) {
+    use ensemble_core::ops::clips_record_source;
+    let mut streamed = Vec::new();
+    full_pipeline_with(cfg, with_paa, spectral)
+        .run_streaming(
+            clips_record_source(clips.to_vec(), cfg.sample_rate, cfg.record_len),
+            &mut streamed,
+        )
+        .unwrap();
+    let mut sharded = Vec::new();
+    full_pipeline_sharded_with(cfg, with_paa, workers, spectral)
+        .run(
+            clips_record_source(clips.to_vec(), cfg.sample_rate, cfg.record_len),
+            &mut sharded,
+        )
+        .unwrap();
+    (streamed, sharded)
+}
+
+/// Asserts two pipeline outputs are record-for-record equivalent:
+/// identical structure (kind, subtype, seq, context) and F64 payloads
+/// within `tol` relative error.
+fn assert_records_equivalent(a: &[dynamic_river::Record], b: &[dynamic_river::Record], tol: f64) {
+    assert_eq!(a.len(), b.len(), "record counts differ");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.kind, rb.kind, "record {i} kind");
+        assert_eq!(ra.subtype, rb.subtype, "record {i} subtype");
+        assert_eq!(ra.seq, rb.seq, "record {i} seq");
+        match (ra.payload.as_f64(), rb.payload.as_f64()) {
+            (Some(va), Some(vb)) => {
+                assert_eq!(va.len(), vb.len(), "record {i} payload length");
+                for (k, (x, y)) in va.iter().zip(vb).enumerate() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!(
+                        (x - y).abs() <= tol * scale,
+                        "record {i} sample {k}: {x} vs {y}"
+                    );
+                }
+            }
+            _ => assert_eq!(ra.payload, rb.payload, "record {i} payload"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The fused `spectrum` stage is a drop-in replacement for the
+    /// four-operator oracle chain: over whole synthesized clips, the
+    /// full pipeline's outputs agree record-for-record to ≤ 1e-9
+    /// relative error — under `run_streaming` AND under the sharded
+    /// runtime.
+    #[test]
+    fn fused_spectrum_matches_oracle_chain_end_to_end(
+        seed in 0u64..1_000,
+        species_idx in 0usize..10,
+        with_paa in any::<bool>(),
+        reslice in any::<bool>(),
+        workers in 1usize..4,
+    ) {
+        let species = SpeciesCode::ALL[species_idx];
+        let cfg = ExtractorConfig {
+            reslice,
+            ..ExtractorConfig::default()
+        };
+        let synth = ClipSynthesizer::new(SynthConfig::short_test());
+        let clips: Vec<Vec<f64>> = (0..2u64)
+            .map(|i| {
+                let c = synth.clip(species, seed.wrapping_add(i));
+                let usable = c.samples.len() - c.samples.len() % cfg.record_len;
+                c.samples[..usable].to_vec()
+            })
+            .collect();
+
+        let (fused_stream, fused_shard) =
+            run_both_modes(cfg, with_paa, SpectralPath::Fused, &clips, workers);
+        let (oracle_stream, oracle_shard) =
+            run_both_modes(cfg, with_paa, SpectralPath::Oracle, &clips, workers);
+
+        // Sharding is deterministic within a path…
+        prop_assert_eq!(&fused_stream, &fused_shard);
+        prop_assert_eq!(&oracle_stream, &oracle_shard);
+        // …and the two paths agree numerically.
+        assert_records_equivalent(&fused_stream, &oracle_stream, 1e-9);
     }
 }

@@ -121,13 +121,49 @@ impl Fft {
         buf
     }
 
+    /// Scratch samples required by [`forward_scratch`](Self::forward_scratch)
+    /// and [`inverse_scratch`](Self::inverse_scratch): zero for radix-2
+    /// plans, the convolution length `m` for Bluestein plans. Planning
+    /// owns the twiddle, chirp, and kernel tables; a caller that also
+    /// supplies this much scratch makes every transform allocation-free.
+    pub fn scratch_len(&self) -> usize {
+        match &self.plan {
+            Plan::Radix2 { .. } => 0,
+            // The inner plan is a power-of-two radix-2 FFT (it needs no
+            // scratch of its own), so `m` covers the whole chain.
+            Plan::Bluestein { m, .. } => *m,
+        }
+    }
+
     /// Computes the forward DFT in place.
+    ///
+    /// Allocates the plan's scratch on each call; hot paths should plan
+    /// a scratch buffer once and use
+    /// [`forward_scratch`](Self::forward_scratch).
     ///
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
     pub fn forward_in_place(&self, buf: &mut [Complex64]) {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.forward_scratch(buf, &mut scratch);
+    }
+
+    /// Computes the forward DFT in place using caller-provided scratch —
+    /// the allocation-free hot path. `scratch` contents are clobbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()` or
+    /// `scratch.len() < self.scratch_len()`.
+    pub fn forward_scratch(&self, buf: &mut [Complex64], scratch: &mut [Complex64]) {
         assert_eq!(buf.len(), self.n, "buffer length must match plan");
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "scratch length {} below required {}",
+            scratch.len(),
+            self.scratch_len()
+        );
         match &self.plan {
             Plan::Radix2 { twiddles } => radix2_in_place(buf, twiddles),
             Plan::Bluestein {
@@ -137,15 +173,16 @@ impl Fft {
                 kernel_fft,
             } => {
                 let n = self.n;
-                let mut a = vec![Complex64::ZERO; *m];
+                let (a, rest) = scratch.split_at_mut(*m);
                 for k in 0..n {
                     a[k] = buf[k] * chirp[k];
                 }
-                inner.forward_in_place(&mut a);
+                a[n..].fill(Complex64::ZERO);
+                inner.forward_scratch(a, rest);
                 for (ak, bk) in a.iter_mut().zip(kernel_fft.iter()) {
                     *ak *= *bk;
                 }
-                inner.inverse_in_place(&mut a);
+                inner.inverse_scratch(a, rest);
                 for k in 0..n {
                     buf[k] = a[k] * chirp[k];
                 }
@@ -167,35 +204,260 @@ impl Fft {
 
     /// Computes the (normalized) inverse DFT in place.
     ///
+    /// Allocates the plan's scratch on each call; hot paths should use
+    /// [`inverse_scratch`](Self::inverse_scratch).
+    ///
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
     pub fn inverse_in_place(&self, buf: &mut [Complex64]) {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.inverse_scratch(buf, &mut scratch);
+    }
+
+    /// Computes the (normalized) inverse DFT in place using
+    /// caller-provided scratch. `scratch` contents are clobbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()` or
+    /// `scratch.len() < self.scratch_len()`.
+    pub fn inverse_scratch(&self, buf: &mut [Complex64], scratch: &mut [Complex64]) {
         assert_eq!(buf.len(), self.n, "buffer length must match plan");
         // IDFT(x) = conj(DFT(conj(x))) / N
         for z in buf.iter_mut() {
             *z = z.conj();
         }
-        self.forward_in_place(buf);
+        self.forward_scratch(buf, scratch);
         let scale = 1.0 / self.n as f64;
         for z in buf.iter_mut() {
             *z = z.conj().scale(scale);
         }
     }
+}
 
-    /// Transforms a real-valued record, returning the full complex spectrum.
+/// A planned forward DFT of real-valued input.
+///
+/// Real input halves the work: for even lengths the `N` real samples
+/// are packed into an `N/2`-point **complex** FFT (`z_k = x_{2k} +
+/// i·x_{2k+1}`), transformed, and unpacked through the Hermitian
+/// symmetry `X_{N-k} = conj(X_k)` — so the production 840-sample record
+/// rides a 420-point (Bluestein, inner 1024) transform instead of the
+/// 840-point (inner 2048) one. Odd lengths cannot pack pairs and fall
+/// back to a full-length complex transform of the same plan family.
+///
+/// Planning owns every table (half/full plan twiddles, chirp and kernel
+/// for Bluestein lengths, and the unpack twiddles); with a caller-kept
+/// scratch buffer ([`scratch_len`](Self::scratch_len)), the steady
+/// state is allocation-free via [`forward_into`](Self::forward_into)
+/// and [`magnitudes_into`](Self::magnitudes_into).
+///
+/// # Example
+///
+/// ```
+/// use river_dsp::fft::{dft_naive, RealFft};
+/// use river_dsp::Complex64;
+///
+/// let x: Vec<f64> = (0..840).map(|i| (i as f64 * 0.17).sin()).collect();
+/// let spec = RealFft::new(840).forward(&x);
+/// let naive = dft_naive(&x.iter().map(|&v| Complex64::from_real(v)).collect::<Vec<_>>());
+/// for (a, b) in spec.iter().zip(&naive) {
+///     assert!((*a - *b).abs() < 1e-7);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    n: usize,
+    plan: RealPlan,
+}
+
+#[derive(Debug, Clone)]
+enum RealPlan {
+    /// Even length: half-size complex FFT plus Hermitian unpack.
+    Packed {
+        half: Fft,
+        /// Unpack twiddles `e^{-2πik/n}` for `k` in `0..n/2`.
+        twiddles: Vec<Complex64>,
+    },
+    /// Odd length: full-length complex transform (pairs cannot pack).
+    Direct { full: Fft },
+}
+
+impl RealFft {
+    /// Plans a real-input transform of length `n`.
     ///
-    /// This is the operation performed by the pipeline's `float2cplx` +
-    /// `dft` operator pair.
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be non-zero");
+        let plan = if n.is_multiple_of(2) {
+            let half = n / 2;
+            RealPlan::Packed {
+                half: Fft::new(half),
+                twiddles: (0..half)
+                    .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
+                    .collect(),
+            }
+        } else {
+            RealPlan::Direct { full: Fft::new(n) }
+        };
+        RealFft { n, plan }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Scratch samples required by the allocation-free entry points.
+    pub fn scratch_len(&self) -> usize {
+        match &self.plan {
+            RealPlan::Packed { half, .. } => self.n / 2 + half.scratch_len(),
+            RealPlan::Direct { full } => self.n + full.scratch_len(),
+        }
+    }
+
+    /// Transforms a real-valued record, returning the full complex
+    /// spectrum (all `N` bins; the top half via Hermitian symmetry).
+    ///
+    /// Allocates the output and scratch; hot paths should use
+    /// [`forward_into`](Self::forward_into).
     ///
     /// # Panics
     ///
     /// Panics if `input.len() != self.len()`.
-    pub fn forward_real(&self, input: &[f64]) -> Vec<Complex64> {
-        assert_eq!(input.len(), self.n, "input length must match plan");
-        let buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_real(x)).collect();
-        self.forward(&buf)
+    pub fn forward(&self, input: &[f64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.n];
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.forward_into(input, &mut out, &mut scratch);
+        out
     }
+
+    /// Transforms a real-valued record into `out` using caller-provided
+    /// scratch — allocation-free. `scratch` contents are clobbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`, `out.len() != self.len()`,
+    /// or `scratch.len() < self.scratch_len()`.
+    pub fn forward_into(&self, input: &[f64], out: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        assert_eq!(out.len(), self.n, "output length must match plan");
+        match &self.plan {
+            RealPlan::Direct { full } => {
+                for (o, &x) in out.iter_mut().zip(input) {
+                    *o = Complex64::from_real(x);
+                }
+                full.forward_scratch(out, scratch);
+            }
+            RealPlan::Packed { half, twiddles } => {
+                let m = self.n / 2;
+                assert!(
+                    scratch.len() >= self.scratch_len(),
+                    "scratch length {} below required {}",
+                    scratch.len(),
+                    self.scratch_len()
+                );
+                let (z, rest) = scratch.split_at_mut(m);
+                for (k, zk) in z.iter_mut().enumerate() {
+                    *zk = Complex64::new(input[2 * k], input[2 * k + 1]);
+                }
+                half.forward_scratch(z, rest);
+                let z0 = z[0];
+                out[0] = Complex64::from_real(z0.re + z0.im);
+                out[m] = Complex64::from_real(z0.re - z0.im);
+                for k in 1..m {
+                    let x = unpack_bin(z, twiddles, m, k);
+                    out[k] = x;
+                    out[self.n - k] = x.conj();
+                }
+            }
+        }
+    }
+
+    /// Computes the full `N`-bin magnitude spectrum of a real-valued
+    /// record — optionally windowing the input on the fly — without
+    /// materializing the complex spectrum: pack (× window), half-size
+    /// FFT, and `|X_k|` straight out of the Hermitian unpack (the
+    /// conjugate top half shares the bottom half's magnitudes). This is
+    /// the fused `welchwindow → float2cplx → dft → cabs` hot path.
+    ///
+    /// `scratch` contents are clobbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`, `out.len() != self.len()`,
+    /// `scratch.len() < self.scratch_len()`, or a provided window's
+    /// length differs from the input's.
+    pub fn magnitudes_into(
+        &self,
+        input: &[f64],
+        window: Option<&[f64]>,
+        out: &mut [f64],
+        scratch: &mut [Complex64],
+    ) {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        assert_eq!(out.len(), self.n, "output length must match plan");
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "scratch length {} below required {}",
+            scratch.len(),
+            self.scratch_len()
+        );
+        if let Some(w) = window {
+            assert_eq!(w.len(), self.n, "window length must match plan");
+        }
+        let windowed = |i: usize| match window {
+            Some(w) => input[i] * w[i],
+            None => input[i],
+        };
+        match &self.plan {
+            RealPlan::Direct { full } => {
+                let (buf, rest) = scratch.split_at_mut(self.n);
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = Complex64::from_real(windowed(i));
+                }
+                full.forward_scratch(buf, rest);
+                for (o, zc) in out.iter_mut().zip(buf.iter()) {
+                    *o = zc.abs();
+                }
+            }
+            RealPlan::Packed { half, twiddles } => {
+                let m = self.n / 2;
+                let (z, rest) = scratch.split_at_mut(m);
+                for (k, zk) in z.iter_mut().enumerate() {
+                    *zk = Complex64::new(windowed(2 * k), windowed(2 * k + 1));
+                }
+                half.forward_scratch(z, rest);
+                let z0 = z[0];
+                out[0] = (z0.re + z0.im).abs();
+                out[m] = (z0.re - z0.im).abs();
+                for k in 1..m {
+                    let mag = unpack_bin(z, twiddles, m, k).abs();
+                    out[k] = mag;
+                    out[self.n - k] = mag;
+                }
+            }
+        }
+    }
+}
+
+/// Hermitian unpack of bin `k` (for `k` in `1..m`) from the half-size
+/// transform `z` of packed real input: even/odd split of `Z_k` against
+/// `conj(Z_{m-k})` recombined through the unpack twiddle.
+#[inline]
+fn unpack_bin(z: &[Complex64], twiddles: &[Complex64], m: usize, k: usize) -> Complex64 {
+    let a = z[k];
+    let b = z[m - k].conj();
+    let e = (a + b).scale(0.5);
+    let o = (a - b) * Complex64::new(0.0, -0.5);
+    e + twiddles[k] * o
 }
 
 /// Iterative radix-2 Cooley–Tukey, decimation in time.
@@ -326,12 +588,12 @@ mod tests {
     #[test]
     fn pure_tone_lands_in_its_bin() {
         let n = 700;
-        let fft = Fft::new(n);
+        let fft = RealFft::new(n);
         let k0 = 50; // bin 50 of a 700-point transform
         let x: Vec<f64> = (0..n)
             .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
             .collect();
-        let spec = fft.forward_real(&x);
+        let spec = fft.forward(&x);
         let mags: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
         // Energy should be at bins k0 and n-k0 only.
         assert!((mags[k0] - n as f64 / 2.0).abs() < 1e-6);
@@ -406,12 +668,93 @@ mod tests {
     #[test]
     fn conjugate_symmetry_for_real_input() {
         let n = 700;
-        let fft = Fft::new(n);
+        let fft = RealFft::new(n);
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
-        let spec = fft.forward_real(&x);
+        let spec = fft.forward(&x);
         for k in 1..n {
             assert!((spec[k] - spec[n - k].conj()).abs() < 1e-8);
         }
+    }
+
+    /// `RealFft` against the full complex transform of zero-padded-
+    /// imaginary input, across packed radix-2 halves, packed Bluestein
+    /// halves, and the odd-length direct fallback.
+    #[test]
+    fn realfft_matches_complex_fft() {
+        for &n in &[1usize, 2, 4, 8, 64, 100, 175, 420, 700, 840, 3, 5, 31, 101] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin() * 0.7).collect();
+            let packed: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+            let expected = Fft::new(n).forward(&packed);
+            let got = RealFft::new(n).forward(&x);
+            assert_spectra_close(&got, &expected, 1e-8);
+        }
+    }
+
+    #[test]
+    fn realfft_forward_into_is_allocation_free_equivalent() {
+        let n = 840;
+        let plan = RealFft::new(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+        let mut out = vec![Complex64::ZERO; n];
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        // Reuse the same scratch twice: the second run must not observe
+        // the first's leftovers.
+        plan.forward_into(&x, &mut out, &mut scratch);
+        let first = out.clone();
+        plan.forward_into(&x, &mut out, &mut scratch);
+        assert_eq!(first, out);
+        assert_spectra_close(&out, &plan.forward(&x), 1e-12);
+    }
+
+    #[test]
+    fn realfft_magnitudes_match_spectrum_abs() {
+        for &n in &[8usize, 31, 100, 840] {
+            let plan = RealFft::new(n);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+            let window: Vec<f64> = (0..n).map(|i| 0.3 + (i % 7) as f64 * 0.1).collect();
+            let mut mags = vec![0.0; n];
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.magnitudes_into(&x, Some(&window), &mut mags, &mut scratch);
+            let windowed: Vec<f64> = x.iter().zip(&window).map(|(a, w)| a * w).collect();
+            let spec = plan.forward(&windowed);
+            for (k, (&m, z)) in mags.iter().zip(&spec).enumerate() {
+                assert!(
+                    (m - z.abs()).abs() < 1e-9,
+                    "n={n} bin {k}: {m} vs {}",
+                    z.abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realfft_production_length_uses_half_size_plan() {
+        // 840 packs into a 420-point transform: Bluestein inner 1024
+        // instead of the full-length 2048 — the halved-work claim.
+        let packed = RealFft::new(840);
+        assert_eq!(packed.len(), 840);
+        assert!(packed.scratch_len() < Fft::new(840).scratch_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn realfft_rejects_wrong_length() {
+        RealFft::new(8).forward(&[0.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn realfft_zero_length_plan_panics() {
+        RealFft::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch length")]
+    fn realfft_rejects_short_scratch() {
+        let plan = RealFft::new(840);
+        let x = vec![0.0; 840];
+        let mut out = vec![Complex64::ZERO; 840];
+        plan.forward_into(&x, &mut out, &mut []);
     }
 
     #[test]

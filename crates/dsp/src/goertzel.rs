@@ -73,7 +73,7 @@ pub fn band_presence(samples: &[f64], freqs: &[f64], fs: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fft::Fft;
+    use crate::fft::RealFft;
     use std::f64::consts::PI;
 
     #[test]
@@ -86,7 +86,7 @@ mod tests {
                     + 0.3 * (2.0 * PI * 100.0 * i as f64 / fs).cos()
             })
             .collect();
-        let spec = Fft::new(n).forward_real(&x);
+        let spec = RealFft::new(n).forward(&x);
         for &k in &[40usize, 100, 7] {
             let g = goertzel_magnitude(&x, k as f64 * fs / n as f64, fs);
             let f = spec[k].abs();

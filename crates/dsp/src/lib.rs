@@ -53,7 +53,7 @@ pub mod wav;
 pub mod window;
 
 pub use complex::Complex64;
-pub use fft::Fft;
+pub use fft::{Fft, RealFft};
 pub use spectrogram::{Spectrogram, SpectrogramConfig};
 pub use stats::{MovingAverage, SlidingStats, Welford};
 pub use wav::{WavError, WavReader, WavSpec, WavWriter};

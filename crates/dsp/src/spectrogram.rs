@@ -6,7 +6,8 @@
 //! computes the column data; rendering (ASCII or PGM) is provided for the
 //! figure-regeneration binaries.
 
-use crate::fft::Fft;
+use crate::complex::Complex64;
+use crate::fft::RealFft;
 use crate::window::WindowKind;
 
 /// Configuration for a spectrogram computation.
@@ -80,20 +81,24 @@ impl Spectrogram {
     pub fn compute(samples: &[f64], config: SpectrogramConfig) -> Self {
         assert!(config.frame_len > 0, "frame_len must be non-zero");
         assert!(config.hop > 0, "hop must be non-zero");
-        let fft = Fft::new(config.frame_len);
+        let fft = RealFft::new(config.frame_len);
         let coeffs = config.window.coefficients(config.frame_len);
         let bins = config.frame_len / 2;
         let mut data = Vec::new();
+        let mut mags = vec![0.0; config.frame_len];
+        let mut scratch = vec![Complex64::ZERO; fft.scratch_len()];
         let mut start = 0;
         while start + config.frame_len <= samples.len() {
-            let frame: Vec<f64> = samples[start..start + config.frame_len]
-                .iter()
-                .zip(&coeffs)
-                .map(|(&s, &w)| s * w)
-                .collect();
-            let spec = fft.forward_real(&frame);
-            let mags: Vec<f64> = spec[..bins].iter().map(|z| z.abs()).collect();
-            data.push(mags);
+            // Window, transform, and take magnitudes in one fused pass
+            // over reused scratch — one frame's output Vec is the only
+            // per-column allocation.
+            fft.magnitudes_into(
+                &samples[start..start + config.frame_len],
+                Some(&coeffs),
+                &mut mags,
+                &mut scratch,
+            );
+            data.push(mags[..bins].to_vec());
             start += config.hop;
         }
         Spectrogram { config, data }

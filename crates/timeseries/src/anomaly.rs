@@ -9,10 +9,12 @@
 //! of samples to use for constructing each concatenated matrix" (§3); the
 //! paper's acoustic experiments use window 100 and alphabet 8.
 //!
-//! The detector is single-scan and updates in O(alphabetⁿ) per sample
-//! (distance evaluation) with O(1) bitmap maintenance, satisfying the
-//! paper's requirement of "processor and memory efficient techniques"
-//! (§5).
+//! The detector is single-scan with O(1) work per sample and no
+//! per-sample allocation: bitmap maintenance touches at most four cells,
+//! and the Euclidean distance is maintained incrementally from exact
+//! integer running sums (Σa², Σb², Σa·b) rather than re-scanning all
+//! alphabetⁿ cells — satisfying the paper's requirement of "processor
+//! and memory efficient techniques" (§5).
 
 use crate::bitmap::SaxBitmap;
 use crate::gaussian::sax_breakpoints;
@@ -87,6 +89,14 @@ pub struct BitmapAnomaly {
     t: u64,
     lead: SaxBitmap,
     lag: SaxBitmap,
+    /// Exact running sums over all cells — Σ lead², Σ lag², and
+    /// Σ lead·lag of the raw counts. Counts are bounded by the window
+    /// size, so these stay exact in u64, and together they give the
+    /// Euclidean distance between the two frequency matrices in O(1):
+    /// d² = Σ(a/ta − b/tb)² = Saa/ta² − 2·Sab/(ta·tb) + Sbb/tb².
+    saa: u64,
+    sbb: u64,
+    sab: u64,
     global_stats: Welford,
     sliding_stats: Option<SlidingStats>,
 }
@@ -122,6 +132,9 @@ impl BitmapAnomaly {
             t: 0,
             lead: SaxBitmap::new(config.alphabet, config.ngram),
             lag: SaxBitmap::new(config.alphabet, config.ngram),
+            saa: 0,
+            sbb: 0,
+            sab: 0,
             global_stats: Welford::new(),
             sliding_stats,
             config,
@@ -154,13 +167,53 @@ impl BitmapAnomaly {
         self.ring[(abs % self.ring.len() as u64) as usize]
     }
 
-    /// Copies the n-gram starting at absolute position `start` into
-    /// `buf`.
+    /// Flattened bitmap cell index of the n-gram starting at absolute
+    /// position `start` — same row-major layout as
+    /// [`SaxBitmap::index_of`], computed straight off the ring buffer
+    /// with no intermediate gram slice.
     #[inline]
-    fn gram_at(&self, start: u64, buf: &mut [Symbol]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.ring_get(start + i as u64);
+    fn gram_index_at(&self, start: u64) -> usize {
+        let mut idx = 0usize;
+        for i in 0..self.config.ngram as u64 {
+            idx = idx * self.config.alphabet + self.ring_get(start + i) as usize;
         }
+        idx
+    }
+
+    /// The gram starting at `start` enters the lead window.
+    #[inline]
+    fn lead_enter(&mut self, start: u64) {
+        let idx = self.gram_index_at(start);
+        let old = self.lead.add_index(idx);
+        self.saa += 2 * old + 1;
+        self.sab += self.lag.count_at(idx);
+    }
+
+    /// The gram starting at `start` leaves the lead window.
+    #[inline]
+    fn lead_leave(&mut self, start: u64) {
+        let idx = self.gram_index_at(start);
+        let old = self.lead.remove_index(idx);
+        self.saa -= 2 * old - 1;
+        self.sab -= self.lag.count_at(idx);
+    }
+
+    /// The gram starting at `start` enters the lag window.
+    #[inline]
+    fn lag_enter(&mut self, start: u64) {
+        let idx = self.gram_index_at(start);
+        let old = self.lag.add_index(idx);
+        self.sbb += 2 * old + 1;
+        self.sab += self.lead.count_at(idx);
+    }
+
+    /// The gram starting at `start` leaves the lag window.
+    #[inline]
+    fn lag_leave(&mut self, start: u64) {
+        let idx = self.gram_index_at(start);
+        let old = self.lag.remove_index(idx);
+        self.sbb -= 2 * old - 1;
+        self.sab -= self.lead.count_at(idx);
     }
 
     /// Consumes one sample and returns the current anomaly score
@@ -187,33 +240,34 @@ impl BitmapAnomaly {
         let ring_len = self.ring.len() as u64;
         self.ring[(t % ring_len) as usize] = symbol;
 
-        let mut gram = vec![0u8; self.config.ngram];
-
         // Newest gram (ending at t) enters the lead window.
         if t + 1 >= n {
-            self.gram_at(t + 1 - n, &mut gram);
-            self.lead.add(&gram);
+            self.lead_enter(t + 1 - n);
         }
         // The gram starting at t-w slides out of the lead window.
         if t >= w {
-            self.gram_at(t - w, &mut gram);
-            self.lead.remove(&gram);
+            self.lead_leave(t - w);
             // It is now fully inside the lag window once its end crosses
             // the boundary: gram starting at t-w-n+1 enters lag.
             if t + 1 >= w + n {
-                self.gram_at(t + 1 - w - n, &mut gram);
-                self.lag.add(&gram);
+                self.lag_enter(t + 1 - w - n);
             }
         }
         // The gram starting at t-2w slides out of the lag window.
         if t >= 2 * w {
-            self.gram_at(t - 2 * w, &mut gram);
-            self.lag.remove(&gram);
+            self.lag_leave(t - 2 * w);
         }
 
         self.t += 1;
         if self.warmed_up() {
-            self.lead.distance(&self.lag)
+            // Same Euclidean distance as `SaxBitmap::distance`, from the
+            // O(1)-maintained exact sums; clamp tiny negative rounding
+            // residue when the matrices are (near-)identical.
+            let ta = self.lead.total().max(1) as f64;
+            let tb = self.lag.total().max(1) as f64;
+            let d2 = self.saa as f64 / (ta * ta) - 2.0 * self.sab as f64 / (ta * tb)
+                + self.sbb as f64 / (tb * tb);
+            d2.max(0.0).sqrt()
         } else {
             0.0
         }
@@ -225,6 +279,9 @@ impl BitmapAnomaly {
         self.t = 0;
         self.lead.clear();
         self.lag.clear();
+        self.saa = 0;
+        self.sbb = 0;
+        self.sab = 0;
         self.global_stats.reset();
         if let Some(s) = &mut self.sliding_stats {
             s.clear();
@@ -317,6 +374,33 @@ mod tests {
             }
         }
         assert!(tail < during / 2.0, "tail {tail} vs during {during}");
+    }
+
+    #[test]
+    fn incremental_distance_matches_full_recompute() {
+        // The O(1) running-sum score must agree with a from-scratch
+        // Euclidean distance over the full matrices at every step,
+        // through warm-up, events, and recovery.
+        let cfg = small_cfg();
+        let mut det = BitmapAnomaly::new(cfg);
+        for i in 0..3_000usize {
+            let x = noise(i)
+                + if i % 700 < 80 {
+                    (i as f64 * 0.4).sin() * 2.0
+                } else {
+                    0.0
+                };
+            let s = det.push(x);
+            if det.warmed_up() {
+                let full = det.lead.distance(&det.lag);
+                assert!(
+                    (s - full).abs() <= 1e-12 * full.max(1.0),
+                    "sample {i}: incremental {s} vs full {full}"
+                );
+            } else {
+                assert_eq!(s, 0.0);
+            }
+        }
     }
 
     #[test]

@@ -102,8 +102,7 @@ impl SaxBitmap {
     #[inline]
     pub fn add(&mut self, gram: &[Symbol]) {
         let idx = self.index_of(gram);
-        self.counts[idx] += 1;
-        self.total += 1;
+        self.add_index(idx);
     }
 
     /// Decrements the count for one n-gram (streaming window eviction).
@@ -115,9 +114,49 @@ impl SaxBitmap {
     #[inline]
     pub fn remove(&mut self, gram: &[Symbol]) {
         let idx = self.index_of(gram);
-        assert!(self.counts[idx] > 0, "removing n-gram with zero count");
-        self.counts[idx] -= 1;
+        self.remove_index(idx);
+    }
+
+    /// Increments the count at a flattened cell index (see
+    /// [`index_of`](Self::index_of)), returning the count *before* the
+    /// increment. The streaming detector uses this to maintain running
+    /// distance sums without materializing n-gram slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.cells()`.
+    #[inline]
+    pub fn add_index(&mut self, idx: usize) -> u64 {
+        let old = self.counts[idx];
+        self.counts[idx] = old + 1;
+        self.total += 1;
+        old
+    }
+
+    /// Decrements the count at a flattened cell index, returning the
+    /// count *before* the decrement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.cells()` or the cell's count is already
+    /// zero.
+    #[inline]
+    pub fn remove_index(&mut self, idx: usize) -> u64 {
+        let old = self.counts[idx];
+        assert!(old > 0, "removing n-gram with zero count");
+        self.counts[idx] = old - 1;
         self.total -= 1;
+        old
+    }
+
+    /// Raw count at a flattened cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.cells()`.
+    #[inline]
+    pub fn count_at(&self, idx: usize) -> u64 {
+        self.counts[idx]
     }
 
     /// Counts every n-gram of a symbol sequence (batch construction).
