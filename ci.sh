@@ -4,6 +4,7 @@
 #   ./ci.sh              # everything (tier-1 + clippy + fmt + docs +
 #                        #   bench compile + examples + perf json + gate)
 #   ./ci.sh quick        # tier-1 only (build --release && test -q)
+#   ./ci.sh lint-chains  # river-lint over every shipped pipeline chain
 #   ./ci.sh bench-check  # compare BENCH_fig5.json vs BENCH_baseline.json
 #   ./ci.sh stage-bench  # append per-stage spectral ns/record lines to
 #                        #   BENCH_fig5.json (requires a release build)
@@ -96,6 +97,18 @@ stage_bench() {
         --stage-json | tee -a BENCH_fig5.json
 }
 
+# --- static chain verification ---------------------------------------
+# Runs river-lint over every shipped pipeline chain (Figure 5 in both
+# spectral paths plus the standalone segments, the chains every example
+# composes) and fails on any error-severity diagnostic (DESIGN.md §15).
+lint_chains() {
+    cargo run --release --quiet -p ensemble-bench --bin river-lint
+}
+
+if [ "${1:-}" = "lint-chains" ]; then
+    lint_chains
+    exit 0
+fi
 if [ "${1:-}" = "bench-check" ]; then
     bench_check
     exit 0
@@ -176,6 +189,15 @@ if [ "${1:-}" != "quick" ]; then
     # single-lane throughput comes from (dft vs fused spectrum).
     phase "BENCH_fig5.json (per-stage spectral ns/record)"
     stage_bench
+
+    # Static chain verification: every shipped chain must lint clean
+    # (zero error-severity diagnostics, DESIGN.md §15); the
+    # machine-readable line joins the perf artifact so the chain count
+    # is tracked commit-over-commit.
+    phase "lint-chains (river-lint over every shipped chain)"
+    lint_chains
+    cargo run --release --quiet -p ensemble-bench --bin river-lint -- \
+        --json | tee -a BENCH_fig5.json
 
     phase "wire-check (v2 frames at most half the v1 bytes)"
     wire_check

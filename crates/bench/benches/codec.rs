@@ -24,7 +24,7 @@ fn bench_encode(c: &mut Criterion) {
         let rec = audio_record(n);
         group.throughput(Throughput::Bytes((n * 8) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &rec, |b, rec| {
-            b.iter(|| black_box(encode_frame(rec)))
+            b.iter(|| black_box(encode_frame(rec)));
         });
     }
     group.finish();
@@ -36,7 +36,7 @@ fn bench_decode(c: &mut Criterion) {
         let frame = encode_frame(&audio_record(n));
         group.throughput(Throughput::Bytes(frame.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &frame, |b, frame| {
-            b.iter(|| black_box(decode_frame(frame).unwrap().unwrap().0.seq))
+            b.iter(|| black_box(decode_frame(frame).unwrap().unwrap().0.seq));
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn bench_round_trip(c: &mut Criterion) {
         b.iter(|| {
             let frame = encode_frame(&rec);
             black_box(decode_frame(&frame).unwrap().unwrap().0.subtype)
-        })
+        });
     });
     group.finish();
 }

@@ -21,7 +21,7 @@ fn bench_sizes(c: &mut Criterion) {
         let plan = Fft::new(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(plan.forward(&x)))
+            b.iter(|| black_box(plan.forward(&x)));
         });
     }
     group.finish();

@@ -40,7 +40,7 @@ fn bench_train(c: &mut Criterion) {
                         m.train(f, *l);
                     }
                     black_box(m.sphere_count())
-                })
+                });
             },
         );
     }
@@ -67,7 +67,7 @@ fn bench_query(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
         let index = m.build_index();
         group.bench_with_input(BenchmarkId::new("ball_tree", dim), &dim, |b, _| {
@@ -79,7 +79,7 @@ fn bench_query(c: &mut Criterion) {
                     }
                 }
                 black_box(hits)
-            })
+            });
         });
     }
     group.finish();
@@ -101,7 +101,7 @@ fn bench_loo_removal_vs_retrain(c: &mut Criterion) {
             meso: paper_meso_config(),
         };
         group.bench_function(name, |b| {
-            b.iter(|| black_box(leave_one_out(&ds, &cv).mean_accuracy()))
+            b.iter(|| black_box(leave_one_out(&ds, &cv).mean_accuracy()));
         });
     }
     group.finish();

@@ -11,7 +11,7 @@ fn bench_factor_sweep(c: &mut Criterion) {
     group.throughput(Throughput::Elements(record.len() as u64));
     for factor in [2usize, 5, 10, 20] {
         group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
-            b.iter(|| black_box(paa_by_factor(&record, f)))
+            b.iter(|| black_box(paa_by_factor(&record, f)));
         });
     }
     group.finish();
@@ -23,7 +23,7 @@ fn bench_fractional_vs_exact(c: &mut Criterion) {
     group.bench_function("exact_division", |b| b.iter(|| black_box(paa(&exact, 10))));
     let fractional: Vec<f64> = (0..1_003).map(|i| i as f64).collect();
     group.bench_function("fractional_division", |b| {
-        b.iter(|| black_box(paa(&fractional, 10)))
+        b.iter(|| black_box(paa(&fractional, 10)));
     });
     group.finish();
 }

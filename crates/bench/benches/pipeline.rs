@@ -17,7 +17,7 @@ fn bench_direct_extraction(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(clip.samples.len() as u64));
     group.bench_function("direct_30s_clip", |b| {
-        b.iter(|| black_box(extractor.extract(&clip.samples).len()))
+        b.iter(|| black_box(extractor.extract(&clip.samples).len()));
     });
     group.finish();
 }
@@ -41,13 +41,13 @@ fn bench_record_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let mut p = extraction_segment(cfg);
             black_box(p.run(records.clone()).unwrap().len())
-        })
+        });
     });
     group.bench_function("full_figure5", |b| {
         b.iter(|| {
             let mut p = full_pipeline(cfg, true);
             black_box(p.run_batch(records.clone()).unwrap().len())
-        })
+        });
     });
     // The fused streaming executor over a lazy source: no record
     // vector, no inter-stage materialization.
@@ -67,7 +67,7 @@ fn bench_record_pipeline(c: &mut Criterion) {
                 )
                 .unwrap();
             black_box(stats.sink_records)
-        })
+        });
     });
     group.finish();
 }
@@ -81,10 +81,10 @@ fn bench_featurization(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Elements(samples.len() as u64));
     group.bench_function("raw_1050", |b| {
-        b.iter(|| black_box(featurize_ensemble(&samples, &cfg, false).len()))
+        b.iter(|| black_box(featurize_ensemble(&samples, &cfg, false).len()));
     });
     group.bench_function("paa_105", |b| {
-        b.iter(|| black_box(featurize_ensemble(&samples, &cfg, true).len()))
+        b.iter(|| black_box(featurize_ensemble(&samples, &cfg, true).len()));
     });
     group.finish();
 }
@@ -98,7 +98,7 @@ fn bench_synthesis(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(synth.clip(SpeciesCode::Hofi, seed).samples.len())
-        })
+        });
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn bench_window(c: &mut Criterion) {
                     acc += det.push(x);
                 }
                 black_box(acc)
-            })
+            });
         });
     }
     group.finish();
@@ -52,7 +52,7 @@ fn bench_alphabet(c: &mut Criterion) {
                     acc += det.push(x);
                 }
                 black_box(acc)
-            })
+            });
         });
     }
     group.finish();
@@ -75,7 +75,7 @@ fn bench_ngram(c: &mut Criterion) {
                     acc += det.push(x);
                 }
                 black_box(acc)
-            })
+            });
         });
     }
     group.finish();
@@ -101,7 +101,7 @@ fn bench_normalization(c: &mut Criterion) {
                     acc += det.push(x);
                 }
                 black_box(acc)
-            })
+            });
         });
     }
     group.finish();

@@ -89,7 +89,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                     records_per_session * sessions as u64
                 );
                 black_box(report.sessions.len())
-            })
+            });
         });
     }
     group.finish();

@@ -54,7 +54,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
             let mut sink = CountingSink::default();
             p.run_streaming(archive(), &mut sink).unwrap();
             black_box(sink.records)
-        })
+        });
     });
     for workers in [1usize, 2, 4] {
         group.bench_function(BenchmarkId::new("sharded", workers), |b| {
@@ -64,7 +64,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                     .run(archive(), &mut sink)
                     .unwrap();
                 black_box(sink.records)
-            })
+            });
         });
     }
     group.finish();

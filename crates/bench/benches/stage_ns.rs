@@ -61,23 +61,23 @@ fn bench_operators(c: &mut Criterion) {
 
     group.bench_function("welchwindow", |b| {
         let mut op = WelchWindow::new();
-        b.iter(|| run_op(&mut op, &audio))
+        b.iter(|| run_op(&mut op, &audio));
     });
     group.bench_function("float2cplx", |b| {
         let mut op = Float2Cplx::new();
-        b.iter(|| run_op(&mut op, &audio))
+        b.iter(|| run_op(&mut op, &audio));
     });
     group.bench_function("dft", |b| {
         let mut op = Dft::new();
-        b.iter(|| run_op(&mut op, &complex))
+        b.iter(|| run_op(&mut op, &complex));
     });
     group.bench_function("cabs", |b| {
         let mut op = Cabs::new();
-        b.iter(|| run_op(&mut op, &complex))
+        b.iter(|| run_op(&mut op, &complex));
     });
     group.bench_function("spectrum_fused", |b| {
         let mut op = Spectrum::new();
-        b.iter(|| run_op(&mut op, &audio))
+        b.iter(|| run_op(&mut op, &audio));
     });
     group.finish();
 }
@@ -99,7 +99,7 @@ fn bench_fft_paths(c: &mut Criterion) {
             buf.copy_from_slice(&packed);
             fft.forward_scratch(&mut buf, &mut scratch);
             black_box(buf[1]);
-        })
+        });
     });
     // The new hot path: 840 real samples packed into a 420-point half.
     group.bench_function("real_840", |b| {
@@ -109,7 +109,7 @@ fn bench_fft_paths(c: &mut Criterion) {
         b.iter(|| {
             fft.forward_into(&x, &mut out, &mut scratch);
             black_box(out[1]);
-        })
+        });
     });
     // The fused production kernel: window × real FFT → magnitudes.
     group.bench_function("real_840_magnitudes", |b| {
@@ -120,7 +120,7 @@ fn bench_fft_paths(c: &mut Criterion) {
         b.iter(|| {
             fft.magnitudes_into(&x, Some(&window), &mut mags, &mut scratch);
             black_box(mags[1]);
-        })
+        });
     });
     group.finish();
 }

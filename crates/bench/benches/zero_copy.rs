@@ -78,10 +78,10 @@ fn bench_fanout(c: &mut Criterion) {
     let mut group = c.benchmark_group("zero_copy/fanout_x4");
     group.throughput(Throughput::Bytes(total_bytes));
     group.bench_function("owned_vec", |b| {
-        b.iter(|| black_box(run(deep_clone, &records)))
+        b.iter(|| black_box(run(deep_clone, &records)));
     });
     group.bench_function("shared_view", |b| {
-        b.iter(|| black_box(run(Record::clone, &records)))
+        b.iter(|| black_box(run(Record::clone, &records)));
     });
     group.finish();
 }
@@ -102,7 +102,7 @@ fn bench_rewindow(c: &mut Criterion) {
                 total += black_box(&copied).len();
             }
             total
-        })
+        });
     });
     group.bench_function("shared_view", |b| {
         b.iter(|| {
@@ -113,7 +113,7 @@ fn bench_rewindow(c: &mut Criterion) {
                 total += black_box(&view).len();
             }
             total
-        })
+        });
     });
     group.finish();
 }

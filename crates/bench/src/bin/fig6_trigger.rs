@@ -43,8 +43,7 @@ fn main() {
     for (i, e) in trace.ensembles.iter().enumerate() {
         let label = clip
             .label_for_range(e.start, e.end)
-            .map(|s| s.code())
-            .unwrap_or("(no bird)");
+            .map_or("(no bird)", ensemble_core::SpeciesCode::code);
         println!(
             "ensemble {}: {:.2}s..{:.2}s ({} samples) -> {label}",
             i + 1,

@@ -451,7 +451,7 @@ impl StreamingExtractor {
                     self.open = Some(OpenEnsemble {
                         start: self.pos,
                         samples: vec![x],
-                    })
+                    });
                 }
             }
             None

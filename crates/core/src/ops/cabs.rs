@@ -17,7 +17,7 @@ impl Cabs {
 }
 
 impl Operator for Cabs {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "cabs"
     }
 
@@ -34,6 +34,14 @@ impl Operator for Cabs {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::SPECTRUM, PayloadKind::Complex),
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+        ))
     }
 }
 

@@ -51,7 +51,7 @@ impl Cutout {
 }
 
 impl Operator for Cutout {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "cutout"
     }
 
@@ -80,6 +80,14 @@ impl Operator for Cutout {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+        ))
     }
 }
 

@@ -237,7 +237,7 @@ impl Cutter {
 }
 
 impl Operator for Cutter {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "cutter"
     }
 
@@ -297,6 +297,27 @@ impl Operator for Cutter {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    /// Consumes audio + trigger pairs, drops any other data record
+    /// inside the clip, and re-emits triggered audio inside ensemble
+    /// scopes it opens and closes itself (balanced by the EOS flush).
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, ScopeEffect, Signature, UnmatchedPolicy};
+        Some(Signature {
+            consumes: vec![
+                RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+                RecordClass::of(subtype::TRIGGER, PayloadKind::F64),
+            ],
+            passes_matched: false,
+            produces: vec![RecordClass::of(subtype::AUDIO, PayloadKind::F64)],
+            unmatched: UnmatchedPolicy::Drop,
+            strict_payload: true,
+            scope: ScopeEffect::OpensBalanced {
+                scope_type: scope_type::ENSEMBLE,
+            },
+            flushes_at_eos: true,
+        })
     }
 }
 

@@ -25,7 +25,7 @@ impl Dft {
 }
 
 impl Operator for Dft {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "dft"
     }
 
@@ -75,6 +75,16 @@ impl Operator for Dft {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    /// Class-level identity; the odd-length runtime error is a
+    /// length property the class model cannot see.
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::SPECTRUM, PayloadKind::Complex),
+            RecordClass::of(subtype::SPECTRUM, PayloadKind::Complex),
+        ))
     }
 }
 

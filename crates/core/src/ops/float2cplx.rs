@@ -18,7 +18,7 @@ impl Float2Cplx {
 }
 
 impl Operator for Float2Cplx {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "float2cplx"
     }
 
@@ -39,6 +39,14 @@ impl Operator for Float2Cplx {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+            RecordClass::of(subtype::SPECTRUM, PayloadKind::Complex),
+        ))
     }
 }
 

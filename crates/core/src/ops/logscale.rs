@@ -32,7 +32,7 @@ impl LogScale {
 }
 
 impl Operator for LogScale {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "logscale"
     }
 
@@ -51,6 +51,14 @@ impl Operator for LogScale {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+        ))
     }
 }
 

@@ -25,7 +25,7 @@ impl PaaOp {
 }
 
 impl Operator for PaaOp {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "paa"
     }
 
@@ -40,6 +40,14 @@ impl Operator for PaaOp {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+        ))
     }
 }
 

@@ -34,7 +34,7 @@ impl<W: Write + Send> Readout<W> {
 }
 
 impl<W: Write + Send> Operator for Readout<W> {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "readout"
     }
 
@@ -47,6 +47,14 @@ impl<W: Write + Send> Operator for Readout<W> {
     fn on_eos(&mut self, _out: &mut dyn Sink) -> Result<(), PipelineError> {
         write_eos(&mut self.writer)?;
         Ok(())
+    }
+
+    /// Archival tap: pure passthrough for the stream. Note the missing
+    /// `clone_op` — the writer is an exclusive resource, so chains
+    /// containing a readout are shard-unsafe (which the analyzer
+    /// reports).
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        Some(dynamic_river::Signature::passthrough())
     }
 }
 

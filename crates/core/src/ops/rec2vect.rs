@@ -49,7 +49,7 @@ impl Rec2Vect {
 }
 
 impl Operator for Rec2Vect {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "rec2vect"
     }
 
@@ -101,6 +101,16 @@ impl Operator for Rec2Vect {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    /// In-ensemble power spectra are absorbed into the pattern
+    /// vector emitted at the ensemble close; other records pass.
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+            RecordClass::of(subtype::PATTERN, PayloadKind::F64),
+        ))
     }
 }
 

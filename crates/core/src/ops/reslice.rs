@@ -33,7 +33,7 @@ impl Reslice {
 }
 
 impl Operator for Reslice {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "reslice"
     }
 
@@ -71,14 +71,13 @@ impl Operator for Reslice {
                     // the overlap window is itself just a view — no
                     // samples are copied. Records from unrelated
                     // allocations fall back to one copy.
-                    let overlap = match prev.merged_with(cur) {
-                        Some(joined) => joined.slice(n - half..2 * n - half),
-                        None => {
-                            let mut v = Vec::with_capacity(n);
-                            v.extend_from_slice(&prev[n - half..]);
-                            v.extend_from_slice(&cur[..n - half]);
-                            v.into()
-                        }
+                    let overlap = if let Some(joined) = prev.merged_with(cur) {
+                        joined.slice(n - half..2 * n - half)
+                    } else {
+                        let mut v = Vec::with_capacity(n);
+                        v.extend_from_slice(&prev[n - half..]);
+                        v.extend_from_slice(&cur[..n - half]);
+                        v.into()
                     };
                     let overlap_rec = Record::data(subtype::AUDIO, Payload::F64(overlap))
                         .with_seq(prev_rec.seq)
@@ -105,6 +104,17 @@ impl Operator for Reslice {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(
+            Signature::map(
+                RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+                RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+            )
+            .with_eos_flush(),
+        )
     }
 }
 

@@ -42,7 +42,7 @@ impl SaxAnomaly {
 }
 
 impl Operator for SaxAnomaly {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "saxanomaly"
     }
 
@@ -75,6 +75,21 @@ impl Operator for SaxAnomaly {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    /// Taps the audio stream: audio records continue downstream and a
+    /// score record is emitted per audio record. Audio with a
+    /// non-F64 payload is a runtime error (strict).
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(
+            Signature::map(
+                RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+                RecordClass::of(subtype::SCORE, PayloadKind::F64),
+            )
+            .with_passthrough_of_matched()
+            .with_strict_payload(),
+        )
     }
 }
 

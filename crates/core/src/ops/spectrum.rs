@@ -51,7 +51,7 @@ impl Spectrum {
 }
 
 impl Operator for Spectrum {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "spectrum"
     }
 
@@ -88,6 +88,17 @@ impl Operator for Spectrum {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    /// Identical to the oracle chain's end-to-end signature:
+    /// `welchwindow -> float2cplx -> dft -> cabs` composes to the
+    /// same AUDIO/f64 -> POWER/f64 transfer function.
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+            RecordClass::of(subtype::POWER, PayloadKind::F64),
+        ))
     }
 }
 
@@ -128,7 +139,7 @@ mod tests {
         assert_eq!(fused[0].subtype, oracle[0].subtype);
         let a = fused[0].payload.as_f64().unwrap();
         let b = oracle[0].payload.as_f64().unwrap();
-        let scale = b.iter().cloned().fold(1.0_f64, f64::max);
+        let scale = b.iter().copied().fold(1.0_f64, f64::max);
         for (k, (x, y)) in a.iter().zip(b).enumerate() {
             assert!((x - y).abs() <= 1e-9 * scale, "bin {k}: {x} vs {y}");
         }

@@ -38,7 +38,7 @@ impl TriggerOp {
 }
 
 impl Operator for TriggerOp {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "trigger"
     }
 
@@ -71,6 +71,17 @@ impl Operator for TriggerOp {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(
+            Signature::map(
+                RecordClass::of(subtype::SCORE, PayloadKind::F64),
+                RecordClass::of(subtype::TRIGGER, PayloadKind::F64),
+            )
+            .with_strict_payload(),
+        )
     }
 }
 

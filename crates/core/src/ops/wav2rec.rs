@@ -41,7 +41,7 @@ pub fn clip_to_records(
     extra_context: &[(String, String)],
 ) -> Vec<Record> {
     clip_buf_to_records(
-        SampleBuf::from(samples),
+        &SampleBuf::from(samples),
         sample_rate,
         record_len,
         extra_context,
@@ -56,7 +56,7 @@ pub fn clip_to_records(
 ///
 /// Panics if `record_len == 0`.
 pub fn clip_buf_to_records(
-    samples: SampleBuf,
+    samples: &SampleBuf,
     sample_rate: f64,
     record_len: usize,
     extra_context: &[(String, String)],
@@ -190,7 +190,7 @@ impl Wav2Rec {
 }
 
 impl Operator for Wav2Rec {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "wav2rec"
     }
 
@@ -203,7 +203,7 @@ impl Operator for Wav2Rec {
         // One conversion into the shared clip buffer; the emitted
         // records are views into it, not per-record copies.
         let mono = SampleBuf::from(wav.to_mono());
-        for r in clip_buf_to_records(mono, wav.spec.sample_rate as f64, self.record_len, &[]) {
+        for r in clip_buf_to_records(&mono, wav.spec.sample_rate as f64, self.record_len, &[]) {
             out.push(r)?;
         }
         Ok(())
@@ -211,6 +211,25 @@ impl Operator for Wav2Rec {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    /// Any bytes payload is decoded as a WAV clip and replaced by
+    /// audio records wrapped in a clip scope (opened and closed by
+    /// this operator, so the chain stays balanced).
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, ScopeEffect, Signature};
+        Some(
+            Signature::map(
+                RecordClass {
+                    subtype: None,
+                    payload: Some(PayloadKind::Bytes),
+                },
+                RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+            )
+            .with_scope(ScopeEffect::OpensBalanced {
+                scope_type: scope_type::CLIP,
+            }),
+        )
     }
 }
 
@@ -224,7 +243,7 @@ mod tests {
 
     #[test]
     fn clip_to_records_shapes() {
-        let records = clip_to_records(&[0.5; 2_100], 20_160.0, 840, &[]);
+        let records = clip_to_records(&vec![0.5; 2_100], 20_160.0, 840, &[]);
         assert_eq!(records.len(), 4); // open + 2 records (1680) + close
         assert_eq!(records[0].kind, RecordKind::OpenScope);
         assert_eq!(
@@ -243,7 +262,7 @@ mod tests {
         // Zero-copy chunking: every audio record shares the single clip
         // allocation; nothing was copied per record.
         let clip = SampleBuf::from(vec![0.25; 840 * 3]);
-        let records = clip_buf_to_records(clip.clone(), 20_160.0, 840, &[]);
+        let records = clip_buf_to_records(&clip, 20_160.0, 840, &[]);
         let bufs: Vec<&SampleBuf> = records
             .iter()
             .filter_map(|r| r.payload.as_f64_buf())

@@ -24,7 +24,7 @@ impl WelchWindow {
 }
 
 impl Operator for WelchWindow {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "welchwindow"
     }
 
@@ -48,6 +48,14 @@ impl Operator for WelchWindow {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<dynamic_river::Signature> {
+        use dynamic_river::{PayloadKind, RecordClass, Signature};
+        Some(Signature::map(
+            RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+            RecordClass::of(subtype::AUDIO, PayloadKind::F64),
+        ))
     }
 }
 

@@ -184,7 +184,7 @@ pub fn featurize_ensemble(
 
     // Re-chunk exactly like `cutter`: full records; final partial padded
     // when at least half full.
-    let mut records: Vec<Vec<f64>> = samples.chunks(n).map(|c| c.to_vec()).collect();
+    let mut records: Vec<Vec<f64>> = samples.chunks(n).map(<[f64]>::to_vec).collect();
     if let Some(last) = records.last_mut() {
         if last.len() < n {
             if last.len() >= n / 2 {
@@ -210,7 +210,7 @@ pub fn featurize_ensemble(
             mags
         };
         if config.log_scale {
-            for x in reduced.iter_mut() {
+            for x in &mut reduced {
                 *x = crate::ops::logscale::log_scale_value(*x);
             }
         }
@@ -219,7 +219,7 @@ pub fn featurize_ensemble(
 
     spectra
         .chunks_exact(config.pattern_records)
-        .map(|group| group.concat())
+        .map(<[std::vec::Vec<f64>]>::concat)
         .collect()
 }
 
@@ -272,13 +272,13 @@ mod tests {
             let mut expected: Vec<String> = extraction_segment(cfg)
                 .names()
                 .iter()
-                .map(|s| s.to_string())
+                .map(std::string::ToString::to_string)
                 .collect();
             expected.extend(
                 featurization_segment(cfg, with_paa)
                     .names()
                     .iter()
-                    .map(|s| s.to_string()),
+                    .map(std::string::ToString::to_string),
             );
             assert_eq!(full_pipeline(cfg, with_paa).names(), expected);
         }

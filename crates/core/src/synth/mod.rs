@@ -209,7 +209,8 @@ impl ClipSynthesizer {
             // Try to place without overlapping existing bouts (a small
             // guard band keeps distinct ensembles distinct).
             let guard = (0.5 * fs) as usize;
-            let mut placed = false;
+            // 40 placement attempts; if all clash the clip is too
+            // crowded and the bout is skipped.
             for _ in 0..40 {
                 let start = rng.random_range(0..n - song.len());
                 let end = start + song.len();
@@ -224,13 +225,8 @@ impl ClipSynthesizer {
                         start,
                         end,
                     });
-                    placed = true;
                     break;
                 }
-            }
-            if !placed {
-                // Clip too crowded; skip this bout.
-                continue;
             }
         }
         events.sort_by_key(|e| e.start);
@@ -239,7 +235,7 @@ impl ClipSynthesizer {
         // needed.
         let peak = river_dsp::signal::peak(&samples);
         if peak > 1.0 {
-            for s in samples.iter_mut() {
+            for s in &mut samples {
                 *s /= peak;
             }
         }

@@ -75,7 +75,7 @@ pub fn harmonic_tone(f0: f64, partials: &[(f64, f64)], dur: f64, fs: f64) -> Vec
             *o += amp * (2.0 * PI * f0 * mult * i as f64 / fs).sin();
         }
     }
-    for o in out.iter_mut() {
+    for o in &mut out {
         *o /= total_amp;
     }
     shaped(out)
@@ -228,10 +228,10 @@ mod tests {
         // RMS in consecutive 5 ms slices should vary strongly (AM).
         let slice = (0.005 * FS) as usize;
         let rms_values: Vec<f64> = b.chunks(slice).map(rms).collect();
-        let max = rms_values.iter().cloned().fold(0.0, f64::max);
+        let max = rms_values.iter().copied().fold(0.0, f64::max);
         let min = rms_values[2..rms_values.len() - 2]
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::MAX, f64::min);
         assert!(max > 1.8 * min, "max {max} min {min}");
     }

@@ -1,0 +1,87 @@
+//! Steady-state allocation guard for the spectral hot path.
+//!
+//! The fused `spectrum` operator and the SAX anomaly detector carry the
+//! per-record cost of the Figure 5 pipeline, and both were built to run
+//! allocation-free once warm: `RealFft::magnitudes_into` writes into
+//! caller-provided output and scratch buffers, and `BitmapAnomaly::push`
+//! updates ring buffers and running sums in place (DESIGN.md §14). This
+//! test pins that property with a counting `#[global_allocator]`: after
+//! a warm-up pass, a sustained run of both kernels must perform **zero**
+//! heap allocations.
+//!
+//! The counter wraps the system allocator, so the whole test binary
+//! shares it; the assertion brackets only the measured section, and the
+//! file holds a single `#[test]` so no concurrent test can allocate in
+//! the measured window.
+
+use river_dsp::complex::Complex64;
+use river_dsp::fft::RealFft;
+use river_dsp::window::WindowKind;
+use river_sax::{AnomalyConfig, BitmapAnomaly};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting allocation calls.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no other effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_spectral_kernels_do_not_allocate() {
+    // Figure 5 geometry: 840-sample records at 20 160 Hz.
+    let n = 840;
+    let plan = RealFft::new(n);
+    let window = WindowKind::Welch.coefficients(n);
+    let samples: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut mags = vec![0.0; n];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    let mut detector = BitmapAnomaly::new(AnomalyConfig::default());
+
+    // Warm-up: let the detector fill its ring/windows and both kernels
+    // touch every buffer they will ever need.
+    let mut acc = 0.0;
+    for round in 0..4 {
+        plan.magnitudes_into(&samples, Some(&window), &mut mags, &mut scratch);
+        for &m in &mags {
+            acc += detector.push(m + f64::from(round));
+        }
+    }
+
+    // Steady state: many records' worth of work, zero allocations.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for round in 0..32 {
+        plan.magnitudes_into(&samples, Some(&window), &mut mags, &mut scratch);
+        for &m in &mags {
+            acc += detector.push(m * (1.0 + f64::from(round) * 1e-3));
+        }
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert!(acc.is_finite(), "kernels produced non-finite output");
+    assert_eq!(
+        after - before,
+        0,
+        "spectral hot path allocated in steady state"
+    );
+}

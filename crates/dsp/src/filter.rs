@@ -72,7 +72,7 @@ impl Biquad {
     pub fn high_pass(fc: f64, fs: f64, q: f64) -> Self {
         let (_sin, cos, alpha) = rbj_prelude(fc, fs, q);
         let b1 = -(1.0 + cos);
-        let b0 = (1.0 + cos) / 2.0;
+        let b0 = f64::midpoint(1.0, cos);
         Self::from_rbj(b0, b1, b0, 1.0 + alpha, -2.0 * cos, 1.0 - alpha)
     }
 

@@ -101,8 +101,8 @@ mod tests {
             .map(|i| (i as f64 * 0.1).sin() * 3.0 + 1.0)
             .collect();
         let norm = normalize_oscillogram(&samples);
-        let max = norm.iter().cloned().fold(f64::MIN, f64::max);
-        let min = norm.iter().cloned().fold(f64::MAX, f64::min);
+        let max = norm.iter().copied().fold(f64::MIN, f64::max);
+        let min = norm.iter().copied().fold(f64::MAX, f64::min);
         assert!(max <= 1.0 + 1e-12);
         assert!(min >= -1.0 - 1e-12);
         // Mean removed.

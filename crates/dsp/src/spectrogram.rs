@@ -164,7 +164,7 @@ impl Spectrogram {
         self.data
             .iter()
             .flat_map(|c| c.iter())
-            .cloned()
+            .copied()
             .fold(0.0, f64::max)
     }
 
@@ -190,14 +190,14 @@ pub fn render_ascii(columns: &[Vec<f64>], rows: usize) -> String {
     let max = columns
         .iter()
         .flat_map(|c| c.iter())
-        .cloned()
+        .copied()
         .fold(f64::MIN_POSITIVE, f64::max);
     let mut out = String::with_capacity((columns.len() + 1) * rows);
     for row in (0..rows).rev() {
         let lo = row * bins / rows;
         let hi = (((row + 1) * bins) / rows).max(lo + 1).min(bins);
         for col in columns {
-            let band_max = col[lo..hi].iter().cloned().fold(0.0, f64::max);
+            let band_max = col[lo..hi].iter().copied().fold(0.0, f64::max);
             // Log compression over ~4 decades.
             let norm = if band_max <= 0.0 {
                 0.0
@@ -216,7 +216,7 @@ pub fn render_ascii(columns: &[Vec<f64>], rows: usize) -> String {
 /// frequencies at the bottom; suitable for viewing the paper's figures.
 pub fn render_pgm(columns: &[Vec<f64>]) -> Vec<u8> {
     let width = columns.len();
-    let height = columns.first().map_or(0, |c| c.len());
+    let height = columns.first().map_or(0, Vec::len);
     let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
     if width == 0 || height == 0 {
         return out;
@@ -224,7 +224,7 @@ pub fn render_pgm(columns: &[Vec<f64>]) -> Vec<u8> {
     let max = columns
         .iter()
         .flat_map(|c| c.iter())
-        .cloned()
+        .copied()
         .fold(f64::MIN_POSITIVE, f64::max);
     for row in (0..height).rev() {
         for col in columns {
@@ -345,7 +345,7 @@ mod tests {
             sample_rate: 8.0,
         };
         let spec = Spectrogram::compute(&[1.0; 32], cfg);
-        let halved = spec.map_columns(|c| c.iter().step_by(2).cloned().collect());
+        let halved = spec.map_columns(|c| c.iter().step_by(2).copied().collect());
         assert_eq!(halved.len(), spec.columns());
         assert_eq!(halved[0].len(), spec.bins() / 2);
     }

@@ -131,10 +131,10 @@ impl Meso {
         assert!(dim > 0, "pattern dimension must be non-zero");
         match config.delta_policy {
             DeltaPolicy::Fixed(d) => {
-                assert!(d.is_finite() && d >= 0.0, "fixed delta must be >= 0")
+                assert!(d.is_finite() && d >= 0.0, "fixed delta must be >= 0");
             }
             DeltaPolicy::RunningMean { factor } | DeltaPolicy::FirstDistance { factor } => {
-                assert!(factor.is_finite() && factor > 0.0, "factor must be > 0")
+                assert!(factor.is_finite() && factor > 0.0, "factor must be > 0");
             }
         }
         Meso {
@@ -442,10 +442,18 @@ mod tests {
     #[test]
     fn remove_then_restore_is_identity() {
         let mut m = two_cluster_memory();
-        let spheres_before: Vec<usize> = m.spheres().iter().map(|s| s.len()).collect();
+        let spheres_before: Vec<usize> = m
+            .spheres()
+            .iter()
+            .map(super::super::sphere::SensitivitySphere::len)
+            .collect();
         let id = m.train(&[0.005, 0.005], 0);
         m.remove(id);
-        let spheres_after: Vec<usize> = m.spheres().iter().map(|s| s.len()).collect();
+        let spheres_after: Vec<usize> = m
+            .spheres()
+            .iter()
+            .map(super::super::sphere::SensitivitySphere::len)
+            .collect();
         // Removing the just-added pattern rewinds counts exactly (a new
         // sphere may exist but must be empty).
         for (i, &n) in spheres_before.iter().enumerate() {

@@ -2,6 +2,7 @@
 
 use crate::dataset::Label;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A square confusion matrix: rows are actual labels, columns are
 /// predicted labels (the paper's Table 3 layout).
@@ -116,23 +117,22 @@ impl ConfusionMatrix {
         let name = |i: usize| -> String {
             names
                 .get(i)
-                .map(|s| s.to_string())
-                .unwrap_or_else(|| format!("C{i}"))
+                .map_or_else(|| format!("C{i}"), std::string::ToString::to_string)
         };
         let mut out = String::new();
         out.push_str("actual\\pred");
         for p in 0..self.classes {
-            out.push_str(&format!(" {:>6}", name(p)));
+            let _ = write!(out, " {:>6}", name(p));
         }
         out.push('\n');
         for a in 0..self.classes {
-            out.push_str(&format!("{:<11}", name(a)));
+            let _ = write!(out, "{:<11}", name(a));
             for p in 0..self.classes {
                 let pct = self.percent(a, p);
                 if pct == 0.0 {
                     out.push_str("      .");
                 } else {
-                    out.push_str(&format!(" {pct:>6.1}"));
+                    let _ = write!(out, " {pct:>6.1}");
                 }
             }
             out.push('\n');

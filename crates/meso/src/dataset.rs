@@ -161,7 +161,7 @@ impl Dataset {
         F: FnMut(&[f64]) -> Vec<f64>,
     {
         let transformed: Vec<Vec<f64>> = self.features.iter().map(|x| f(x)).collect();
-        let dim = transformed.first().map_or(0, |v| v.len());
+        let dim = transformed.first().map_or(0, std::vec::Vec::len);
         for t in &transformed {
             assert_eq!(t.len(), dim, "transform produced ragged features");
         }

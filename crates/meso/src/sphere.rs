@@ -228,7 +228,7 @@ mod tests {
         let mut s = SensitivitySphere::new(&[0.0], 1);
         s.insert(&[0.0], 2);
         let mut pairs: Vec<_> = s.labels().collect();
-        pairs.sort();
+        pairs.sort_unstable();
         assert_eq!(pairs, vec![(1, 1), (2, 1)]);
     }
 

@@ -153,9 +153,6 @@ impl SphereTree {
     ///
     /// Panics if `query.len()` differs from the indexed dimension.
     pub fn nearest(&self, query: &[f64]) -> Option<(usize, f64)> {
-        let root = self.root?;
-        assert_eq!(query.len(), self.dim, "query dimension mismatch");
-
         // Best-first search over nodes keyed by optimistic distance.
         #[derive(PartialEq)]
         struct Candidate {
@@ -177,6 +174,9 @@ impl SphereTree {
                     .then_with(|| other.node.cmp(&self.node))
             }
         }
+
+        let root = self.root?;
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
 
         let optimistic = |node: usize| -> f64 {
             let m = &self.meta[node];
@@ -238,7 +238,7 @@ fn centroid_of(entries: &[(usize, Vec<f64>)], dim: usize) -> Vec<f64> {
         }
     }
     let inv = 1.0 / entries.len() as f64;
-    for acc in c.iter_mut() {
+    for acc in &mut c {
         *acc *= inv;
     }
     c

@@ -27,7 +27,7 @@ proptest! {
         for (f, l) in &data {
             m.train(f, *l);
         }
-        let total: usize = m.spheres().iter().map(|s| s.len()).sum();
+        let total: usize = m.spheres().iter().map(meso::SensitivitySphere::len).sum();
         prop_assert_eq!(total, data.len());
         prop_assert_eq!(m.pattern_count(), data.len());
     }

@@ -54,6 +54,10 @@
 //! `0xB2` → v2), so version negotiation is simply the sender's choice of
 //! [`WireFormat`].
 
+// Library code in this module must surface failures as errors, never
+// panics; unwraps are confined to the test module below.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::buf::SampleBuf;
 use crate::error::PipelineError;
 use crate::record::{Payload, Record, RecordKind};
@@ -290,7 +294,7 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Payload, PipelineError> {
                 if *pos + 4 > bytes.len() {
                     return Err(PipelineError::Codec("truncated pairs payload".into()));
                 }
-                let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+                let v = le_u32_at(&bytes[*pos..]);
                 *pos += 4;
                 Ok(v)
             };
@@ -641,9 +645,29 @@ pub fn frame_len(buf: &[u8]) -> Result<Option<usize>, PipelineError> {
     }
 }
 
+/// Little-endian `u32` from the first 4 bytes of `b` (caller has
+/// already checked the length).
+fn le_u32_at(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+/// Little-endian `u64` from the first 8 bytes of `b`.
+fn le_u64_at(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// Little-endian `f64` from the first 8 bytes of `b`.
+fn le_f64_at(b: &[u8]) -> f64 {
+    f64::from_bits(le_u64_at(b))
+}
+
 fn check_crc(frame: &[u8]) -> Result<(), PipelineError> {
     let body_end = frame.len() - 4;
-    let expected = u32::from_le_bytes(frame[body_end..].try_into().expect("4 bytes"));
+    let expected = le_u32_at(&frame[body_end..]);
     let actual = crc32(&frame[..body_end]);
     if expected != actual {
         return Err(PipelineError::Codec(format!(
@@ -661,7 +685,7 @@ fn parse_frame_v1(frame: &[u8]) -> Result<Record, PipelineError> {
     let scope_depth = u32::from_le_bytes([frame[8], frame[9], frame[10], frame[11]]);
     let scope_type = u16::from_le_bytes([frame[12], frame[13]]);
     let payload_tag = frame[14];
-    let seq = u64::from_le_bytes(frame[16..24].try_into().expect("8 bytes"));
+    let seq = le_u64_at(&frame[16..]);
     check_crc(frame)?;
     let payload = decode_payload(payload_tag, &frame[HEADER_LEN..frame.len() - 4])?;
     Ok(Record {
@@ -678,17 +702,21 @@ fn parse_frame_v1(frame: &[u8]) -> Result<Record, PipelineError> {
 fn parse_frame_v2(frame: &[u8]) -> Result<Record, PipelineError> {
     check_crc(frame)?;
     let mut cur = ByteCursor::new(&frame[1..frame.len() - 4]);
-    let kind_tag = cur.take_u8().expect("scanned header");
+    let kind_tag = cur
+        .take_u8()
+        .ok_or_else(|| PipelineError::Codec("truncated v2 header".into()))?;
     let kind = RecordKind::from_tag(kind_tag)
         .ok_or_else(|| PipelineError::Codec(format!("unknown record kind {kind_tag}")))?;
-    let field = |v: Option<u64>| v.expect("scanned header");
-    let subtype = u16::try_from(field(cur.take_uvarint()?))
+    let field = |v: Option<u64>| -> Result<u64, PipelineError> {
+        v.ok_or_else(|| PipelineError::Codec("truncated v2 header".into()))
+    };
+    let subtype = u16::try_from(field(cur.take_uvarint()?)?)
         .map_err(|_| PipelineError::Codec("subtype out of range".into()))?;
-    let scope_depth = u32::try_from(field(cur.take_uvarint()?))
+    let scope_depth = u32::try_from(field(cur.take_uvarint()?)?)
         .map_err(|_| PipelineError::Codec("scope depth out of range".into()))?;
-    let scope_type = u16::try_from(field(cur.take_uvarint()?))
+    let scope_type = u16::try_from(field(cur.take_uvarint()?)?)
         .map_err(|_| PipelineError::Codec("scope type out of range".into()))?;
-    let seq = field(cur.take_uvarint()?);
+    let seq = field(cur.take_uvarint()?)?;
     let _body_len = field(cur.take_uvarint()?);
     let body_start = 1 + cur.pos();
     let payload = decode_body_v2(&frame[body_start..frame.len() - 4])?;
@@ -778,7 +806,7 @@ fn decode_block(ty: u64, value: &[u8]) -> Result<Payload, PipelineError> {
                 ));
             }
             let (scale_bytes, rest) = value.split_at(8);
-            let scale = f64::from_le_bytes(scale_bytes.try_into().expect("8 bytes"));
+            let scale = le_f64_at(scale_bytes);
             if !scale.is_finite() || scale < 0.0 {
                 return Err(codec_err(format!("invalid i16 scale factor {scale}")));
             }
@@ -943,10 +971,9 @@ impl Decoder {
         }
         let buf = self.pending();
         match scan(buf) {
-            // Poll will surface the error.
-            Err(_) => 0,
+            // Errors surface at the next poll; EOS needs nothing more.
+            Err(_) | Ok(Scan::Eos) => 0,
             Ok(Scan::Need(n)) => n.saturating_sub(buf.len()).max(1),
-            Ok(Scan::Eos) => 0,
             Ok(Scan::Frame { total, .. }) => total.saturating_sub(buf.len()),
         }
     }
@@ -1155,7 +1182,7 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadFill
                 })
             }
             Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(PipelineError::Io(e)),
         }
     }
@@ -1164,6 +1191,7 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadFill
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn samples() -> Vec<Record> {

@@ -25,6 +25,10 @@ pub enum PipelineError {
     /// Scope discipline violated beyond repair (close without open at
     /// the decoder boundary).
     ScopeViolation(String),
+    /// The static chain analyzer found errors during a pre-flight
+    /// check ([`Pipeline::check`](crate::pipeline::Pipeline::check));
+    /// the chain was refused before any record flowed.
+    Analysis(Vec<crate::analyze::Diagnostic>),
 }
 
 impl PipelineError {
@@ -47,6 +51,20 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Disconnected(m) => write!(f, "disconnected: {m}"),
             PipelineError::ScopeViolation(m) => write!(f, "scope violation: {m}"),
+            PipelineError::Analysis(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == crate::analyze::Severity::Error)
+                    .count();
+                write!(f, "chain analysis failed with {errors} error(s)")?;
+                for d in diags
+                    .iter()
+                    .filter(|d| d.severity == crate::analyze::Severity::Error)
+                {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

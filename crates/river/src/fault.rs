@@ -26,7 +26,7 @@ impl FailAfter {
 }
 
 impl Operator for FailAfter {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "fail-after"
     }
 
@@ -70,7 +70,7 @@ impl DropCloses {
 }
 
 impl Operator for DropCloses {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "drop-closes"
     }
 
@@ -107,7 +107,7 @@ impl TruncateAfter {
 }
 
 impl Operator for TruncateAfter {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "truncate-after"
     }
 
@@ -147,7 +147,7 @@ impl CorruptSubtype {
 }
 
 impl Operator for CorruptSubtype {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "corrupt-subtype"
     }
 
@@ -225,15 +225,12 @@ impl WireMangler {
         let mut frames = Vec::new();
         let mut rest = wire;
         while !rest.is_empty() {
-            match crate::codec::frame_len(rest) {
-                Ok(Some(n)) => {
-                    frames.push(rest[..n].to_vec());
-                    rest = &rest[n..];
-                }
-                Ok(None) | Err(_) => {
-                    frames.push(rest.to_vec());
-                    break;
-                }
+            if let Ok(Some(n)) = crate::codec::frame_len(rest) {
+                frames.push(rest[..n].to_vec());
+                rest = &rest[n..];
+            } else {
+                frames.push(rest.to_vec());
+                break;
             }
         }
         frames

@@ -51,6 +51,12 @@
 //! - [`segment`] — named operator chains on in-process *hosts*, with a
 //!   coordinator that relocates segments between hosts at scope
 //!   boundaries ([`segment::RelocatablePipeline`]).
+//! - [`analyze`] — static chain verification: operators declare
+//!   [`Signature`]s, [`pipeline::Pipeline::check`] walks a chain
+//!   propagating abstract record classes and reports typed
+//!   [`Diagnostic`]s, and every runner pre-flights the same analysis so
+//!   provably broken chains are refused before any record flows (see
+//!   `DESIGN.md` §15).
 //! - [`fault`] — fault injection used by the resilience tests.
 //!
 //! ## Example: a scoped pipeline
@@ -76,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod buf;
 pub mod codec;
 pub mod error;
@@ -93,6 +100,10 @@ pub mod source;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
+    pub use crate::analyze::{
+        CheckOptions, Diagnostic, DiagnosticKind, PayloadKind, RecordClass, ScopeEffect, Severity,
+        Signature, UnmatchedPolicy,
+    };
     pub use crate::buf::SampleBuf;
     pub use crate::codec::{DecodeEvent, Decoder, SampleEncoding, WireFormat};
     pub use crate::error::PipelineError;
@@ -108,6 +119,7 @@ pub mod prelude {
     pub use crate::source::{ChainedSource, ChunkedF64Source, FnSource, Source};
 }
 
+pub use analyze::{Diagnostic, PayloadKind, RecordClass, ScopeEffect, Signature, UnmatchedPolicy};
 pub use buf::SampleBuf;
 pub use error::PipelineError;
 pub use operator::{CountingSink, Operator, Sink};

@@ -74,7 +74,7 @@ impl StreamOut<TcpStream> {
 }
 
 impl<W: Write + Send> Operator for StreamOut<W> {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "streamout"
     }
 
@@ -247,7 +247,7 @@ impl<R: Read> StreamIn<R> {
                         self.pending_error = Some(e);
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(PipelineError::Io(e)),
             }
         }

@@ -193,6 +193,19 @@ pub trait Operator: Send {
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         None
     }
+
+    /// The operator's declared [`Signature`](crate::analyze::Signature)
+    /// — its abstract transfer function over record classes, scope
+    /// effect and flush behavior — used by the static chain analyzer
+    /// ([`Pipeline::check`](crate::pipeline::Pipeline::check)).
+    ///
+    /// Returns `None` (the default) for operators without a
+    /// declaration; the analyzer reports an `UnknownSignature`
+    /// **warning** (never an error) and treats the operator's output as
+    /// unknown from that stage on.
+    fn signature(&self) -> Option<crate::analyze::Signature> {
+        None
+    }
 }
 
 impl Operator for Box<dyn Operator> {
@@ -211,6 +224,10 @@ impl Operator for Box<dyn Operator> {
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         self.as_ref().clone_op()
     }
+
+    fn signature(&self) -> Option<crate::analyze::Signature> {
+        self.as_ref().signature()
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +237,7 @@ mod tests {
 
     struct Echo;
     impl Operator for Echo {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "echo"
         }
         fn on_record(&mut self, record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {

@@ -4,6 +4,7 @@
 //! `cutter`, `dft`, …) live in the `ensemble-core` crate; these are the
 //! domain-independent building blocks.
 
+use crate::analyze::{PayloadKind, RecordClass, ScopeEffect, Signature};
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
 use crate::record::{Payload, Record, RecordKind};
@@ -14,7 +15,7 @@ use crate::scope::ScopeTracker;
 pub struct Passthrough;
 
 impl Operator for Passthrough {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "passthrough"
     }
 
@@ -24,6 +25,10 @@ impl Operator for Passthrough {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(*self))
+    }
+
+    fn signature(&self) -> Option<Signature> {
+        Some(Signature::passthrough())
     }
 }
 
@@ -76,6 +81,12 @@ where
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
     }
+
+    /// Class-level identity: payload values change, subtypes and
+    /// payload kinds do not.
+    fn signature(&self) -> Option<Signature> {
+        Some(Signature::passthrough())
+    }
 }
 
 /// Keeps only records satisfying a predicate. Scope records always pass
@@ -117,6 +128,12 @@ where
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
     }
+
+    /// The filter's output is a subset of its input; the passthrough
+    /// signature over-approximates it (sound for the analyzer).
+    fn signature(&self) -> Option<Signature> {
+        Some(Signature::passthrough())
+    }
 }
 
 /// Invokes a closure on every record (for logging/metrics) and passes
@@ -155,6 +172,10 @@ where
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<Signature> {
+        Some(Signature::passthrough())
     }
 }
 
@@ -253,7 +274,7 @@ impl RecordCounter {
 }
 
 impl Operator for RecordCounter {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "counter"
     }
 
@@ -279,6 +300,10 @@ impl Operator for RecordCounter {
         Some(Box::new(RecordCounter {
             stats: self.stats.clone(),
         }))
+    }
+
+    fn signature(&self) -> Option<Signature> {
+        Some(Signature::passthrough())
     }
 }
 
@@ -313,7 +338,7 @@ impl ScopeSum {
 }
 
 impl Operator for ScopeSum {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "scope-sum"
     }
 
@@ -353,6 +378,21 @@ impl Operator for ScopeSum {
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
     }
+
+    /// Emission is scope-boundary-driven, not data-driven: an empty
+    /// `consumes` set marks the summary class as always reachable, and
+    /// every input record passes through unchanged.
+    fn signature(&self) -> Option<Signature> {
+        Some(Signature {
+            consumes: Vec::new(),
+            passes_matched: true,
+            produces: vec![RecordClass::of(self.subtype, PayloadKind::F64)],
+            unmatched: crate::analyze::UnmatchedPolicy::Keep,
+            strict_payload: false,
+            scope: ScopeEffect::Preserves,
+            flushes_at_eos: false,
+        })
+    }
 }
 
 /// Repairs scope discipline: any scopes still open at end-of-stream are
@@ -378,7 +418,7 @@ impl ScopeRepair {
 }
 
 impl Operator for ScopeRepair {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "scope-repair"
     }
 
@@ -404,6 +444,14 @@ impl Operator for ScopeRepair {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn signature(&self) -> Option<Signature> {
+        Some(
+            Signature::passthrough()
+                .with_scope(ScopeEffect::Repairs)
+                .with_eos_flush(),
+        )
     }
 }
 

@@ -20,6 +20,7 @@
 //!   be distributed across the processor and memory resources of many
 //!   hosts" — within one host, across cores).
 
+use crate::analyze::{CheckOptions, Diagnostic};
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
 use crate::record::Record;
@@ -29,6 +30,15 @@ use std::thread;
 
 /// Default bounded-channel capacity between threaded stages.
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+/// What [`Pipeline::spawn_threaded`] hands back: the per-stage thread
+/// handles, the sender feeding the first stage (drop it to signal
+/// end-of-stream), and the receiver draining the last stage.
+pub type SpawnedStages = (
+    Vec<thread::JoinHandle<Result<(), PipelineError>>>,
+    Sender<Record>,
+    Receiver<Record>,
+);
 
 /// Per-stage counters collected by the streaming driver.
 ///
@@ -129,7 +139,7 @@ impl StreamStats {
     /// a fold can start from `StreamStats::default()`.
     pub fn merge(&mut self, other: &StreamStats) {
         if self.stages.is_empty() {
-            self.stages = other.stages.clone();
+            self.stages.clone_from(&other.stages);
         } else {
             debug_assert_eq!(self.stages.len(), other.stages.len());
             for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
@@ -258,7 +268,7 @@ impl std::fmt::Debug for Pipeline {
         f.debug_struct("Pipeline")
             .field("operators", &self.names())
             .field("channel_capacity", &self.channel_capacity)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -334,7 +344,10 @@ impl Pipeline {
 
     /// Operator names in order — the Figure 5 block diagram as text.
     pub fn names(&self) -> Vec<&str> {
-        self.ops.iter().map(|o| o.name()).collect()
+        self.ops
+            .iter()
+            .map(super::operator::Operator::name)
+            .collect()
     }
 
     /// Duplicates the whole operator chain via each operator's
@@ -368,6 +381,60 @@ impl Pipeline {
         self.ops
     }
 
+    /// Statically verifies the chain with default options (completely
+    /// unknown input), returning every finding of the analyzer —
+    /// subtype/payload mismatches, dead stages, scope imbalance,
+    /// shard-unsafe operators (warnings here), and unknown-signature
+    /// operators (always warnings). See [`crate::analyze`] for the
+    /// diagnostic catalog and DESIGN.md §15 for the model.
+    ///
+    /// An empty result means the chain is provably free of the
+    /// mistakes the analyzer can see; errors in the result mean the
+    /// chain **will** misbehave at runtime and the streaming/sharded
+    /// runners will refuse to start it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dynamic_river::prelude::*;
+    ///
+    /// let mut p = Pipeline::new();
+    /// p.add(Passthrough);
+    /// assert!(p.check().is_empty());
+    /// ```
+    pub fn check(&self) -> Vec<Diagnostic> {
+        self.check_with(&CheckOptions::default())
+    }
+
+    /// Statically verifies the chain against explicit
+    /// [`CheckOptions`]: seed the abstract input classes (e.g. "this
+    /// chain receives audio records inside clip scopes") for tighter
+    /// analysis than the unknown-input default, or set
+    /// `sharded: true` to make non-cloneable operators errors.
+    pub fn check_with(&self, opts: &CheckOptions) -> Vec<Diagnostic> {
+        crate::analyze::analyze_ops(&self.ops, opts, true)
+    }
+
+    /// Pre-flight gate used by the runners: refuses chains whose
+    /// analysis contains errors. `sharded` selects the sharded-run
+    /// profile (clone-probing on, `ShardUnsafe` promoted to an error).
+    pub(crate) fn preflight(&self, sharded: bool) -> Result<(), PipelineError> {
+        let opts = CheckOptions {
+            sharded,
+            ..CheckOptions::default()
+        };
+        let diags = crate::analyze::analyze_ops(&self.ops, &opts, sharded);
+        if crate::analyze::has_errors(&diags) {
+            return Err(PipelineError::Analysis(
+                diags
+                    .into_iter()
+                    .filter(|d| d.severity == crate::analyze::Severity::Error)
+                    .collect(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Runs the pipeline as a fused streaming chain: every record
     /// pulled from `source` is pushed depth-first through all operators
     /// into `sink` before the next pull, then `on_eos` flushes cascade
@@ -385,12 +452,16 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns the first source or operator error.
+    /// Returns [`PipelineError::Analysis`] when the pre-flight
+    /// [`check`](Self::check) proves the chain broken (naming the
+    /// offending operator), otherwise the first source or operator
+    /// error.
     pub fn run_streaming(
         &mut self,
         mut source: impl Source,
         sink: &mut dyn Sink,
     ) -> Result<StreamStats, PipelineError> {
+        self.preflight(false)?;
         let mut stats: Vec<StageStats> = self
             .ops
             .iter()
@@ -425,9 +496,11 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns the first source or operator error in stream order, or
-    /// an operator error if any operator does not support
-    /// [`Operator::clone_op`].
+    /// Returns [`PipelineError::Analysis`] when the pre-flight
+    /// [`check`](Self::check) fails — including a `ShardUnsafe`
+    /// diagnostic naming any operator that does not support
+    /// [`Operator::clone_op`] — otherwise the first source or operator
+    /// error in stream order.
     pub fn run_sharded(
         &self,
         source: impl Source + Send,
@@ -549,15 +622,7 @@ impl Pipeline {
     /// Spawns the stage threads and returns `(handles, input sender,
     /// output receiver)`. Dropping the sender signals end-of-stream;
     /// stages flush (`on_eos`) and shut down in order.
-    #[allow(clippy::type_complexity)]
-    pub fn spawn_threaded(
-        self,
-        capacity: usize,
-    ) -> (
-        Vec<thread::JoinHandle<Result<(), PipelineError>>>,
-        Sender<Record>,
-        Receiver<Record>,
-    ) {
+    pub fn spawn_threaded(self, capacity: usize) -> SpawnedStages {
         struct ChannelSink {
             tx: Sender<Record>,
         }
@@ -608,7 +673,7 @@ mod tests {
         held: Vec<Record>,
     }
     impl Operator for Buffering {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "buffering"
         }
         fn on_record(&mut self, record: Record, _out: &mut dyn Sink) -> Result<(), PipelineError> {

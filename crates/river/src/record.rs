@@ -437,8 +437,9 @@ mod tests {
             let rec = Record::data(1, payload).with_seq(7);
             let cloned = rec.clone();
             let (a, b) = match (&rec.payload, &cloned.payload) {
-                (Payload::F64(a), Payload::F64(b)) => (a, b),
-                (Payload::Complex(a), Payload::Complex(b)) => (a, b),
+                (Payload::F64(a), Payload::F64(b)) | (Payload::Complex(a), Payload::Complex(b)) => {
+                    (a, b)
+                }
                 other => panic!("variant changed by clone: {other:?}"),
             };
             assert!(SampleBuf::shares_backing(a, b));

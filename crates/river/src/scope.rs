@@ -140,8 +140,7 @@ impl ScopeTracker {
         let depth_before = self.depth();
         let event = self.observe(&record)?;
         record.scope_depth = match event {
-            ScopeEvent::Opened(d) => d,
-            ScopeEvent::Closed(d) | ScopeEvent::BadClosed(d) => d,
+            ScopeEvent::Opened(d) | ScopeEvent::Closed(d) | ScopeEvent::BadClosed(d) => d,
             ScopeEvent::Data(_) => depth_before,
         };
         Ok(record)

@@ -73,6 +73,10 @@
 //! assert_eq!(out.take()[1].payload.as_f64().unwrap(), &[42.0]);
 //! ```
 
+// Library code in this module must surface failures as errors, never
+// panics; unwraps are confined to the test module below.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::error::PipelineError;
 use crate::net::{StreamEnd, StreamIn};
 use crate::operator::Sink;
@@ -95,7 +99,12 @@ struct Progress {
 
 impl Progress {
     fn bump(&self) {
-        let mut n = self.completed.lock().expect("progress lock poisoned");
+        // A panicked session thread poisons nothing observable here:
+        // the counter is a bare u64, so recover the guard and go on.
+        let mut n = self
+            .completed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *n += 1;
         self.changed.notify_all();
     }
@@ -199,7 +208,7 @@ impl std::fmt::Debug for PipelineServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelineServer")
             .field("max_sessions", &self.max_sessions)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -214,24 +223,36 @@ impl PipelineServer {
     ///
     /// # Errors
     ///
-    /// Returns an operator error naming the first operator that does
-    /// not support duplication ([`crate::operator::Operator::clone_op`])
-    /// — validated up front, not at first accept.
+    /// Returns [`PipelineError::Analysis`] when the pre-flight
+    /// [`Pipeline::check`] proves the chain broken, or an operator
+    /// error naming the first operator that does not support
+    /// duplication ([`crate::operator::Operator::clone_op`]) — both
+    /// validated up front, not at first accept.
     pub fn from_pipeline(pipeline: &Pipeline) -> Result<Self, PipelineError> {
+        pipeline.preflight(false)?;
         let prototype = pipeline.clone_chain()?;
-        Ok(Self::from_factory(move |_session| {
-            prototype
-                .clone_chain()
-                .expect("prototype chain was validated cloneable")
-        }))
+        Ok(PipelineServer {
+            // The prototype was validated cloneable above, so the
+            // per-session clone can only fail if an operator's
+            // `clone_op` is non-deterministic — propagated as this
+            // session's build error rather than trusted away.
+            build: Box::new(move |_session| prototype.clone_chain()),
+            max_sessions: default_max_sessions(),
+        })
     }
 
     /// Builds a server whose session chains come from a factory;
     /// `build(id)` is called once per accepted session — the route for
-    /// chains whose operators do not implement `clone_op`.
+    /// chains whose operators do not implement `clone_op`. Each built
+    /// chain is pre-flighted ([`Pipeline::check`]) before its session
+    /// starts; analysis errors surface as the server's accept error.
     pub fn from_factory(mut build: impl FnMut(u64) -> Pipeline + Send + 'static) -> Self {
         PipelineServer {
-            build: Box::new(move |id| Ok(build(id))),
+            build: Box::new(move |id| {
+                let chain = build(id);
+                chain.preflight(false)?;
+                Ok(chain)
+            }),
             max_sessions: default_max_sessions(),
         }
     }
@@ -277,13 +298,13 @@ impl PipelineServer {
         let progress = Arc::new(Progress::default());
         let worker_progress = Arc::clone(&progress);
         let max_sessions = self.max_sessions;
-        let build = self.build;
+        let mut build = self.build;
         let supervisor = thread::Builder::new()
             .name("pipeline-server".into())
             .spawn(move || {
                 supervise(
-                    listener,
-                    build,
+                    &listener,
+                    &mut build,
                     make_sink,
                     max_sessions,
                     &flag,
@@ -325,7 +346,7 @@ impl ServerHandle {
             .progress
             .completed
             .lock()
-            .expect("progress lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Blocks until at least `n` sessions have been fully served —
@@ -334,21 +355,18 @@ impl ServerHandle {
     /// accept backlog), so a caller that knows its client fleet size
     /// waits here before [`shutdown`](Self::shutdown).
     ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked while holding the counter.
     pub fn wait_for_completed(&self, n: u64) {
         let mut completed = self
             .progress
             .completed
             .lock()
-            .expect("progress lock poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while *completed < n {
             completed = self
                 .progress
                 .changed
                 .wait(completed)
-                .expect("progress lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -374,15 +392,19 @@ impl ServerHandle {
         // acceptor is waiting on a session slot instead, the next freed
         // slot re-checks the flag.
         let _ = TcpStream::connect(self.addr);
-        self.supervisor.join().expect("server supervisor panicked")
+        match self.supervisor.join() {
+            Ok(report) => report,
+            // The supervisor only panics on a bug; re-raise it intact.
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
 }
 
 /// The supervisor: spawns the worker pool, runs the accept loop with
 /// slot-based backpressure, then drains and aggregates.
 fn supervise<F>(
-    listener: TcpListener,
-    mut build: Box<dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send>,
+    listener: &TcpListener,
+    build: &mut (dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send),
     mut make_sink: F,
     max_sessions: usize,
     shutdown: &AtomicBool,
@@ -513,10 +535,7 @@ where
                         | io::ErrorKind::Interrupted
                         | io::ErrorKind::WouldBlock
                         | io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue
-            }
+                ) => {}
             Err(e) => {
                 if shutdown.load(Ordering::Acquire) {
                     break;
@@ -632,6 +651,7 @@ fn run_session(job: SessionJob) -> SessionReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::codec::{encode_frame, write_eos, write_record};
     use crate::net::send_all;
@@ -978,7 +998,7 @@ mod tests {
     fn non_cloneable_chain_is_rejected_up_front() {
         struct Opaque;
         impl crate::operator::Operator for Opaque {
-            fn name(&self) -> &str {
+            fn name(&self) -> &'static str {
                 "opaque"
             }
             fn on_record(

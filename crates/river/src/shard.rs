@@ -75,6 +75,10 @@
 //!
 //! [`Pipeline::run_streaming`]: crate::pipeline::Pipeline::run_streaming
 
+// Library code in this module must surface failures as errors, never
+// panics; unwraps are confined to the test module below.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
 use crate::pipeline::{feed_chain, flush_chain, Pipeline, SinkTotals, StageStats, StreamStats};
@@ -160,6 +164,11 @@ impl ShardedPipeline {
     /// Panics if `workers == 0`.
     pub fn from_pipeline(pipeline: &Pipeline, workers: usize) -> Result<Self, PipelineError> {
         assert!(workers > 0, "workers must be non-zero");
+        // Pre-flight: a chain the analyzer can prove broken — including
+        // any operator without `clone_op` support — is refused here,
+        // with the offending operator named, instead of failing at
+        // shard-spawn or mid-stream.
+        pipeline.preflight(true)?;
         let mut chains = Vec::with_capacity(workers);
         for _ in 0..workers {
             chains.push(pipeline.clone_chain()?);
@@ -179,10 +188,10 @@ impl ShardedPipeline {
     pub fn from_factory(workers: usize, mut build: impl FnMut(usize) -> Pipeline) -> Self {
         assert!(workers > 0, "workers must be non-zero");
         let chains: Vec<Pipeline> = (0..workers).map(&mut build).collect();
-        let queue_capacity = chains
-            .first()
-            .map(Pipeline::channel_capacity)
-            .unwrap_or(crate::pipeline::DEFAULT_CHANNEL_CAPACITY);
+        let queue_capacity = chains.first().map_or(
+            crate::pipeline::DEFAULT_CHANNEL_CAPACITY,
+            Pipeline::channel_capacity,
+        );
         ShardedPipeline {
             chains,
             queue_capacity,
@@ -217,6 +226,13 @@ impl ShardedPipeline {
         source: impl Source + Send,
         sink: &mut dyn Sink,
     ) -> Result<StreamStats, PipelineError> {
+        // Factory-built chains (`from_factory`) have not been through a
+        // constructor pre-flight; verify every worker chain before any
+        // thread spawns. Shardability is not re-probed here — each
+        // worker already has its own chain instance.
+        for chain in &self.chains {
+            chain.preflight(false)?;
+        }
         let capacity = self.queue_capacity;
         thread::scope(|scope| {
             let mut in_txs = Vec::with_capacity(self.chains.len());
@@ -235,7 +251,11 @@ impl ShardedPipeline {
             // and dropped the receivers), so the splitter has either
             // finished or will fail its next send; join cannot hang.
             drop(out_rxs);
-            let (source_records, source_error) = splitter.join().expect("splitter panicked");
+            let (source_records, source_error) = match splitter.join() {
+                Ok(result) => result,
+                // The splitter only panics on a bug; re-raise it intact.
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
             let mut stats = merged?;
             if let Some(e) = source_error {
                 return Err(e);
@@ -387,14 +407,15 @@ fn run_merge(
                     unit += 1;
                     continue 'units;
                 }
-                Ok(ShardOut::Eos) => break 'units,
+                // Err(_): worker vanished without a report; phase 2's
+                // drain settles what it managed to produce.
+                Ok(ShardOut::Eos) | Err(_) => break 'units,
                 Ok(ShardOut::Done(stats)) => {
                     merged.merge(&stats);
                     done[w] = true;
                     break 'units;
                 }
                 Ok(ShardOut::Failed(e)) => return Err(e),
-                Err(_) => break 'units, // worker vanished without report
             }
         }
     }
@@ -413,7 +434,7 @@ fn run_merge(
                     sink_bytes += r.byte_len() as u64;
                     sink.push(r)?;
                 }
-                Ok(ShardOut::UnitEnd) | Ok(ShardOut::Eos) => {}
+                Ok(ShardOut::UnitEnd | ShardOut::Eos) => {}
                 Ok(ShardOut::Done(stats)) => {
                     merged.merge(&stats);
                     break;
@@ -431,6 +452,7 @@ fn run_merge(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::fault::FailAfter;
     use crate::operator::{CountingSink, NullSink};
@@ -676,7 +698,7 @@ mod tests {
     fn non_cloneable_operator_is_rejected() {
         struct Opaque;
         impl Operator for Opaque {
-            fn name(&self) -> &str {
+            fn name(&self) -> &'static str {
                 "opaque"
             }
             fn on_record(
@@ -692,7 +714,14 @@ mod tests {
         let err = p
             .run_sharded(clip_stream(2, 2).into_iter(), &mut NullSink, 2)
             .unwrap_err();
-        assert!(matches!(err, PipelineError::Operator { .. }));
+        // Pre-flight analysis refuses the chain before any shard
+        // spawns, with a ShardUnsafe diagnostic naming the operator.
+        let PipelineError::Analysis(diags) = &err else {
+            panic!("expected an analysis error, got {err}");
+        };
+        assert!(diags.iter().any(|d| {
+            d.kind == crate::analyze::DiagnosticKind::ShardUnsafe && d.operator == "opaque"
+        }));
         assert!(err.to_string().contains("opaque"));
     }
 

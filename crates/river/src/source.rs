@@ -250,16 +250,17 @@ where
                 }
                 self.next_record()
             }
-            ChunkState::Body => match self.next_chunk() {
-                Some(r) => Ok(Some(r)),
-                None => {
+            ChunkState::Body => {
+                if let Some(r) = self.next_chunk() {
+                    Ok(Some(r))
+                } else {
                     self.state = ChunkState::Done;
                     Ok(self
                         .scope
                         .as_ref()
                         .map(|(scope_type, _)| Record::close_scope(*scope_type).with_depth(0)))
                 }
-            },
+            }
             ChunkState::Done => Ok(None),
         }
     }

@@ -1,0 +1,291 @@
+//! Property test for the static chain analyzer (DESIGN.md §15).
+//!
+//! A pool of small operators whose **runtime behavior exactly matches
+//! their declared signatures** — subtype mappers, strict consumers,
+//! drop filters, balanced scope wrappers, and a scope leaker — is
+//! composed into random chains. For every chain the analyzer's verdict
+//! is compared against what actually happens when the chain runs (via
+//! the reference batch driver, which performs no pre-flight check):
+//!
+//! - a chain [`Pipeline::check_with`] accepts (no error-severity
+//!   diagnostics) never produces a runtime operator error and always
+//!   yields scope-balanced output;
+//! - equivalently, every chain that fails at runtime — a rejected
+//!   record or unbalanced output scopes — was flagged with an error
+//!   diagnostic up front.
+//!
+//! The pool is deliberately restricted to operators the analyzer can
+//! track exactly (concrete record classes, statically known scope
+//! effects), so the implication holds in both directions; operators
+//! with undeclared signatures trade detection for soundness and are
+//! covered by the unit tests instead.
+
+use dynamic_river::analyze::{CheckOptions, PayloadKind, RecordClass, Severity};
+use dynamic_river::prelude::*;
+use dynamic_river::scope::validate_scopes;
+use dynamic_river::{ScopeEffect, Signature, UnmatchedPolicy};
+use proptest::prelude::*;
+
+/// Subtypes the pool operates over.
+const SUBTYPES: std::ops::RangeInclusive<u16> = 1..=4;
+/// The scope type the synthesized input stream arrives in.
+const INPUT_SCOPE: u16 = 7;
+/// Scope types the pool's scope-touching operators use.
+const OP_SCOPES: std::ops::RangeInclusive<u16> = 8..=9;
+
+/// One pool operator, as data (so failing cases print readably).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Spec {
+    /// Rewrites subtype `from` to `to`; passes everything else.
+    Map { from: u16, to: u16 },
+    /// Passes subtype `only`; any other data record is a runtime error.
+    Strict { only: u16 },
+    /// Passes subtype `keep`; silently drops all other data records.
+    Filter { keep: u16 },
+    /// Wraps each record of subtype `keep` in its own balanced scope.
+    Wrap { keep: u16, scope: u16 },
+    /// Emits one scope open at stream start and never closes it.
+    Leak { scope: u16 },
+}
+
+/// Runtime realization of a [`Spec`] — behavior and signature agree by
+/// construction.
+struct PoolOp {
+    spec: Spec,
+    leaked: bool,
+}
+
+impl PoolOp {
+    fn new(spec: Spec) -> Self {
+        PoolOp {
+            spec,
+            leaked: false,
+        }
+    }
+}
+
+impl Operator for PoolOp {
+    fn name(&self) -> &'static str {
+        match self.spec {
+            Spec::Map { .. } => "pool-map",
+            Spec::Strict { .. } => "pool-strict",
+            Spec::Filter { .. } => "pool-filter",
+            Spec::Wrap { .. } => "pool-wrap",
+            Spec::Leak { .. } => "pool-leak",
+        }
+    }
+
+    fn on_record(&mut self, mut record: Record, out: &mut dyn Sink) -> Result<(), PipelineError> {
+        if let Spec::Leak { scope } = self.spec {
+            if !self.leaked {
+                self.leaked = true;
+                out.push(Record::open_scope(scope, vec![]))?;
+            }
+            return out.push(record);
+        }
+        if record.kind != RecordKind::Data {
+            return out.push(record);
+        }
+        match self.spec {
+            Spec::Map { from, to } => {
+                if record.subtype == from {
+                    record.subtype = to;
+                }
+                out.push(record)
+            }
+            Spec::Strict { only } => {
+                if record.subtype == only {
+                    out.push(record)
+                } else {
+                    Err(PipelineError::Operator {
+                        operator: self.name().to_string(),
+                        message: format!("unexpected record subtype {}", record.subtype),
+                    })
+                }
+            }
+            Spec::Filter { keep } => {
+                if record.subtype == keep {
+                    out.push(record)
+                } else {
+                    Ok(())
+                }
+            }
+            Spec::Wrap { keep, scope } => {
+                if record.subtype == keep {
+                    out.push(Record::open_scope(scope, vec![]))?;
+                    out.push(record)?;
+                    out.push(Record::close_scope(scope))
+                } else {
+                    out.push(record)
+                }
+            }
+            Spec::Leak { .. } => unreachable!("handled above"),
+        }
+    }
+
+    fn clone_op(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(PoolOp::new(self.spec)))
+    }
+
+    fn signature(&self) -> Option<Signature> {
+        let f64_of = |s: u16| RecordClass::of(s, PayloadKind::F64);
+        Some(match self.spec {
+            Spec::Map { from, to } => Signature {
+                consumes: vec![f64_of(from)],
+                passes_matched: false,
+                produces: vec![f64_of(to)],
+                unmatched: UnmatchedPolicy::Keep,
+                strict_payload: false,
+                scope: ScopeEffect::Preserves,
+                flushes_at_eos: false,
+            },
+            Spec::Strict { only } => Signature {
+                consumes: vec![f64_of(only)],
+                passes_matched: true,
+                produces: Vec::new(),
+                unmatched: UnmatchedPolicy::Error,
+                strict_payload: false,
+                scope: ScopeEffect::Preserves,
+                flushes_at_eos: false,
+            },
+            Spec::Filter { keep } => Signature {
+                consumes: vec![f64_of(keep)],
+                passes_matched: true,
+                produces: Vec::new(),
+                unmatched: UnmatchedPolicy::Drop,
+                strict_payload: false,
+                scope: ScopeEffect::Preserves,
+                flushes_at_eos: false,
+            },
+            Spec::Wrap { keep, scope } => Signature {
+                consumes: vec![f64_of(keep)],
+                passes_matched: true,
+                produces: Vec::new(),
+                unmatched: UnmatchedPolicy::Keep,
+                strict_payload: false,
+                scope: ScopeEffect::OpensBalanced { scope_type: scope },
+                flushes_at_eos: false,
+            },
+            Spec::Leak { scope } => {
+                Signature::passthrough().with_scope(ScopeEffect::Opens { scope_type: scope })
+            }
+        })
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        4 => (SUBTYPES, SUBTYPES).prop_map(|(from, to)| Spec::Map { from, to }),
+        2 => SUBTYPES.prop_map(|only| Spec::Strict { only }),
+        2 => SUBTYPES.prop_map(|keep| Spec::Filter { keep }),
+        2 => (SUBTYPES, OP_SCOPES).prop_map(|(keep, scope)| Spec::Wrap { keep, scope }),
+        1 => OP_SCOPES.prop_map(|scope| Spec::Leak { scope }),
+    ]
+}
+
+/// The analysis profile of the synthesized input: subtype-1 `F64` data
+/// records inside one scope of type [`INPUT_SCOPE`].
+fn input_options() -> CheckOptions {
+    CheckOptions {
+        input: vec![RecordClass::of(1, PayloadKind::F64)],
+        input_scope_types: Some(vec![INPUT_SCOPE]),
+        ..CheckOptions::default()
+    }
+}
+
+/// A concrete stream inhabiting every class the analysis is seeded
+/// with: one input scope holding `n` subtype-1 data records.
+fn input_stream(n: usize) -> Vec<Record> {
+    let mut records = vec![Record::open_scope(INPUT_SCOPE, vec![])];
+    for i in 0..n {
+        records.push(Record::data(1, Payload::f64(vec![i as f64])));
+    }
+    records.push(Record::close_scope(INPUT_SCOPE));
+    records
+}
+
+/// Anchors the property against a vacuous pass: the pool really does
+/// contain chains the analyzer accepts and chains it rejects, and both
+/// verdicts are correct.
+#[test]
+fn pool_exercises_both_verdicts() {
+    // Accepted and clean: map 1→2, strictly consume 2, wrap it.
+    let mut ok = Pipeline::new();
+    ok.add(PoolOp::new(Spec::Map { from: 1, to: 2 }));
+    ok.add(PoolOp::new(Spec::Strict { only: 2 }));
+    ok.add(PoolOp::new(Spec::Wrap { keep: 2, scope: 8 }));
+    assert!(
+        !ok.check_with(&input_options())
+            .iter()
+            .any(|d| d.severity == Severity::Error),
+        "clean chain rejected"
+    );
+    let out = ok.run_batch(input_stream(3)).expect("clean chain ran");
+    validate_scopes(&out).expect("clean chain balanced");
+
+    // Rejected and failing: map 1→2, then strictly consume 1.
+    let mut bad = Pipeline::new();
+    bad.add(PoolOp::new(Spec::Map { from: 1, to: 2 }));
+    bad.add(PoolOp::new(Spec::Strict { only: 1 }));
+    assert!(
+        bad.check_with(&input_options())
+            .iter()
+            .any(|d| d.severity == Severity::Error),
+        "failing chain not flagged"
+    );
+    bad.run_batch(input_stream(3))
+        .expect_err("mismatched chain fails at runtime");
+
+    // Rejected and failing: a leaked scope.
+    let mut leaky = Pipeline::new();
+    leaky.add(PoolOp::new(Spec::Leak { scope: 9 }));
+    assert!(
+        leaky
+            .check_with(&input_options())
+            .iter()
+            .any(|d| d.severity == Severity::Error),
+        "leaky chain not flagged"
+    );
+    let out = leaky
+        .run_batch(input_stream(3))
+        .expect("leak is not an error");
+    validate_scopes(&out).expect_err("leaked scope left output unbalanced");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Agreement between the analyzer and reality, both directions:
+    /// accepted chains run clean, failing chains were flagged.
+    #[test]
+    fn verdict_matches_runtime(specs in prop::collection::vec(arb_spec(), 0..8), n in 1usize..4) {
+        let mut p = Pipeline::new();
+        for &spec in &specs {
+            p.add(PoolOp::new(spec));
+        }
+        let accepted = !p
+            .check_with(&input_options())
+            .iter()
+            .any(|d| d.severity == Severity::Error);
+
+        // The reference batch driver performs no pre-flight analysis,
+        // so this observes the chain's true runtime behavior.
+        let outcome = p.run_batch(input_stream(n));
+        let ran_clean = match &outcome {
+            Ok(out) => validate_scopes(out).is_ok(),
+            Err(_) => false,
+        };
+
+        if accepted {
+            prop_assert!(
+                ran_clean,
+                "analyzer accepted {specs:?} but the run failed: {outcome:?}"
+            );
+        } else {
+            // Rejection is allowed to be conservative (e.g. a dead
+            // stage runs fine); nothing to assert here. The reverse
+            // implication — failing chains were flagged — is exactly
+            // the `accepted => ran_clean` assertion above.
+        }
+    }
+}

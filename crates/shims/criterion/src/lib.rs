@@ -85,6 +85,9 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, auto-scaling the batch size so the measured
     /// window is long enough for the clock to resolve.
+    ///
+    /// The name mirrors the real criterion API, not `Iterator`.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let mut iters: u64 = 1;
         let budget = if self.fast {
@@ -260,10 +263,10 @@ mod tests {
         group.throughput(Throughput::Elements(4));
         group.sample_size(10);
         group.bench_function(BenchmarkId::from_parameter(4), |b| {
-            b.iter(|| black_box(2u64 + 2))
+            b.iter(|| black_box(2u64 + 2));
         });
         group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         group.finish();
         c.bench_function("standalone", |b| b.iter(|| black_box(1)));

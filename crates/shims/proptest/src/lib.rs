@@ -314,16 +314,15 @@ pub mod strategy {
             .strip_prefix('{')
             .and_then(|r| r.strip_suffix('}'))
             .unwrap_or_else(|| panic!("unsupported regex suffix {rest:?} in {pattern:?}"));
-        match counts.split_once(',') {
-            Some((lo, hi)) => (
+        if let Some((lo, hi)) = counts.split_once(',') {
+            (
                 class,
                 lo.trim().parse().expect("regex repeat min"),
                 hi.trim().parse().expect("regex repeat max"),
-            ),
-            None => {
-                let n = counts.trim().parse().expect("regex repeat count");
-                (class, n, n)
-            }
+            )
+        } else {
+            let n = counts.trim().parse().expect("regex repeat count");
+            (class, n, n)
         }
     }
 }
@@ -633,7 +632,7 @@ mod tests {
             1 => Just(2u8),
         ];
         let picks: Vec<u8> = (0..1000).map(|_| strat.generate(&mut rng)).collect();
-        let ones = picks.iter().filter(|&&v| v == 1).count();
+        let ones = picks.iter().filter(|&&v| v == 1).fold(0u32, |n, _| n + 1);
         assert!(ones > 800, "expected mostly 1s, got {ones}");
         assert!(picks.iter().all(|&v| v == 1 || v == 2));
     }

@@ -219,18 +219,15 @@ impl BitmapAnomaly {
     /// Consumes one sample and returns the current anomaly score
     /// (`0.0` until warm-up completes).
     pub fn push(&mut self, x: f64) -> f64 {
-        let (mean, std) = match &mut self.sliding_stats {
-            Some(s) => {
-                s.push(x);
-                (s.mean(), s.population_std_dev())
-            }
-            None => {
-                self.global_stats.push(x);
-                (
-                    self.global_stats.mean(),
-                    self.global_stats.population_std_dev(),
-                )
-            }
+        let (mean, std) = if let Some(s) = &mut self.sliding_stats {
+            s.push(x);
+            (s.mean(), s.population_std_dev())
+        } else {
+            self.global_stats.push(x);
+            (
+                self.global_stats.mean(),
+                self.global_stats.population_std_dev(),
+            )
         };
         let symbol = self.quantize(znorm_value(x, mean, std));
 

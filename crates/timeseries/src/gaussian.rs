@@ -22,8 +22,6 @@
 /// assert!((inv_norm_cdf(0.975) - 1.959964).abs() < 1e-5);
 /// ```
 pub fn inv_norm_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
-
     // Coefficients for the Acklam approximation.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -56,6 +54,7 @@ pub fn inv_norm_cdf(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.02425;
     const P_HIGH: f64 = 1.0 - P_LOW;
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
 
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();

@@ -45,8 +45,8 @@ proptest! {
         frac in 0.05f64..1.0,
     ) {
         let segments = ((xs.len() as f64 * frac) as usize).clamp(1, xs.len());
-        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
-        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = xs.iter().copied().fold(f64::MAX, f64::min);
+        let hi = xs.iter().copied().fold(f64::MIN, f64::max);
         for v in paa(&xs, segments) {
             prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }

@@ -43,10 +43,10 @@ fn main() {
     let mut kept = 0usize;
     for (i, e) in ensembles.iter().enumerate() {
         kept += e.len();
-        let truth = clip
-            .label_for_range(e.start, e.end)
-            .map(|s| format!("{} ({})", s.code(), s.common_name()))
-            .unwrap_or_else(|| "no bird (noise event)".to_string());
+        let truth = clip.label_for_range(e.start, e.end).map_or_else(
+            || "no bird (noise event)".to_string(),
+            |s| format!("{} ({})", s.code(), s.common_name()),
+        );
         let patterns = featurize_ensemble(&e.samples, &config, true);
         println!(
             "  #{:<2} {:>6.2}s..{:<6.2}s  {:>6} samples  {:>3} patterns  ground truth: {}",

@@ -49,6 +49,8 @@ fn quickstart_extracts_ensembles_from_a_paper_scale_clip() {
 
 #[test]
 fn facade_reexports_cover_every_subsystem() {
+    use acoustic_ensembles::river::prelude::*;
+
     // One call into each re-exported crate, so a broken re-export (not
     // just a broken implementation) is caught here.
     let fft = acoustic_ensembles::dsp::Fft::new(8);
@@ -58,11 +60,11 @@ fn facade_reexports_cover_every_subsystem() {
     let z = acoustic_ensembles::sax::znormalize(&[1.0, 2.0, 3.0, 4.0]);
     assert_eq!(z.len(), 4);
 
-    let mut memory = acoustic_ensembles::meso::Meso::new(2, Default::default());
+    let mut memory =
+        acoustic_ensembles::meso::Meso::new(2, acoustic_ensembles::meso::MesoConfig::default());
     memory.train(&[0.0, 0.0], 0);
     assert_eq!(memory.classify(&[0.1, 0.1]), Some(0));
 
-    use acoustic_ensembles::river::prelude::*;
     let mut pipeline = Pipeline::new();
     pipeline.add(Passthrough);
     let out = pipeline
