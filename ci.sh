@@ -8,6 +8,9 @@
 #   ./ci.sh bench-check  # compare BENCH_fig5.json vs BENCH_baseline.json
 #   ./ci.sh stage-bench  # append per-stage spectral ns/record lines to
 #                        #   BENCH_fig5.json (requires a release build)
+#   ./ci.sh telemetry-check  # validate the fig5 --telemetry-json
+#                        #   snapshot, append per-stage p50/p99 lines to
+#                        #   BENCH_fig5.json, enforce the overhead budget
 #
 # Requires only a Rust toolchain — the workspace has no network
 # dependencies (see DESIGN.md § Shims). Every phase prints its
@@ -97,6 +100,34 @@ stage_bench() {
         --stage-json | tee -a BENCH_fig5.json
 }
 
+# --- telemetry snapshot gate ------------------------------------------
+# Runs Figure 5 with --telemetry-json, validates that the snapshot
+# parses (python3 when present, structural grep otherwise), requires a
+# non-empty event log, then appends one {"stage": …, "p50_ns": …,
+# "p99_ns": …} line per stage to BENCH_fig5.json so stage latency is
+# tracked commit-over-commit (DESIGN.md §16). Finishes by running the
+# telemetry overhead guard in the only build where its 5% budget is
+# enforced (release).
+telemetry_check() {
+    local snap stages
+    snap=$(cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
+        --telemetry-json)
+    if command -v python3 >/dev/null 2>&1; then
+        printf '%s\n' "$snap" | python3 -m json.tool >/dev/null ||
+            { echo "telemetry-check: snapshot is not valid JSON" >&2; exit 1; }
+    fi
+    printf '%s\n' "$snap" | grep -q '"events": \[{' ||
+        { echo "telemetry-check: event log is empty" >&2; exit 1; }
+    stages=$(printf '%s\n' "$snap" |
+        grep -oE '\{"stage": "[^"]+", "p50_ns": [0-9]+, "p99_ns": [0-9]+' |
+        sed 's/$/}/')
+    [ -n "$stages" ] ||
+        { echo "telemetry-check: no per-stage percentile lines in snapshot" >&2; exit 1; }
+    printf '%s\n' "$stages" | tee -a BENCH_fig5.json
+    echo "telemetry-check: snapshot OK ($(printf '%s\n' "$stages" | wc -l) stages)"
+    cargo test --release -q -p ensemble-core --test telemetry_overhead
+}
+
 # --- static chain verification ---------------------------------------
 # Runs river-lint over every shipped pipeline chain (Figure 5 in both
 # spectral paths plus the standalone segments, the chains every example
@@ -115,6 +146,10 @@ if [ "${1:-}" = "bench-check" ]; then
 fi
 if [ "${1:-}" = "stage-bench" ]; then
     stage_bench
+    exit 0
+fi
+if [ "${1:-}" = "telemetry-check" ]; then
+    telemetry_check
     exit 0
 fi
 
@@ -189,6 +224,12 @@ if [ "${1:-}" != "quick" ]; then
     # single-lane throughput comes from (dft vs fused spectrum).
     phase "BENCH_fig5.json (per-stage spectral ns/record)"
     stage_bench
+
+    # Telemetry gate: the live snapshot must parse and carry per-stage
+    # percentiles plus a non-empty event log; its p50/p99 lines join the
+    # perf artifact, and the release-mode overhead budget is enforced.
+    phase "telemetry-check (fig5 --telemetry-json + overhead budget)"
+    telemetry_check
 
     # Static chain verification: every shipped chain must lint clean
     # (zero error-severity diagnostics, DESIGN.md §15); the

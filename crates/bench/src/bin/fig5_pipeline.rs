@@ -48,9 +48,19 @@
 //! same audio records, differenced), printing one
 //! `{"stage": …, "ns_per_record": …}` line per stage — the per-stage
 //! evidence behind the fused path's throughput claim (DESIGN.md §14).
+//!
+//! `--telemetry-json` runs the same Figure 5 graph with full telemetry
+//! ([`TelemetryConfig::Full`]) and prints the resulting
+//! [`Snapshot`](dynamic_river::Snapshot) as one JSON object: per-stage
+//! latency histograms (p50/p90/p99/max/mean ns per record, measured
+//! in-run by the executor, not by prefix differencing) plus the
+//! structured event log (scope opens, trigger fires, cutter runs,
+//! shard-unit dispatch/merge). Honors `--workers` — with N > 1 the
+//! sharded executor's merged snapshot is printed, whose per-stage
+//! totals equal the single-lane run's by construction (DESIGN.md §16).
 
 use dynamic_river::codec::{encode_frame_with, SampleEncoding, WireFormat};
-use dynamic_river::CountingSink;
+use dynamic_river::{CountingSink, TelemetryConfig};
 use ensemble_bench::{header, Scale};
 use ensemble_core::ops::clip_to_records;
 use ensemble_core::ops::clips_record_source;
@@ -205,6 +215,26 @@ fn main() {
             cfg.record_len,
         )
     };
+
+    if std::env::args().any(|a| a == "--telemetry-json") {
+        let mut sink = CountingSink::default();
+        let snapshot = if workers > 1 {
+            let mut p = full_pipeline_sharded_with(cfg, true, workers, spectral);
+            p.set_telemetry(TelemetryConfig::Full);
+            // Keep the registry handle: `run` consumes the runtime, the
+            // handle reads the shared histograms afterwards.
+            let telemetry = p.telemetry();
+            p.run(archive(), &mut sink).expect("sharded pipeline run");
+            telemetry.snapshot()
+        } else {
+            let mut p = full_pipeline_with(cfg, true, spectral);
+            p.set_telemetry(TelemetryConfig::Full);
+            p.run_streaming(archive(), &mut sink).expect("pipeline run");
+            p.telemetry_snapshot()
+        };
+        println!("{}", snapshot.to_json());
+        return;
+    }
 
     // The full Figure 5 graph; the driver itself supplies the per-stage
     // statistics the figure annotates.

@@ -15,6 +15,7 @@
 use crate::config::ExtractorConfig;
 use dynamic_river::error::PipelineError;
 use dynamic_river::serve::{PipelineServer, ServerHandle, SessionInfo, SessionSink};
+use dynamic_river::telemetry::TelemetryConfig;
 use dynamic_river::SampleBuf;
 use river_dsp::stats::{MovingAverage, Welford};
 use river_sax::anomaly::BitmapAnomaly;
@@ -391,10 +392,41 @@ impl EnsembleExtractor {
     where
         F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
     {
+        self.serve_with_telemetry(listener, max_sessions, TelemetryConfig::Off, make_sink)
+    }
+
+    /// [`serve`](Self::serve) with telemetry enabled: every session
+    /// records per-stage latency histograms (its lane is its session
+    /// id) into the server's shared registry, and with
+    /// [`TelemetryConfig::Full`] traces session and scope events. Read
+    /// the merged view live from
+    /// [`ServerHandle::telemetry_snapshot`], or per session from each
+    /// [`SessionReport`](dynamic_river::serve::SessionReport) after
+    /// shutdown (DESIGN.md §16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Io`] if the listener's address cannot
+    /// be resolved or the service threads cannot be spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sessions == 0`.
+    pub fn serve_with_telemetry<F>(
+        &self,
+        listener: TcpListener,
+        max_sessions: usize,
+        telemetry: TelemetryConfig,
+        make_sink: F,
+    ) -> Result<ServerHandle, PipelineError>
+    where
+        F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
+    {
         let cfg = self.config;
         let mut server =
             PipelineServer::from_factory(move |_session| crate::pipeline::full_pipeline(cfg, true));
         server.set_max_sessions(max_sessions);
+        server.set_telemetry(telemetry);
         server.start(listener, make_sink)
     }
 }

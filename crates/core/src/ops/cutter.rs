@@ -24,6 +24,7 @@
 
 use crate::config::ExtractorConfig;
 use crate::{context_key, scope_type, subtype};
+use dynamic_river::telemetry::{EventKind, EventSink};
 use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, SampleBuf, Sink};
 use std::collections::VecDeque;
 
@@ -39,6 +40,11 @@ pub struct Cutter {
     clip_sample: usize,
     /// Sequence counter for emitted ensemble records (clip-wide).
     out_seq: u64,
+    /// Telemetry event sink (disabled unless a runner attaches one);
+    /// reports each ensemble run that proves long enough to emit as a
+    /// `CutterRun` — suppressed ensembles stay silent, mirroring their
+    /// lazy `OpenScope`.
+    events: EventSink,
 }
 
 #[derive(Clone)]
@@ -98,6 +104,7 @@ impl Cutter {
             open: None,
             clip_sample: 0,
             out_seq: 0,
+            events: EventSink::disabled(),
         }
     }
 
@@ -144,6 +151,8 @@ impl Cutter {
         if ensemble.total_samples >= min_len && !ensemble.buffered.is_empty() {
             if !ensemble.emitted_open {
                 ensemble.emitted_open = true;
+                self.events
+                    .emit(EventKind::CutterRun, ensemble.start_sample as u64);
                 let open = Record::open_scope(
                     scope_type::ENSEMBLE,
                     vec![(
@@ -297,6 +306,10 @@ impl Operator for Cutter {
 
     fn clone_op(&self) -> Option<Box<dyn Operator>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn attach_events(&mut self, events: &EventSink) {
+        self.events = events.clone();
     }
 
     /// Consumes audio + trigger pairs, drops any other data record

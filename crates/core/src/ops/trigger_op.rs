@@ -8,6 +8,7 @@
 use crate::config::ExtractorConfig;
 use crate::extract::AdaptiveTrigger;
 use crate::{scope_type, subtype};
+use dynamic_river::telemetry::{EventKind, EventSink};
 use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 
 /// The `trigger` operator.
@@ -15,6 +16,12 @@ use dynamic_river::{Operator, Payload, PipelineError, Record, RecordKind, Sink};
 pub struct TriggerOp {
     config: ExtractorConfig,
     trigger: AdaptiveTrigger,
+    /// Telemetry event sink (disabled unless a runner attaches one);
+    /// reports each low→high trigger transition as a `TriggerFire`.
+    events: EventSink,
+    /// Whether the trigger was high after the previous sample, so only
+    /// transitions — not every high sample — become events.
+    was_high: bool,
 }
 
 impl TriggerOp {
@@ -28,6 +35,8 @@ impl TriggerOp {
         TriggerOp {
             trigger: Self::fresh_trigger(&config),
             config,
+            events: EventSink::disabled(),
+            was_high: false,
         }
     }
 
@@ -46,6 +55,7 @@ impl Operator for TriggerOp {
         match record.kind {
             RecordKind::OpenScope if record.scope_type == scope_type::CLIP => {
                 self.trigger = Self::fresh_trigger(&self.config);
+                self.was_high = false;
                 out.push(record)
             }
             RecordKind::Data if record.subtype == subtype::SCORE => {
@@ -57,7 +67,18 @@ impl Operator for TriggerOp {
                 };
                 let values: Vec<f64> = scores
                     .iter()
-                    .map(|&s| if self.trigger.push(s) { 1.0 } else { 0.0 })
+                    .map(|&s| {
+                        let high = self.trigger.push(s);
+                        if high && !self.was_high {
+                            self.events.emit(EventKind::TriggerFire, record.seq);
+                        }
+                        self.was_high = high;
+                        if high {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect();
                 out.push(
                     Record::data(subtype::TRIGGER, Payload::f64(values))
@@ -82,6 +103,10 @@ impl Operator for TriggerOp {
             )
             .with_strict_payload(),
         )
+    }
+
+    fn attach_events(&mut self, events: &EventSink) {
+        self.events = events.clone();
     }
 }
 

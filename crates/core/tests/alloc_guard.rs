@@ -9,11 +9,18 @@
 //! a warm-up pass, a sustained run of both kernels must perform **zero**
 //! heap allocations.
 //!
+//! The telemetry layer rides in the same measured window (ISSUE 9
+//! satellite 4): [`StageTimer::record`] is pure atomics, and
+//! [`EventLog`] pushes are alloc-free once the preallocated ring has
+//! reached capacity — so a pipeline running with telemetry enabled
+//! keeps the steady-state zero-allocation property.
+//!
 //! The counter wraps the system allocator, so the whole test binary
 //! shares it; the assertion brackets only the measured section, and the
 //! file holds a single `#[test]` so no concurrent test can allocate in
 //! the measured window.
 
+use dynamic_river::telemetry::{EventKind, EventLog, StageTimer};
 use river_dsp::complex::Complex64;
 use river_dsp::fft::RealFft;
 use river_dsp::window::WindowKind;
@@ -57,9 +64,12 @@ fn warm_spectral_kernels_do_not_allocate() {
     let mut mags = vec![0.0; n];
     let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
     let mut detector = BitmapAnomaly::new(AnomalyConfig::default());
+    let timer = StageTimer::new();
+    let events = EventLog::new(64);
 
     // Warm-up: let the detector fill its ring/windows and both kernels
-    // touch every buffer they will ever need.
+    // touch every buffer they will ever need; the event ring is pushed
+    // past capacity so steady-state pushes only evict, never grow.
     let mut acc = 0.0;
     for round in 0..4 {
         plan.magnitudes_into(&samples, Some(&window), &mut mags, &mut scratch);
@@ -67,18 +77,26 @@ fn warm_spectral_kernels_do_not_allocate() {
             acc += detector.push(m + f64::from(round));
         }
     }
+    for i in 0..96 {
+        events.push(EventKind::ScopeOpen, 0, i);
+    }
 
-    // Steady state: many records' worth of work, zero allocations.
+    // Steady state: many records' worth of work — with telemetry
+    // recording alongside — and zero allocations.
     let before = ALLOCS.load(Ordering::Relaxed);
-    for round in 0..32 {
+    for round in 0..32u32 {
         plan.magnitudes_into(&samples, Some(&window), &mut mags, &mut scratch);
         for &m in &mags {
             acc += detector.push(m * (1.0 + f64::from(round) * 1e-3));
         }
+        timer.record(u64::from(round) * 100 + 1);
+        events.push(EventKind::TriggerFire, 0, u64::from(round));
     }
     let after = ALLOCS.load(Ordering::Relaxed);
 
     assert!(acc.is_finite(), "kernels produced non-finite output");
+    assert_eq!(timer.histogram().count, 32);
+    assert_eq!(events.len(), 64, "ring should sit exactly at capacity");
     assert_eq!(
         after - before,
         0,

@@ -57,6 +57,10 @@
 //!   [`Diagnostic`]s, and every runner pre-flights the same analysis so
 //!   provably broken chains are refused before any record flows (see
 //!   `DESIGN.md` §15).
+//! - [`telemetry`] — runtime observability: lock-free per-stage
+//!   latency histograms, a bounded structured event log, and mergeable
+//!   [`telemetry::Snapshot`]s exposed by every runner behind a
+//!   [`telemetry::TelemetryConfig`] (see `DESIGN.md` §16).
 //! - [`fault`] — fault injection used by the resilience tests.
 //!
 //! ## Example: a scoped pipeline
@@ -97,6 +101,7 @@ pub mod segment;
 pub mod serve;
 pub mod shard;
 pub mod source;
+pub mod telemetry;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
@@ -117,6 +122,10 @@ pub mod prelude {
     pub use crate::serve::{PipelineServer, ServerHandle, ServerReport, SessionReport};
     pub use crate::shard::ShardedPipeline;
     pub use crate::source::{ChainedSource, ChunkedF64Source, FnSource, Source};
+    pub use crate::telemetry::{
+        EventKind, EventSeverity, EventSink, Snapshot, StageTimer, Telemetry, TelemetryConfig,
+        TelemetryEvent,
+    };
 }
 
 pub use analyze::{Diagnostic, PayloadKind, RecordClass, ScopeEffect, Signature, UnmatchedPolicy};
@@ -129,3 +138,4 @@ pub use scope::ScopeTracker;
 pub use serve::{PipelineServer, ServerHandle, ServerReport, SessionReport};
 pub use shard::ShardedPipeline;
 pub use source::Source;
+pub use telemetry::{Snapshot, Telemetry, TelemetryConfig};

@@ -206,6 +206,17 @@ pub trait Operator: Send {
     fn signature(&self) -> Option<crate::analyze::Signature> {
         None
     }
+
+    /// Hands the operator a telemetry
+    /// [`EventSink`](crate::telemetry::EventSink) to report domain
+    /// events through (trigger fires, cutter runs, …).
+    ///
+    /// Runners call this once before records flow, and only when event
+    /// tracing is enabled
+    /// ([`TelemetryConfig::Full`](crate::telemetry::TelemetryConfig));
+    /// the default implementation ignores the sink. Operators that emit
+    /// events store a clone of it.
+    fn attach_events(&mut self, _events: &crate::telemetry::EventSink) {}
 }
 
 impl Operator for Box<dyn Operator> {
@@ -227,6 +238,10 @@ impl Operator for Box<dyn Operator> {
 
     fn signature(&self) -> Option<crate::analyze::Signature> {
         self.as_ref().signature()
+    }
+
+    fn attach_events(&mut self, events: &crate::telemetry::EventSink) {
+        self.as_mut().attach_events(events);
     }
 }
 

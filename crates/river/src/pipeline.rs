@@ -23,10 +23,33 @@
 use crate::analyze::{CheckOptions, Diagnostic};
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
-use crate::record::Record;
+use crate::record::{Record, RecordKind};
 use crate::source::Source;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::telemetry::{EventKind, EventSink, Snapshot, StageTimer, Telemetry, TelemetryConfig};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
+
+/// Nanoseconds since `started`, saturating at `u64::MAX`.
+pub(crate) fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Emits `ScopeOpen`/`ScopeClose` for scope-boundary records (subject:
+/// scope type). Called at the point source records enter a runner —
+/// the streaming driver, the shard splitter, a server session — so
+/// every runner produces the same scope-event multiset for the same
+/// stream.
+pub(crate) fn emit_scope_event(events: &EventSink, record: &Record) {
+    match record.kind {
+        RecordKind::OpenScope => events.emit(EventKind::ScopeOpen, u64::from(record.scope_type)),
+        RecordKind::CloseScope | RecordKind::BadCloseScope => {
+            events.emit(EventKind::ScopeClose, u64::from(record.scope_type));
+        }
+        RecordKind::Data => {}
+    }
+}
 
 /// Default bounded-channel capacity between threaded stages.
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
@@ -48,7 +71,7 @@ pub type SpawnedStages = (
 /// `on_record` or `on_eos` call. A `peak_burst` that stays constant as
 /// the stream grows is therefore direct evidence that the stage's
 /// buffering is bounded.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct StageStats {
     /// Operator name, as in [`Pipeline::names`].
     pub name: String,
@@ -63,11 +86,36 @@ pub struct StageStats {
     /// Most records emitted while processing one input record (or
     /// during the end-of-stream flush).
     pub peak_burst: u64,
+    /// Records the stage consumed without emitting any output during
+    /// the same `on_record` call — unmatched-policy drops, filtered
+    /// records, and the like. A buffering stage (cutter, merger) also
+    /// counts here while it absorbs input; its output reappears later
+    /// as a burst, so read `records_dropped` together with
+    /// `records_out`.
+    pub records_dropped: u64,
     current_burst: u64,
+    /// Latency accounting hook ([`StageTimer`]), `None` when telemetry
+    /// is off. Excluded from equality: two stat sets that counted the
+    /// same records are equal regardless of timing.
+    pub(crate) timer: Option<Arc<StageTimer>>,
 }
 
+impl PartialEq for StageStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.records_in == other.records_in
+            && self.bytes_in == other.bytes_in
+            && self.records_out == other.records_out
+            && self.bytes_out == other.bytes_out
+            && self.peak_burst == other.peak_burst
+            && self.records_dropped == other.records_dropped
+    }
+}
+
+impl Eq for StageStats {}
+
 impl StageStats {
-    pub(crate) fn new(name: &str) -> Self {
+    pub(crate) fn with_timer(name: &str, timer: Option<Arc<StageTimer>>) -> Self {
         StageStats {
             name: name.to_string(),
             records_in: 0,
@@ -75,7 +123,9 @@ impl StageStats {
             records_out: 0,
             bytes_out: 0,
             peak_burst: 0,
+            records_dropped: 0,
             current_burst: 0,
+            timer,
         }
     }
 
@@ -97,9 +147,9 @@ impl StageStats {
     }
 
     /// Folds another shard's counters for the same stage into this one:
-    /// record/byte totals add, `peak_burst` takes the maximum (each
-    /// shard buffers independently, so the whole run's bound is the
-    /// worst shard's bound).
+    /// record/byte/drop totals add, `peak_burst` takes the maximum
+    /// (each shard buffers independently, so the whole run's bound is
+    /// the worst shard's bound).
     pub fn merge(&mut self, other: &StageStats) {
         debug_assert_eq!(self.name, other.name, "merging stats of different stages");
         self.records_in += other.records_in;
@@ -107,6 +157,7 @@ impl StageStats {
         self.records_out += other.records_out;
         self.bytes_out += other.bytes_out;
         self.peak_burst = self.peak_burst.max(other.peak_burst);
+        self.records_dropped += other.records_dropped;
     }
 }
 
@@ -128,6 +179,12 @@ impl StreamStats {
     /// bounds driver-visible buffering for the whole run.
     pub fn max_peak_burst(&self) -> u64 {
         self.stages.iter().map(|s| s.peak_burst).max().unwrap_or(0)
+    }
+
+    /// Total records consumed without output across all stages — the
+    /// runtime counterpart of the analyzer's dead-stage diagnostics.
+    pub fn total_dropped(&self) -> u64 {
+        self.stages.iter().map(|s| s.records_dropped).sum()
     }
 
     /// Aggregates another shard's run statistics into this one: stage
@@ -178,14 +235,43 @@ pub(crate) fn feed_chain(
         Some((op, rest_ops)) => {
             let (st, rest_stats) = stats.split_first_mut().expect("stats parallel ops");
             st.note_in(&record);
-            let mut sink = ChainSink {
-                ops: rest_ops,
-                stats: rest_stats,
-                emitter: st,
-                totals,
-                final_sink,
+            let timer = st.timer.clone();
+            let result = if let Some(timer) = &timer {
+                // Self-time: the whole `on_record` call minus the time
+                // the recursive sink spent inside downstream stages.
+                let mut child_ns = 0u64;
+                let started = Instant::now();
+                let result = {
+                    let mut sink = ChainSink {
+                        ops: rest_ops,
+                        stats: rest_stats,
+                        emitter: st,
+                        totals,
+                        final_sink,
+                        child_ns: Some(&mut child_ns),
+                    };
+                    op.on_record(record, &mut sink)
+                };
+                timer.record(elapsed_ns(started).saturating_sub(child_ns));
+                result
+            } else {
+                let mut sink = ChainSink {
+                    ops: rest_ops,
+                    stats: rest_stats,
+                    emitter: st,
+                    totals,
+                    final_sink,
+                    child_ns: None,
+                };
+                op.on_record(record, &mut sink)
             };
-            op.on_record(record, &mut sink)
+            if result.is_ok() && st.current_burst == 0 {
+                st.records_dropped += 1;
+                if let Some(timer) = &timer {
+                    timer.note_drop();
+                }
+            }
+            result
         }
     }
 }
@@ -198,12 +284,23 @@ struct ChainSink<'a> {
     emitter: &'a mut StageStats,
     totals: &'a mut SinkTotals,
     final_sink: &'a mut dyn Sink,
+    /// When the emitting stage is being timed, accumulates the
+    /// nanoseconds this sink spends inside downstream stages so the
+    /// emitter can subtract them (self-time, not cumulative time).
+    child_ns: Option<&'a mut u64>,
 }
 
 impl Sink for ChainSink<'_> {
     fn push(&mut self, record: Record) -> Result<(), PipelineError> {
         self.emitter.note_out(&record);
-        feed_chain(self.ops, self.stats, record, self.totals, self.final_sink)
+        if let Some(child_ns) = self.child_ns.as_deref_mut() {
+            let started = Instant::now();
+            let result = feed_chain(self.ops, self.stats, record, self.totals, self.final_sink);
+            *child_ns += elapsed_ns(started);
+            result
+        } else {
+            feed_chain(self.ops, self.stats, record, self.totals, self.final_sink)
+        }
     }
 }
 
@@ -221,12 +318,16 @@ pub(crate) fn flush_chain(
         let (op, rest_ops) = ops[i..].split_first_mut().expect("index in range");
         let (st, rest_stats) = stats[i..].split_first_mut().expect("stats parallel ops");
         st.begin_flush();
+        // The flushing stage's own `on_eos` cost is not timed (the
+        // histogram is per-record); records it emits still flow through
+        // `feed_chain`, so downstream stages are timed normally.
         let mut chain = ChainSink {
             ops: rest_ops,
             stats: rest_stats,
             emitter: st,
             totals,
             final_sink,
+            child_ns: None,
         };
         op.on_eos(&mut chain)?;
     }
@@ -252,6 +353,7 @@ pub(crate) fn flush_chain(
 pub struct Pipeline {
     ops: Vec<Box<dyn Operator>>,
     channel_capacity: usize,
+    telemetry: Telemetry,
 }
 
 impl Default for Pipeline {
@@ -259,6 +361,7 @@ impl Default for Pipeline {
         Pipeline {
             ops: Vec::new(),
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -268,6 +371,7 @@ impl std::fmt::Debug for Pipeline {
         f.debug_struct("Pipeline")
             .field("operators", &self.names())
             .field("channel_capacity", &self.channel_capacity)
+            .field("telemetry", &self.telemetry.config())
             .finish_non_exhaustive()
     }
 }
@@ -332,6 +436,40 @@ impl Pipeline {
         self.channel_capacity
     }
 
+    /// Enables telemetry at `config`, replacing any previous registry
+    /// (non-consuming builder, like [`add`](Self::add)).
+    ///
+    /// With [`TelemetryConfig::Counters`] the runners populate lock-free
+    /// per-stage latency histograms; [`TelemetryConfig::Full`] adds the
+    /// structured event log. The default, [`TelemetryConfig::Off`],
+    /// costs the hot path one `Option` branch per stage. Read results
+    /// back with [`telemetry_snapshot`](Self::telemetry_snapshot).
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) -> &mut Self {
+        self.telemetry = Telemetry::new(config);
+        self
+    }
+
+    /// Shares an existing [`Telemetry`] registry with this pipeline —
+    /// several pipelines recording into one set of histograms and one
+    /// event log.
+    pub fn set_telemetry_handle(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// A clone of the pipeline's [`Telemetry`] handle. Useful before a
+    /// consuming runner ([`run_threaded`](Self::run_threaded)): keep the
+    /// handle, run, then call [`Telemetry::snapshot`] on it.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// A point-in-time [`Snapshot`] of the pipeline's telemetry: one
+    /// latency histogram per stage plus the retained event log.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telemetry.snapshot()
+    }
+
     /// Number of operators.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -372,6 +510,9 @@ impl Pipeline {
         Ok(Pipeline {
             ops,
             channel_capacity: self.channel_capacity,
+            // Clones share the registry: every worker driving a cloned
+            // chain records into the same per-stage histograms.
+            telemetry: self.telemetry.clone(),
         })
     }
 
@@ -425,12 +566,14 @@ impl Pipeline {
         };
         let diags = crate::analyze::analyze_ops(&self.ops, &opts, sharded);
         if crate::analyze::has_errors(&diags) {
-            return Err(PipelineError::Analysis(
-                diags
-                    .into_iter()
-                    .filter(|d| d.severity == crate::analyze::Severity::Error)
-                    .collect(),
-            ));
+            let errors: Vec<Diagnostic> = diags
+                .into_iter()
+                .filter(|d| d.severity == crate::analyze::Severity::Error)
+                .collect();
+            self.telemetry
+                .event_sink(0)
+                .emit(EventKind::AnalysisReject, errors.len() as u64);
+            return Err(PipelineError::Analysis(errors));
         }
         Ok(())
     }
@@ -462,15 +605,27 @@ impl Pipeline {
         sink: &mut dyn Sink,
     ) -> Result<StreamStats, PipelineError> {
         self.preflight(false)?;
+        let names: Vec<String> = self.ops.iter().map(|op| op.name().to_string()).collect();
+        let timers = self.telemetry.stage_timers(&names);
         let mut stats: Vec<StageStats> = self
             .ops
             .iter()
-            .map(|op| StageStats::new(op.name()))
+            .zip(timers)
+            .map(|(op, timer)| StageStats::with_timer(op.name(), timer))
             .collect();
+        let events = self.telemetry.event_sink(0);
+        if events.enabled() {
+            for op in &mut self.ops {
+                op.attach_events(&events);
+            }
+        }
         let mut totals = SinkTotals::default();
         let mut source_records = 0u64;
         while let Some(record) = source.next_record()? {
             source_records += 1;
+            if events.enabled() {
+                emit_scope_event(&events, &record);
+            }
             feed_chain(&mut self.ops, &mut stats, record, &mut totals, sink)?;
         }
         flush_chain(&mut self.ops, &mut stats, &mut totals, sink)?;
@@ -622,28 +777,81 @@ impl Pipeline {
     /// Spawns the stage threads and returns `(handles, input sender,
     /// output receiver)`. Dropping the sender signals end-of-stream;
     /// stages flush (`on_eos`) and shut down in order.
+    ///
+    /// With telemetry enabled, each stage thread times `op.on_record`
+    /// and subtracts time spent blocked sending downstream (stall time
+    /// is backpressure, not stage cost); with event tracing on, a full
+    /// downstream channel raises `StallEnter`/`StallExit` events
+    /// (subject: stage index).
     pub fn spawn_threaded(self, capacity: usize) -> SpawnedStages {
         struct ChannelSink {
             tx: Sender<Record>,
+            events: EventSink,
+            stage: u64,
+            /// ns spent blocked on a full downstream channel during the
+            /// current `on_record` call; the stage thread subtracts it.
+            wait_ns: u64,
+            /// Timing or events on — take the `try_send` path.
+            instrumented: bool,
         }
         impl Sink for ChannelSink {
             fn push(&mut self, record: Record) -> Result<(), PipelineError> {
-                self.tx
-                    .send(record)
-                    .map_err(|_| PipelineError::Disconnected("downstream stage gone".into()))
+                if !self.instrumented {
+                    return self
+                        .tx
+                        .send(record)
+                        .map_err(|_| PipelineError::Disconnected("downstream stage gone".into()));
+                }
+                match self.tx.try_send(record) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Disconnected(_)) => {
+                        Err(PipelineError::Disconnected("downstream stage gone".into()))
+                    }
+                    Err(TrySendError::Full(record)) => {
+                        self.events.emit(EventKind::StallEnter, self.stage);
+                        let started = Instant::now();
+                        let result = self.tx.send(record).map_err(|_| {
+                            PipelineError::Disconnected("downstream stage gone".into())
+                        });
+                        self.wait_ns += elapsed_ns(started);
+                        self.events.emit(EventKind::StallExit, self.stage);
+                        result
+                    }
+                }
             }
         }
 
+        let names: Vec<String> = self.ops.iter().map(|op| op.name().to_string()).collect();
+        let timers = self.telemetry.stage_timers(&names);
+        let chain_events = self.telemetry.event_sink(0);
         let (feed_tx, mut prev_rx) = bounded::<Record>(capacity);
         let mut handles = Vec::with_capacity(self.ops.len());
-        for mut op in self.ops {
+        for (stage, (mut op, timer)) in self.ops.into_iter().zip(timers).enumerate() {
             let (tx, rx) = bounded::<Record>(capacity);
             let stage_rx = prev_rx;
             prev_rx = rx;
+            let events = chain_events.clone();
+            if events.enabled() {
+                op.attach_events(&events);
+            }
             handles.push(thread::spawn(move || -> Result<(), PipelineError> {
-                let mut sink = ChannelSink { tx };
+                let instrumented = timer.is_some() || events.enabled();
+                let mut sink = ChannelSink {
+                    tx,
+                    events,
+                    stage: stage as u64,
+                    wait_ns: 0,
+                    instrumented,
+                };
                 for record in stage_rx {
-                    op.on_record(record, &mut sink)?;
+                    if let Some(timer) = &timer {
+                        sink.wait_ns = 0;
+                        let started = Instant::now();
+                        op.on_record(record, &mut sink)?;
+                        timer.record(elapsed_ns(started).saturating_sub(sink.wait_ns));
+                    } else {
+                        op.on_record(record, &mut sink)?;
+                    }
                 }
                 op.on_eos(&mut sink)?;
                 Ok(())

@@ -30,6 +30,14 @@
 //!    a [`ServerReport`]: one [`SessionReport`] per session (its
 //!    [`StreamEnd`], record/byte counts and per-stage [`StreamStats`])
 //!    plus the aggregate of all sessions via [`StreamStats::merge`].
+//! 5. **Telemetry** — with [`PipelineServer::set_telemetry`] enabled,
+//!    each session forks its own stage timers
+//!    ([`crate::telemetry::Telemetry::fork_stages`]) and shares one
+//!    event ring (lane = session id). Session summaries carry
+//!    wall-clock duration, wire-idle time and a per-session
+//!    [`crate::telemetry::Snapshot`]; the final report merges them, and
+//!    [`ServerHandle::telemetry_snapshot`] reads the live event stream
+//!    while the server runs.
 //!
 //! Sessions — not scope shards — are the unit of concurrency here: each
 //! connection is an independent record stream with its own scope state
@@ -79,14 +87,18 @@
 
 use crate::error::PipelineError;
 use crate::net::{StreamEnd, StreamIn};
-use crate::operator::Sink;
-use crate::pipeline::{feed_chain, flush_chain, Pipeline, SinkTotals, StageStats, StreamStats};
+use crate::operator::{Operator, Sink};
+use crate::pipeline::{
+    emit_scope_event, feed_chain, flush_chain, Pipeline, SinkTotals, StageStats, StreamStats,
+};
+use crate::telemetry::{EventKind, Snapshot, Telemetry, TelemetryConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 /// Completed-session counter shared between the worker pool and the
 /// [`ServerHandle`], so callers can wait for a known client fleet to be
@@ -145,6 +157,19 @@ pub struct SessionReport {
     /// The codec/chain/sink error that ended the session, if any. Scope
     /// repair has already been applied when this is set.
     pub error: Option<String>,
+    /// Wall-clock time from the session worker picking the job up to
+    /// the report being written.
+    pub duration: Duration,
+    /// Portion of [`duration`](Self::duration) spent waiting on the
+    /// wire for the next record — time the chain sat idle because the
+    /// peer (or the network) had nothing ready.
+    pub idle: Duration,
+    /// The session's telemetry [`Snapshot`]: its own per-stage latency
+    /// histograms (each session forks fresh timers,
+    /// [`Telemetry::fork_stages`]) plus the events its lane (= session
+    /// id) emitted. Empty when the server's telemetry is
+    /// [`TelemetryConfig::Off`].
+    pub telemetry: Snapshot,
 }
 
 impl SessionReport {
@@ -169,6 +194,12 @@ pub struct ServerReport {
     /// (chain construction failure, fatal listener error). Completed
     /// sessions are still fully reported.
     pub accept_error: Option<String>,
+    /// Merged telemetry across the whole run: every session's stage
+    /// histograms folded bucket-wise ([`Snapshot::merge_stages`] — the
+    /// sessions share one event ring, so events are taken once from the
+    /// server's log rather than re-merged per session) plus the full
+    /// interleaved event list.
+    pub telemetry: Snapshot,
 }
 
 impl ServerReport {
@@ -193,6 +224,10 @@ struct SessionJob {
     info: SessionInfo,
     chain: Pipeline,
     sink: SessionSink,
+    /// Per-session telemetry fork: shares the server's config and event
+    /// ring, carries fresh stage timers so one session's latency never
+    /// pollutes another's histogram.
+    telemetry: Telemetry,
 }
 
 /// A multi-session pipeline server: accepts up to
@@ -202,6 +237,7 @@ struct SessionJob {
 pub struct PipelineServer {
     build: Box<dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send>,
     max_sessions: usize,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for PipelineServer {
@@ -238,6 +274,11 @@ impl PipelineServer {
             // session's build error rather than trusted away.
             build: Box::new(move |_session| prototype.clone_chain()),
             max_sessions: default_max_sessions(),
+            // Inherit the pipeline's telemetry *config* but not its
+            // registry: server sessions fork their own timers, and
+            // sharing the source pipeline's histograms would mix any
+            // pre-server runs into the server's report.
+            telemetry: Telemetry::new(pipeline.telemetry().config()),
         })
     }
 
@@ -254,7 +295,25 @@ impl PipelineServer {
                 Ok(chain)
             }),
             max_sessions: default_max_sessions(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Enables telemetry for the server: every session gets its own
+    /// stage timers ([`Telemetry::fork_stages`]) and all sessions share
+    /// one event ring, with each session's events tagged by its id as
+    /// the lane. Read results per session from
+    /// [`SessionReport::telemetry`], merged from
+    /// [`ServerReport::telemetry`], or live from
+    /// [`ServerHandle::telemetry_snapshot`].
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) -> &mut Self {
+        self.telemetry = Telemetry::new(config);
+        self
+    }
+
+    /// The server's [`Telemetry`] registry handle (cheap clone).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     /// Sets the concurrent-session limit (the worker-pool size). The
@@ -299,6 +358,8 @@ impl PipelineServer {
         let worker_progress = Arc::clone(&progress);
         let max_sessions = self.max_sessions;
         let mut build = self.build;
+        let telemetry = self.telemetry;
+        let supervisor_telemetry = telemetry.clone();
         let supervisor = thread::Builder::new()
             .name("pipeline-server".into())
             .spawn(move || {
@@ -309,6 +370,7 @@ impl PipelineServer {
                     max_sessions,
                     &flag,
                     &worker_progress,
+                    &supervisor_telemetry,
                 )
             })
             .map_err(PipelineError::Io)?;
@@ -317,6 +379,7 @@ impl PipelineServer {
             shutdown,
             progress,
             supervisor,
+            telemetry,
         })
     }
 }
@@ -328,12 +391,22 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     progress: Arc<Progress>,
     supervisor: JoinHandle<Result<ServerReport, PipelineError>>,
+    telemetry: Telemetry,
 }
 
 impl ServerHandle {
     /// The address the server is accepting on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A live telemetry [`Snapshot`] of the running server: the shared
+    /// event ring (all sessions interleaved, lane = session id), read
+    /// without stopping anything. Per-session stage histograms are
+    /// forked per session and land in each [`SessionReport::telemetry`]
+    /// (merged in [`ServerReport::telemetry`]) when the session ends.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telemetry.snapshot()
     }
 
     /// Number of sessions fully served so far.
@@ -409,6 +482,7 @@ fn supervise<F>(
     max_sessions: usize,
     shutdown: &AtomicBool,
     progress: &Arc<Progress>,
+    telemetry: &Telemetry,
 ) -> Result<ServerReport, PipelineError>
 where
     F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
@@ -448,6 +522,9 @@ where
                             stats: StreamStats::default(),
                             wire_version: None,
                             error: None,
+                            duration: Duration::ZERO,
+                            idle: Duration::ZERO,
+                            telemetry: Snapshot::default(),
                         };
                         let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             run_session(job)
@@ -511,6 +588,7 @@ where
                                 info,
                                 chain,
                                 sink,
+                                telemetry: telemetry.fork_stages(),
                             })
                             .is_err()
                         {
@@ -555,13 +633,18 @@ where
     let mut sessions: Vec<SessionReport> = report_rx.iter().collect();
     sessions.sort_by_key(|s| s.id);
     let mut aggregate = StreamStats::default();
+    // Events come once from the shared ring (already interleaved across
+    // sessions); only the per-session stage histograms need folding.
+    let mut merged_telemetry = telemetry.snapshot();
     for s in &sessions {
         aggregate.merge(&s.stats);
+        merged_telemetry.merge_stages(&s.telemetry);
     }
     Ok(ServerReport {
         sessions,
         aggregate,
         accept_error,
+        telemetry: merged_telemetry,
     })
 }
 
@@ -584,16 +667,40 @@ fn run_session(job: SessionJob) -> SessionReport {
         info,
         chain,
         mut sink,
+        telemetry,
     } = job;
     let _ = stream.set_nodelay(true);
+    let started = Instant::now();
+    let mut idle = Duration::ZERO;
     let mut ops = chain.into_ops();
-    let mut stats: Vec<StageStats> = ops.iter().map(|op| StageStats::new(op.name())).collect();
+    let names: Vec<String> = ops.iter().map(|op| op.name().to_string()).collect();
+    let timers = telemetry.stage_timers(&names);
+    let events = telemetry.event_sink(info.id);
+    if events.enabled() {
+        for op in &mut ops {
+            op.attach_events(&events);
+        }
+    }
+    events.emit(EventKind::SessionAccept, info.id);
+    let mut stats: Vec<StageStats> = ops
+        .iter()
+        .zip(timers)
+        .map(|(op, timer)| StageStats::with_timer(op.name(), timer))
+        .collect();
     let mut totals = SinkTotals::default();
     let mut streamin = StreamIn::new(stream);
     let mut error: Option<String> = None;
     loop {
-        match streamin.next_record() {
+        // Time spent blocked on the wire is the session's idle time —
+        // the chain is waiting for the peer, not working.
+        let waited = Instant::now();
+        let next = streamin.next_record();
+        idle += waited.elapsed();
+        match next {
             Ok(Some(record)) => {
+                if events.enabled() {
+                    emit_scope_event(&events, &record);
+                }
                 if let Err(e) = feed_chain(&mut ops, &mut stats, record, &mut totals, sink.as_mut())
                 {
                     // The session's own chain or sink failed: the chain
@@ -632,6 +739,11 @@ fn run_session(job: SessionJob) -> SessionReport {
     let end = streamin
         .end()
         .unwrap_or(StreamEnd::Unclean { repaired_scopes: 0 });
+    if error.is_some() {
+        events.emit(EventKind::SessionError, info.id);
+    } else {
+        events.emit(EventKind::SessionDrain, streamin.received());
+    }
     SessionReport {
         id: info.id,
         peer: info.peer,
@@ -646,6 +758,9 @@ fn run_session(job: SessionJob) -> SessionReport {
         },
         wire_version: streamin.wire_version(),
         error,
+        duration: started.elapsed(),
+        idle,
+        telemetry: telemetry.snapshot_for_lane(info.id),
     }
 }
 
@@ -957,6 +1072,90 @@ mod tests {
         assert!(err.contains("panicked"), "got: {err}");
         assert!(report.sessions[1].is_clean());
         assert_eq!(healthy_out.take().len(), 5);
+    }
+
+    #[test]
+    fn sessions_carry_telemetry_timing_and_merged_snapshot() {
+        let mut pipeline = doubling_chain();
+        pipeline.set_telemetry(crate::telemetry::TelemetryConfig::Full);
+        let mut server = PipelineServer::from_pipeline(&pipeline).unwrap();
+        server.set_max_sessions(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, _outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+
+        send_all(addr, &scoped_records(1.0, 6)).unwrap();
+        send_all(addr, &scoped_records(2.0, 9)).unwrap();
+        handle.wait_for_completed(2);
+
+        // Live view while the server still runs: the shared event ring
+        // already holds both sessions' accept/drain events.
+        let live = handle.telemetry_snapshot();
+        let accepts = live
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SessionAccept)
+            .count();
+        assert_eq!(accepts, 2);
+
+        let report = handle.shutdown().unwrap();
+        assert_eq!(report.clean_sessions(), 2);
+        for s in &report.sessions {
+            // Stage timers are per-session: the one "double" stage saw
+            // exactly this session's records (data + scope framing).
+            assert_eq!(s.telemetry.stages.len(), 1);
+            assert_eq!(s.telemetry.stages[0].name, "double");
+            assert_eq!(s.telemetry.stages[0].latency.count, s.received);
+            // Events are lane-filtered to this session.
+            assert!(s.telemetry.events.iter().all(|e| e.lane == s.id));
+            assert!(s
+                .telemetry
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::SessionAccept));
+            assert!(s
+                .telemetry
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::SessionDrain));
+            assert!(s
+                .telemetry
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::ScopeOpen));
+            // Wall-clock accounting: idle (wire waits) is part of the
+            // session's total duration.
+            assert!(s.duration >= s.idle);
+            assert!(s.duration > Duration::ZERO);
+        }
+        // Merged snapshot: histograms fold bucket-wise across sessions,
+        // events appear once.
+        let merged = &report.telemetry;
+        assert_eq!(merged.stages.len(), 1);
+        let total: u64 = report.sessions.iter().map(|s| s.received).sum();
+        assert_eq!(merged.stages[0].latency.count, total);
+        let merged_accepts = merged
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SessionAccept)
+            .count();
+        assert_eq!(merged_accepts, 2);
+    }
+
+    #[test]
+    fn telemetry_off_reports_empty_snapshots() {
+        let server = PipelineServer::from_pipeline(&doubling_chain()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (handle, _outputs) = start_collecting(server, listener);
+        let addr = handle.local_addr();
+        send_all(addr, &scoped_records(1.0, 4)).unwrap();
+        handle.wait_for_completed(1);
+        let report = handle.shutdown().unwrap();
+        assert!(report.sessions[0].telemetry.stages.is_empty());
+        assert!(report.sessions[0].telemetry.events.is_empty());
+        assert!(report.telemetry.events.is_empty());
+        // Duration/idle accounting is unconditional.
+        assert!(report.sessions[0].duration >= report.sessions[0].idle);
     }
 
     #[test]

@@ -81,11 +81,15 @@
 
 use crate::error::PipelineError;
 use crate::operator::{Operator, Sink};
-use crate::pipeline::{feed_chain, flush_chain, Pipeline, SinkTotals, StageStats, StreamStats};
+use crate::pipeline::{
+    emit_scope_event, feed_chain, flush_chain, Pipeline, SinkTotals, StageStats, StreamStats,
+};
 use crate::record::Record;
 use crate::scope::ScopeTracker;
 use crate::source::Source;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::telemetry::{EventKind, EventSink, Snapshot, StageTimer, Telemetry, TelemetryConfig};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::Arc;
 use std::thread;
 
 /// Item flowing from the splitter to a worker.
@@ -138,6 +142,7 @@ impl Sink for WorkerSink<'_> {
 pub struct ShardedPipeline {
     chains: Vec<Pipeline>,
     queue_capacity: usize,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for ShardedPipeline {
@@ -145,6 +150,7 @@ impl std::fmt::Debug for ShardedPipeline {
         f.debug_struct("ShardedPipeline")
             .field("workers", &self.chains.len())
             .field("queue_capacity", &self.queue_capacity)
+            .field("telemetry", &self.telemetry.config())
             .finish()
     }
 }
@@ -176,6 +182,10 @@ impl ShardedPipeline {
         Ok(ShardedPipeline {
             chains,
             queue_capacity: pipeline.channel_capacity(),
+            // Share the source pipeline's registry: every worker records
+            // into the same per-stage histograms, so the sharded
+            // snapshot's totals equal a single-lane run's.
+            telemetry: pipeline.telemetry(),
         })
     }
 
@@ -195,6 +205,7 @@ impl ShardedPipeline {
         ShardedPipeline {
             chains,
             queue_capacity,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -208,6 +219,34 @@ impl ShardedPipeline {
     pub fn set_queue_capacity(&mut self, capacity: usize) -> &mut Self {
         self.queue_capacity = capacity;
         self
+    }
+
+    /// Enables telemetry at `config`, replacing any previous registry
+    /// (including one inherited from
+    /// [`from_pipeline`](Self::from_pipeline)). All workers record into
+    /// the shared registry: histograms aggregate across shards, events
+    /// carry each worker's lane (`1 + worker index`; the splitter and
+    /// merge use lane 0).
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) -> &mut Self {
+        self.telemetry = Telemetry::new(config);
+        self
+    }
+
+    /// Shares an existing [`Telemetry`] registry with this runtime.
+    pub fn set_telemetry_handle(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// A clone of the runtime's [`Telemetry`] handle. Keep it before
+    /// the consuming [`run`](Self::run), then snapshot after.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// A point-in-time [`Snapshot`] aggregated across all workers.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telemetry.snapshot()
     }
 
     /// Runs the sharded pipeline: splits `source` into top-level-scope
@@ -234,19 +273,28 @@ impl ShardedPipeline {
             chain.preflight(false)?;
         }
         let capacity = self.queue_capacity;
+        let telemetry = self.telemetry.clone();
         thread::scope(|scope| {
             let mut in_txs = Vec::with_capacity(self.chains.len());
             let mut out_rxs = Vec::with_capacity(self.chains.len());
-            for chain in self.chains {
+            for (w, chain) in self.chains.into_iter().enumerate() {
                 let (in_tx, in_rx) = bounded::<ShardIn>(capacity);
                 let (out_tx, out_rx) = bounded::<ShardOut>(capacity);
+                // All workers fetch the same per-stage timers (matched
+                // by name), so their latencies aggregate lock-free into
+                // one histogram per stage.
+                let names: Vec<String> = chain.names().iter().map(ToString::to_string).collect();
+                let timers = telemetry.stage_timers(&names);
+                let events = telemetry.event_sink(w as u64 + 1);
                 let ops = chain.into_ops();
-                scope.spawn(move || run_worker(ops, &in_rx, &out_tx));
+                scope.spawn(move || run_worker(ops, &in_rx, &out_tx, timers, &events));
                 in_txs.push(in_tx);
                 out_rxs.push(out_rx);
             }
-            let splitter = scope.spawn(move || run_splitter(source, &in_txs));
-            let merged = run_merge(&out_rxs, sink);
+            let splitter_events = telemetry.event_sink(0);
+            let splitter = scope.spawn(move || run_splitter(source, &in_txs, &splitter_events));
+            let merge_events = telemetry.event_sink(0);
+            let merged = run_merge(&out_rxs, sink, &merge_events);
             // The merge consumed every worker's Done/Failed (or errored
             // and dropped the receivers), so the splitter has either
             // finished or will fail its next send; join cannot hang.
@@ -266,10 +314,34 @@ impl ShardedPipeline {
     }
 }
 
+/// Sends into a worker queue, surfacing backpressure as telemetry:
+/// when event tracing is on and the queue is full, `StallEnter`/
+/// `StallExit` bracket the blocking send (subject: the worker index).
+/// Returns `false` when the worker is gone.
+fn send_in(tx: &Sender<ShardIn>, msg: ShardIn, events: &EventSink, shard: u64) -> bool {
+    if !events.enabled() {
+        return tx.send(msg).is_ok();
+    }
+    match tx.try_send(msg) {
+        Ok(()) => true,
+        Err(TrySendError::Full(msg)) => {
+            events.emit(EventKind::StallEnter, shard);
+            let ok = tx.send(msg).is_ok();
+            events.emit(EventKind::StallExit, shard);
+            ok
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
 /// Splitter: pulls the source, carves the stream into top-level-scope
 /// units, and deals them round-robin. Returns the pull count and any
 /// source error.
-fn run_splitter(mut source: impl Source, txs: &[Sender<ShardIn>]) -> (u64, Option<PipelineError>) {
+fn run_splitter(
+    mut source: impl Source,
+    txs: &[Sender<ShardIn>],
+    events: &EventSink,
+) -> (u64, Option<PipelineError>) {
     let workers = txs.len() as u64;
     let mut tracker = ScopeTracker::new();
     let mut unit = 0u64;
@@ -284,8 +356,15 @@ fn run_splitter(mut source: impl Source, txs: &[Sender<ShardIn>]) -> (u64, Optio
                 // simply stands as its own unit — the splitter never
                 // rejects a stream the single-lane driver would accept.
                 let _ = tracker.observe(&record);
+                if events.enabled() {
+                    // Scope events are emitted where source records
+                    // enter the run — here, as the single-lane driver
+                    // does in `run_streaming` — so the event multiset
+                    // matches across runners.
+                    emit_scope_event(events, &record);
+                }
                 let shard = (unit % workers) as usize;
-                if txs[shard].send(ShardIn::Rec(record)).is_err() {
+                if !send_in(&txs[shard], ShardIn::Rec(record), events, shard as u64) {
                     // The worker failed; its error reaches the caller
                     // through the merge. Stop feeding everyone.
                     abort_all(txs);
@@ -293,10 +372,11 @@ fn run_splitter(mut source: impl Source, txs: &[Sender<ShardIn>]) -> (u64, Optio
                 }
                 unit_open = true;
                 if tracker.is_balanced() {
-                    if txs[shard].send(ShardIn::UnitEnd).is_err() {
+                    if !send_in(&txs[shard], ShardIn::UnitEnd, events, shard as u64) {
                         abort_all(txs);
                         return (pulled, None);
                     }
+                    events.emit(EventKind::ShardUnitDispatched, unit);
                     unit += 1;
                     unit_open = false;
                 }
@@ -308,7 +388,8 @@ fn run_splitter(mut source: impl Source, txs: &[Sender<ShardIn>]) -> (u64, Optio
                     // and `on_eos` flush handle it exactly as the
                     // single-lane driver would at its end of stream.
                     let shard = (unit % workers) as usize;
-                    let _ = txs[shard].send(ShardIn::UnitEnd);
+                    let _ = send_in(&txs[shard], ShardIn::UnitEnd, events, shard as u64);
+                    events.emit(EventKind::ShardUnitDispatched, unit);
                 }
                 // Dropping the senders signals end-of-stream: workers
                 // flush and report.
@@ -332,8 +413,23 @@ fn abort_all(txs: &[Sender<ShardIn>]) {
 
 /// Worker: drives one cloned chain over its shard of the stream,
 /// echoing unit boundaries so the merge can interleave outputs.
-fn run_worker(mut ops: Vec<Box<dyn Operator>>, rx: &Receiver<ShardIn>, tx: &Sender<ShardOut>) {
-    let mut stats: Vec<StageStats> = ops.iter().map(|op| StageStats::new(op.name())).collect();
+fn run_worker(
+    mut ops: Vec<Box<dyn Operator>>,
+    rx: &Receiver<ShardIn>,
+    tx: &Sender<ShardOut>,
+    timers: Vec<Option<Arc<StageTimer>>>,
+    events: &EventSink,
+) {
+    if events.enabled() {
+        for op in &mut ops {
+            op.attach_events(events);
+        }
+    }
+    let mut stats: Vec<StageStats> = ops
+        .iter()
+        .zip(timers)
+        .map(|(op, timer)| StageStats::with_timer(op.name(), timer))
+        .collect();
     let mut totals = SinkTotals::default();
     let mut received = 0u64;
     let mut aborted = false;
@@ -384,6 +480,7 @@ fn run_worker(mut ops: Vec<Box<dyn Operator>>, rx: &Receiver<ShardIn>, tx: &Send
 fn run_merge(
     rxs: &[Receiver<ShardOut>],
     sink: &mut dyn Sink,
+    events: &EventSink,
 ) -> Result<StreamStats, PipelineError> {
     let workers = rxs.len() as u64;
     let mut merged = StreamStats::default();
@@ -404,6 +501,7 @@ fn run_merge(
                     sink.push(r)?;
                 }
                 Ok(ShardOut::UnitEnd) => {
+                    events.emit(EventKind::ShardUnitMerged, unit);
                     unit += 1;
                     continue 'units;
                 }

@@ -110,6 +110,52 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// message.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full (or a rendezvous channel with no waiting
+        /// receiver guaranteed — the shim treats rendezvous channels as
+        /// always full, since a rendezvous send always blocks).
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full channel (backpressure).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Creates an unbounded channel: sends never block.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         with_capacity(None)
@@ -188,6 +234,36 @@ pub mod channel {
                     }
                     _ => break,
                 }
+            }
+            let ticket = state.next_ticket;
+            state.next_ticket += 1;
+            state.queue.push_back((ticket, value));
+            drop(state);
+            inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends `value` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity
+        /// (a rendezvous channel always reports full: its sends always
+        /// block until a receiver takes the message), or
+        /// [`TrySendError::Disconnected`] when every receiver has been
+        /// dropped. Both carry the unsent value.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let inner = &self.inner;
+            let mut state = inner.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            match inner.capacity {
+                Some(0) => return Err(TrySendError::Full(value)),
+                Some(cap) if state.queue.len() >= cap => {
+                    return Err(TrySendError::Full(value));
+                }
+                _ => {}
             }
             let ticket = state.next_ticket;
             state.next_ticket += 1;
@@ -378,6 +454,29 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(9));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use super::channel::TrySendError;
+
+        let (tx, rx) = bounded(1);
+        assert!(tx.try_send(1u8).is_ok());
+        match tx.try_send(2u8) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3u8).is_ok());
+        drop(rx);
+        match tx.try_send(4u8) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 4),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        // Rendezvous channels always report full: their sends always
+        // block until a receiver takes the message.
+        let (tx0, _rx0) = bounded(0);
+        assert!(matches!(tx0.try_send(5u8), Err(TrySendError::Full(_))));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! hosts stream their clips concurrently; the server runs each session
 //! through its own clone of the analysis chain, repairs sessions whose
 //! sensors crash mid-clip, and reports per-session plus aggregate
-//! statistics on graceful shutdown.
+//! statistics on graceful shutdown — including full telemetry: each
+//! session's wall-clock/idle split and the fleet-wide merged per-stage
+//! latency table (DESIGN.md §16).
 //!
 //! ```text
 //! cargo run --release --example distributed_pipeline
@@ -16,6 +18,7 @@ use acoustic_ensembles::river::codec::write_record;
 use acoustic_ensembles::river::net::send_all_with;
 use acoustic_ensembles::river::operator::SharedSink;
 use acoustic_ensembles::river::prelude::*;
+use acoustic_ensembles::river::telemetry::EventKind;
 use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
@@ -50,7 +53,7 @@ fn main() {
     let outputs: Arc<Mutex<Vec<(u64, String, SharedSink)>>> = Arc::new(Mutex::new(Vec::new()));
     let registry = Arc::clone(&outputs);
     let handle = extractor
-        .serve(listener, MAX_SESSIONS, move |info| {
+        .serve_with_telemetry(listener, MAX_SESSIONS, TelemetryConfig::Full, move |info| {
             let sink = SharedSink::new();
             registry
                 .lock()
@@ -119,12 +122,15 @@ fn main() {
     );
     for s in &report.sessions {
         println!(
-            "  session {} [{}]: {} records in, {} wire bytes (wire v{}), ended {:?}{}",
+            "  session {} [{}]: {} records in, {} wire bytes (wire v{}), \
+             {:.1} ms wall ({:.0}% idle on the socket), ended {:?}{}",
             s.id,
             s.peer,
             s.received,
             s.wire_bytes,
             s.wire_version.map_or_else(|| "?".into(), |v| v.to_string()),
+            s.duration.as_secs_f64() * 1e3,
+            100.0 * s.idle.as_secs_f64() / s.duration.as_secs_f64().max(1e-9),
             s.end,
             s.error
                 .as_deref()
@@ -135,6 +141,24 @@ fn main() {
     println!(
         "aggregate: {} records in -> {} records out ({} bytes) across all sessions",
         report.aggregate.source_records, report.aggregate.sink_records, report.aggregate.sink_bytes
+    );
+
+    // Fleet-wide telemetry: per-stage latency percentiles merged across
+    // every session (the event trace is summarized — the shared ring
+    // retains up to 1024 structured events).
+    let mut stage_view = report.telemetry.clone();
+    let events = std::mem::take(&mut stage_view.events);
+    println!(
+        "\nmerged stage latency across the fleet:\n{}",
+        stage_view.render_table()
+    );
+    let count_kind = |kind: EventKind| events.iter().filter(|e| e.kind == kind).count();
+    println!(
+        "event trace: {} events retained ({} session accepts, {} drains, {} errored)",
+        events.len(),
+        count_kind(EventKind::SessionAccept),
+        count_kind(EventKind::SessionDrain),
+        count_kind(EventKind::SessionError),
     );
 
     // Every session's output — including the crashed one — is

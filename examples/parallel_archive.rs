@@ -16,7 +16,7 @@
 use acoustic_ensembles::core::ops::clips_record_source;
 use acoustic_ensembles::core::pipeline::{full_pipeline, full_pipeline_sharded};
 use acoustic_ensembles::core::prelude::*;
-use acoustic_ensembles::river::Record;
+use acoustic_ensembles::river::{Record, TelemetryConfig};
 use std::time::Instant;
 
 fn main() {
@@ -51,10 +51,15 @@ fn main() {
     let single_secs = t0.elapsed().as_secs_f64();
 
     // Sharded: whole clip scopes fan out to worker chains, outputs
-    // merge back in archive order.
+    // merge back in archive order. Workers share one telemetry
+    // registry, so the snapshot taken after the run is already the
+    // archive-wide per-stage latency distribution (DESIGN.md §16).
     let mut sharded: Vec<Record> = Vec::new();
     let t0 = Instant::now();
-    let stats = full_pipeline_sharded(cfg, true, workers)
+    let mut runtime = full_pipeline_sharded(cfg, true, workers);
+    runtime.set_telemetry(TelemetryConfig::Counters);
+    let telemetry = runtime.telemetry();
+    let stats = runtime
         .run(
             clips_record_source(archive.clone(), cfg.sample_rate, cfg.record_len),
             &mut sharded,
@@ -72,6 +77,10 @@ fn main() {
         single_secs / sharded_secs,
         sharded.len(),
         stats.max_peak_burst(),
+    );
+    println!(
+        "\nper-stage latency, merged across {workers} shards:\n{}",
+        telemetry.snapshot().render_table()
     );
 
     // The extractor-level route: clip-parallel ensemble extraction.
