@@ -11,6 +11,11 @@
 #   ./ci.sh telemetry-check  # validate the fig5 --telemetry-json
 #                        #   snapshot, append per-stage p50/p99 lines to
 #                        #   BENCH_fig5.json, enforce the overhead budget
+#   ./ci.sh serve-bench  # append the event-loop service throughput line
+#                        #   ({"sessions": …, "workers": …, …}) to
+#                        #   BENCH_fig5.json (requires a release build)
+#   ./ci.sh docs         # rustdoc with warnings as errors (doctests run
+#                        #   under plain `cargo test`)
 #
 # Requires only a Rust toolchain — the workspace has no network
 # dependencies (see DESIGN.md § Shims). Every phase prints its
@@ -128,6 +133,24 @@ telemetry_check() {
     cargo test --release -q -p ensemble-core --test telemetry_overhead
 }
 
+# --- event-loop service throughput ------------------------------------
+# Appends one {"sessions": M, "workers": N, "records_per_sec": …} line
+# to BENCH_fig5.json: M concurrent loopback clients multiplexed over an
+# N-thread worker pool by the readiness-driven PipelineServer
+# (DESIGN.md §17), so service-layer throughput is tracked
+# commit-over-commit alongside the pipeline trajectory.
+serve_bench() {
+    cargo run --release --quiet -p ensemble-bench --bin fig5_pipeline -- \
+        --serve-json --sessions 16 --workers 4 | tee -a BENCH_fig5.json
+}
+
+# --- rustdoc gate -----------------------------------------------------
+# The API docs must build warning-free (broken intra-doc links are the
+# usual regression); doctests themselves run under `cargo test`.
+docs_check() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+}
+
 # --- static chain verification ---------------------------------------
 # Runs river-lint over every shipped pipeline chain (Figure 5 in both
 # spectral paths plus the standalone segments, the chains every example
@@ -150,6 +173,14 @@ if [ "${1:-}" = "stage-bench" ]; then
 fi
 if [ "${1:-}" = "telemetry-check" ]; then
     telemetry_check
+    exit 0
+fi
+if [ "${1:-}" = "serve-bench" ]; then
+    serve_bench
+    exit 0
+fi
+if [ "${1:-}" = "docs" ]; then
+    docs_check
     exit 0
 fi
 
@@ -178,7 +209,7 @@ if [ "${1:-}" != "quick" ]; then
     fi
 
     phase "cargo doc --no-deps (warnings are errors)"
-    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+    docs_check
 
     phase "cargo bench --no-run (benches must compile)"
     cargo bench --no-run --quiet
@@ -224,6 +255,11 @@ if [ "${1:-}" != "quick" ]; then
     # single-lane throughput comes from (dft vs fused spectrum).
     phase "BENCH_fig5.json (per-stage spectral ns/record)"
     stage_bench
+
+    # Service-layer throughput, same artifact: 16 sessions multiplexed
+    # over the event loop's 4-thread worker pool (DESIGN.md §17).
+    phase "BENCH_fig5.json (serve-bench: event-loop service throughput)"
+    serve_bench
 
     # Telemetry gate: the live snapshot must parse and carry per-stage
     # percentiles plus a non-empty event log; its p50/p99 lines join the

@@ -335,10 +335,14 @@ impl EnsembleExtractor {
     }
 
     /// Serves the full Figure 5 analysis chain to a fleet of networked
-    /// clients: a [`PipelineServer`] accepting up to `max_sessions`
-    /// concurrent `streamin` connections, each session running its own
-    /// fresh `full_pipeline` instance over this extractor's
-    /// configuration. Clients push framed clip records (e.g. via
+    /// clients: a [`PipelineServer`] multiplexing up to `max_sessions`
+    /// concurrent `streamin` connections over its event loop and
+    /// worker pool (DESIGN.md §17), each session running its own fresh
+    /// `full_pipeline` instance over this extractor's configuration.
+    /// For separate control of the pool width or an idle-session
+    /// timeout, build the [`PipelineServer`] directly
+    /// (`set_workers` / `set_idle_timeout`).
+    /// Clients push framed clip records (e.g. via
     /// [`clip_to_records`](crate::ops::clip_to_records) +
     /// `send_all`); each session's pattern output lands in the sink
     /// produced by `make_sink`. Returns immediately with the

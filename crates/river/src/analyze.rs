@@ -37,6 +37,26 @@
 //! detections around undeclared operators — which is what the
 //! `UnknownSignature` warning surfaces.
 //!
+//! ```
+//! use dynamic_river::prelude::*;
+//!
+//! let mut pipeline = Pipeline::new();
+//! pipeline.add(MapPayload::new("gain", |v: &mut [f64]| {
+//!     v.iter_mut().for_each(|x| *x *= 2.0);
+//! }));
+//! // A closure operator with no declared signature: legal, but the
+//! // analyzer loses precision from this stage on and says so.
+//! pipeline.add(FnOp::new("mystery", |record, out: &mut dyn Sink| {
+//!     out.push(record)
+//! }));
+//!
+//! let diags = pipeline.check();
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].kind, DiagnosticKind::UnknownSignature);
+//! assert_eq!(diags[0].kind.code(), "RL0005");
+//! assert!(diags[0].render().starts_with("warning[RL0005]"));
+//! ```
+//!
 //! [`Pipeline::check`]: crate::pipeline::Pipeline::check
 //! [`Pipeline::run_sharded`]: crate::pipeline::Pipeline::run_sharded
 //! [`Operator::signature`]: crate::operator::Operator::signature

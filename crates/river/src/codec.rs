@@ -53,6 +53,27 @@
 //! them per frame by the first byte (`'R'` → v1 frame or sentinel,
 //! `0xB2` → v2), so version negotiation is simply the sender's choice of
 //! [`WireFormat`].
+//!
+//! The decoder is push-based and incremental — feed it byte chunks of
+//! any size and frame boundaries are its problem, not the reader's:
+//!
+//! ```
+//! use dynamic_river::codec::{encode_frame, write_eos, Decoder};
+//! use dynamic_river::prelude::*;
+//!
+//! let rec = Record::data(7, Payload::f64(vec![0.5, -0.5])).with_seq(1);
+//! let mut wire = encode_frame(&rec);
+//! write_eos(&mut wire).unwrap();
+//!
+//! // Worst-case fragmentation: one byte per feed.
+//! let mut decoder = Decoder::new();
+//! let mut events = Vec::new();
+//! for byte in &wire {
+//!     decoder.feed(std::slice::from_ref(byte), &mut events).unwrap();
+//! }
+//! assert_eq!(events, vec![DecodeEvent::Record(rec), DecodeEvent::CleanEnd]);
+//! assert!(decoder.is_done());
+//! ```
 
 // Library code in this module must surface failures as errors, never
 // panics; unwraps are confined to the test module below.
@@ -68,6 +89,11 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"RVDR";
 /// Clean end-of-stream sentinel.
 pub const EOS_MAGIC: [u8; 4] = *b"RVEO";
+/// Keepalive sentinel: a 4-byte no-op frame a quiet sensor emits so an
+/// idle-timeout-enforcing server ([`crate::serve::PipelineServer`])
+/// knows the connection is dormant, not dead. Decoders consume it
+/// without producing a record; it is legal anywhere between frames.
+pub const KEEPALIVE_MAGIC: [u8; 4] = *b"RVKA";
 /// Wire format version.
 pub const VERSION: u8 = 1;
 /// Compact frame magic (first byte of every v2 frame). Distinct from
@@ -535,6 +561,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Record, usize)>, PipelineError
     match scan(buf)? {
         Scan::Need(_) => Ok(None),
         Scan::Eos => Err(PipelineError::Codec("end-of-stream sentinel".into())),
+        Scan::KeepAlive => Err(PipelineError::Codec("keepalive sentinel".into())),
         Scan::Frame { version, total } => {
             if buf.len() < total {
                 return Ok(None);
@@ -559,6 +586,8 @@ enum Scan {
     Need(usize),
     /// The clean end-of-stream sentinel (4 bytes).
     Eos,
+    /// The keepalive sentinel (4 bytes): consumed, no record produced.
+    KeepAlive,
     /// A frame header: the complete frame spans `total` bytes.
     Frame { version: u8, total: usize },
 }
@@ -574,6 +603,9 @@ fn scan(buf: &[u8]) -> Result<Scan, PipelineError> {
             }
             if buf[..4] == EOS_MAGIC {
                 return Ok(Scan::Eos);
+            }
+            if buf[..4] == KEEPALIVE_MAGIC {
+                return Ok(Scan::KeepAlive);
             }
             if buf[..4] != MAGIC {
                 return Err(PipelineError::Codec(format!(
@@ -640,7 +672,7 @@ fn scan(buf: &[u8]) -> Result<Scan, PipelineError> {
 pub fn frame_len(buf: &[u8]) -> Result<Option<usize>, PipelineError> {
     match scan(buf)? {
         Scan::Need(_) => Ok(None),
-        Scan::Eos => Ok(Some(4)),
+        Scan::Eos | Scan::KeepAlive => Ok(Some(4)),
         Scan::Frame { total, .. } => Ok((buf.len() >= total).then_some(total)),
     }
 }
@@ -874,6 +906,19 @@ pub fn write_eos<W: Write>(mut writer: W) -> Result<(), PipelineError> {
     Ok(())
 }
 
+/// Writes (and flushes) one keepalive sentinel — what a sensor with
+/// nothing to say sends so a [`crate::serve::PipelineServer`] with an
+/// idle timeout knows the connection is dormant, not dead.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Io`] on sink failure.
+pub fn write_keepalive<W: Write>(mut writer: W) -> Result<(), PipelineError> {
+    writer.write_all(&KEEPALIVE_MAGIC)?;
+    writer.flush()?;
+    Ok(())
+}
+
 /// Outcome of reading one frame from a byte stream.
 #[derive(Debug, PartialEq)]
 pub enum ReadOutcome {
@@ -892,6 +937,10 @@ pub enum DecodeEvent {
     Record(Record),
     /// The clean end-of-stream sentinel was consumed.
     CleanEnd,
+    /// A keepalive sentinel was consumed: the peer is alive but has
+    /// nothing to say. Carries no record; session layers use it to
+    /// reset idle timers ([`crate::serve::PipelineServer::set_idle_timeout`]).
+    KeepAlive,
 }
 
 /// Push-based incremental frame decoder: feed it byte chunks of *any*
@@ -971,8 +1020,9 @@ impl Decoder {
         }
         let buf = self.pending();
         match scan(buf) {
-            // Errors surface at the next poll; EOS needs nothing more.
-            Err(_) | Ok(Scan::Eos) => 0,
+            // Errors surface at the next poll; sentinels need nothing
+            // more.
+            Err(_) | Ok(Scan::Eos | Scan::KeepAlive) => 0,
             Ok(Scan::Need(n)) => n.saturating_sub(buf.len()).max(1),
             Ok(Scan::Frame { total, .. }) => total.saturating_sub(buf.len()),
         }
@@ -1054,6 +1104,10 @@ impl Decoder {
                 self.start += 4;
                 self.done = true;
                 Ok(Some(DecodeEvent::CleanEnd))
+            }
+            Scan::KeepAlive => {
+                self.start += 4;
+                Ok(Some(DecodeEvent::KeepAlive))
             }
             Scan::Frame { version, total } => {
                 if buf.len() < total {
@@ -1140,7 +1194,8 @@ pub fn read_record_counted<R: Read>(mut reader: R) -> Result<(ReadOutcome, u64),
         match dec.poll()? {
             Some(DecodeEvent::Record(record)) => return Ok((ReadOutcome::Record(record), counted)),
             Some(DecodeEvent::CleanEnd) => return Ok((ReadOutcome::CleanEnd, counted)),
-            None => {}
+            // Keepalives carry no record: keep reading for a real frame.
+            Some(DecodeEvent::KeepAlive) | None => {}
         }
         let need = dec.needed();
         debug_assert!(need > 0, "poll returned None without requesting bytes");
@@ -1644,7 +1699,7 @@ mod tests {
                 .iter()
                 .filter_map(|e| match e {
                     DecodeEvent::Record(r) => Some(r),
-                    DecodeEvent::CleanEnd => None,
+                    DecodeEvent::CleanEnd | DecodeEvent::KeepAlive => None,
                 })
                 .collect();
             assert_eq!(records.len(), samples().len(), "chunk {chunk}");

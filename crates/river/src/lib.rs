@@ -43,11 +43,14 @@
 //!   ([`codec::WireFormat`]) with `f32`/`i16` sample encodings, decoded
 //!   by a push-based incremental [`codec::Decoder`] that handles both
 //!   versions on one stream (see `DESIGN.md` §13).
-//! - [`serve`] — the multi-session service layer: a
-//!   [`serve::PipelineServer`] accepts many concurrent `streamin`
-//!   connections, runs each through its own cloned operator chain on a
-//!   bounded worker pool, repairs each session's scopes independently,
-//!   and reports per-session plus aggregate [`StreamStats`].
+//! - [`serve`] — the event-driven service layer: a
+//!   [`serve::PipelineServer`] multiplexes many concurrent `streamin`
+//!   connections over a readiness loop (non-blocking sockets, one
+//!   supervisor thread) and a small worker pool, runs each session
+//!   through its own cloned operator chain, repairs each session's
+//!   scopes independently, reaps idle sessions (keepalive-aware), and
+//!   reports per-session plus aggregate [`StreamStats`] (see
+//!   `DESIGN.md` §17).
 //! - [`segment`] — named operator chains on in-process *hosts*, with a
 //!   coordinator that relocates segments between hosts at scope
 //!   boundaries ([`segment::RelocatablePipeline`]).

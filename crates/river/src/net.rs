@@ -58,6 +58,18 @@ impl<W: Write + Send> StreamOut<W> {
     pub fn sent(&self) -> u64 {
         self.sent
     }
+
+    /// Emits (and flushes) one keepalive sentinel — what a sensor with
+    /// no clip in progress sends periodically so a server enforcing
+    /// [`crate::serve::PipelineServer::set_idle_timeout`] keeps the
+    /// dormant connection open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Io`] on write failure.
+    pub fn keepalive(&mut self) -> Result<(), PipelineError> {
+        crate::codec::write_keepalive(&mut self.writer)
+    }
 }
 
 impl StreamOut<TcpStream> {
@@ -107,51 +119,57 @@ pub enum StreamEnd {
     },
 }
 
-/// `streamin`: decodes records from a byte source, tracking scope state
-/// and repairing it when the upstream dies.
+/// The byte→record half of `streamin` with the I/O factored out: a
+/// push-based assembler that turns arbitrarily fragmented wire bytes
+/// into a scope-consistent record sequence.
 ///
-/// Two consumption styles are offered: the push-based
-/// [`pump`](Self::pump) (drain everything into a [`Sink`]) and the
-/// pull-based [`next_record`](Self::next_record), which is also exposed as a
-/// [`Source`] so a connection can feed
-/// [`Pipeline::run_streaming`](crate::pipeline::Pipeline::run_streaming)
-/// directly. The multi-session service layer ([`crate::serve`]) drives
-/// the pull API so each session can interleave decoding with its own
-/// operator chain.
-pub struct StreamIn<R: Read> {
-    reader: R,
+/// [`feed`](Self::feed) accepts whatever a (possibly non-blocking)
+/// socket read produced; [`next_ready`](Self::next_ready) hands back
+/// the records that have fully materialized so far. On top of the
+/// incremental [`Decoder`] it layers exactly the session semantics
+/// `streamin` promises:
+///
+/// - scope accounting ([`ScopeTracker`]), with stray closes dropped at
+///   the network boundary rather than treated as fatal;
+/// - `BadCloseScope` repair synthesis when the upstream dies mid-scope
+///   (on EOF via [`finish`](Self::finish), administratively via
+///   [`abort_repair`](Self::abort_repair));
+/// - error *ordering*: a corrupt frame surfaces only after every
+///   record decoded before it has been delivered, matching what a
+///   frame-at-a-time blocking reader would have observed;
+/// - keepalive sentinels consumed and counted, never delivered.
+///
+/// [`StreamIn`] wraps this with a blocking reader; the event-driven
+/// service layer ([`crate::serve`]) drives it directly from readiness
+/// callbacks, which is what makes thousands of mostly-idle sessions
+/// per host affordable.
+#[derive(Debug, Default)]
+pub struct RecordAssembler {
     /// Incremental frame decoder: chunks go in, records come out. It
     /// buffers internally, so no `BufReader` wrapper is needed.
     decoder: Decoder,
     /// Decoded events not yet delivered to the caller.
     events: VecDeque<DecodeEvent>,
-    /// A decode error found mid-chunk, held back until every record
-    /// decoded *before* it has been delivered (frame-at-a-time readers
-    /// had exactly this ordering).
+    /// A decode (or injected I/O) error held back until every record
+    /// decoded *before* it has been delivered.
     pending_error: Option<PipelineError>,
     tracker: ScopeTracker,
     received: u64,
     wire_bytes: u64,
+    keepalives: u64,
     /// Synthesized `BadCloseScope` repairs not yet handed out.
     repairs: VecDeque<Record>,
-    /// Set once the stream has ended (no more reads will happen).
+    /// EOF declared by the reader; repairs are synthesized once every
+    /// decoded event before the EOF has been delivered.
+    eof: bool,
+    /// Set once the stream has ended (no more bytes are expected).
     done: Option<StreamEnd>,
 }
 
-impl<R: Read> StreamIn<R> {
-    /// Wraps a byte source.
-    pub fn new(reader: R) -> Self {
-        StreamIn {
-            reader,
-            decoder: Decoder::new(),
-            events: VecDeque::new(),
-            pending_error: None,
-            tracker: ScopeTracker::new(),
-            received: 0,
-            wire_bytes: 0,
-            repairs: VecDeque::new(),
-            done: None,
-        }
+impl RecordAssembler {
+    /// A fresh assembler with no buffered bytes.
+    pub fn new() -> Self {
+        RecordAssembler::default()
     }
 
     /// The wire version of the most recently decoded frame, if any —
@@ -166,42 +184,81 @@ impl<R: Read> StreamIn<R> {
         self.received
     }
 
-    /// Wire bytes consumed so far (frames, sentinel and any partial
+    /// Wire bytes consumed so far (frames, sentinels and any partial
     /// trailing frame) — the session-traffic counter behind
     /// [`crate::serve::SessionReport::wire_bytes`].
     pub fn wire_bytes(&self) -> u64 {
         self.wire_bytes
     }
 
-    /// How the stream ended, once [`next_record`](Self::next_record) has returned
-    /// `Ok(None)` (or the session was [aborted](Self::abort_repair)).
+    /// Keepalive sentinels consumed so far. The service layer samples
+    /// this to tell a dormant-but-alive sensor from a dead one.
+    pub fn keepalives(&self) -> u64 {
+        self.keepalives
+    }
+
+    /// Decoded-but-undelivered events — the service layer's decode-ahead
+    /// backlog gauge, used to stop reading a socket whose chain has
+    /// fallen behind (backpressure moves into the peer's TCP window).
+    pub fn backlog(&self) -> usize {
+        self.events.len()
+    }
+
+    /// How the stream ended, once [`next_ready`](Self::next_ready) has
+    /// drained to `Ok(None)` after [`finish`](Self::finish)/
+    /// [`abort_repair`](Self::abort_repair). `None` means the stream is
+    /// still live (an `Ok(None)` from `next_ready` then just means
+    /// "feed me more bytes").
     pub fn end(&self) -> Option<StreamEnd> {
         self.done
     }
 
-    /// Pulls the next record: real records first, then — after the
-    /// upstream ends — any synthesized `BadCloseScope` repairs, then
-    /// `Ok(None)`. Once `None` is returned, [`end`](Self::end) reports
-    /// how the stream terminated. This is also the [`Source`]
-    /// implementation, so a connection can feed the streaming driver
-    /// directly.
+    /// Appends a chunk of wire bytes (any fragmentation). Decode errors
+    /// are *not* raised here: they queue behind the records decoded
+    /// before them and surface from [`next_ready`](Self::next_ready) in
+    /// delivery order.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.wire_bytes += bytes.len() as u64;
+        let mut decoded = Vec::new();
+        let fed = self.decoder.feed(bytes, &mut decoded);
+        self.events.extend(decoded);
+        if let Err(e) = fed {
+            // Keep the first error; a poisoned decoder repeats itself.
+            self.pending_error.get_or_insert(e);
+        }
+    }
+
+    /// Injects a read-side failure (socket error) into the delivery
+    /// queue, behind the records already decoded — the non-blocking
+    /// counterpart of a blocking read returning `Err`.
+    pub fn fail(&mut self, error: PipelineError) {
+        self.pending_error.get_or_insert(error);
+    }
+
+    /// Declares EOF: no more bytes will ever be fed. Repair synthesis
+    /// waits until every already-decoded record has been delivered, so
+    /// `BadCloseScope` records always close exactly the scopes the
+    /// caller saw open.
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// Pulls the next ready record: decoded records first (in wire
+    /// order), then any held-back error, then — once the stream has
+    /// ended — synthesized `BadCloseScope` repairs, then `Ok(None)`.
+    /// When `Ok(None)` is returned and [`end`](Self::end) is still
+    /// `None`, the assembler simply needs more bytes.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::Codec`] on frame corruption and
-    /// [`PipelineError::Io`] on I/O failure; disconnects mid-frame are
-    /// treated as unclean ends rather than errors. After an error the
-    /// wire is untrustworthy — callers that want to keep their
-    /// downstream scope-consistent should invoke
+    /// [`PipelineError::Io`] on injected read failures, after every
+    /// record decoded before the fault has been delivered. After an
+    /// error the wire is untrustworthy — callers that want to keep
+    /// their downstream scope-consistent should invoke
     /// [`abort_repair`](Self::abort_repair).
-    pub fn next_record(&mut self) -> Result<Option<Record>, PipelineError> {
+    pub fn next_ready(&mut self) -> Result<Option<Record>, PipelineError> {
         loop {
-            if let Some(repair) = self.repairs.pop_front() {
-                return Ok(Some(repair));
-            }
-            if self.done.is_some() {
-                return Ok(None);
-            }
             match self.events.pop_front() {
                 Some(DecodeEvent::Record(record)) => {
                     // Scope accounting; violations at the network boundary
@@ -221,35 +278,32 @@ impl<R: Read> StreamIn<R> {
                     self.queue_repairs(true);
                     continue;
                 }
+                Some(DecodeEvent::KeepAlive) => {
+                    self.keepalives += 1;
+                    continue;
+                }
                 None => {}
             }
             if let Some(e) = self.pending_error.take() {
                 return Err(e);
             }
-            let mut chunk = [0u8; 8192];
-            match self.reader.read(&mut chunk) {
-                Ok(0) => {
-                    // EOF. Every byte read was already counted, including
-                    // any partial trailing frame the decoder still holds.
-                    match self.decoder.end_of_input() {
-                        Ok(()) | Err(PipelineError::Disconnected(_)) => self.queue_repairs(false),
-                        Err(e) => return Err(e),
-                    }
-                }
-                Ok(n) => {
-                    self.wire_bytes += n as u64;
-                    let mut decoded = Vec::new();
-                    let fed = self.decoder.feed(&chunk[..n], &mut decoded);
-                    self.events.extend(decoded);
-                    if let Err(e) = fed {
-                        // Records decoded before the bad frame flow out
-                        // first; the error surfaces right after them.
-                        self.pending_error = Some(e);
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(PipelineError::Io(e)),
+            if let Some(repair) = self.repairs.pop_front() {
+                return Ok(Some(repair));
             }
+            if self.done.is_some() {
+                return Ok(None);
+            }
+            if self.eof {
+                // EOF with everything decoded delivered: classify the
+                // residue (a partial trailing frame is a mid-frame
+                // disconnect, not an error) and synthesize repairs.
+                match self.decoder.end_of_input() {
+                    Ok(()) | Err(PipelineError::Disconnected(_)) => self.queue_repairs(false),
+                    Err(e) => return Err(e),
+                }
+                continue;
+            }
+            return Ok(None); // live stream: feed me more bytes
         }
     }
 
@@ -260,11 +314,16 @@ impl<R: Read> StreamIn<R> {
     /// [`StreamEnd::Unclean`]. An end already recorded (e.g. a
     /// disconnect whose repairs were mid-delivery) is preserved, so
     /// `repaired_scopes` keeps counting every repair synthesized for
-    /// the session. No further reads happen. The service layer calls
-    /// this when a session's wire turns poisonous (CRC mismatch, bad
-    /// magic) so that session's downstream state resynchronizes while
+    /// the session. The service layer calls this when a session's wire
+    /// turns poisonous (CRC mismatch, bad magic) or its idle timeout
+    /// expires, so that session's downstream state resynchronizes while
     /// its neighbors keep flowing.
     pub fn abort_repair(&mut self) -> Vec<Record> {
+        // The wire is untrustworthy: decoded-but-undelivered events are
+        // discarded (their scopes were never observed, so the delivered
+        // prefix stays balanced without them).
+        self.events.clear();
+        self.pending_error = None;
         let mut repairs: Vec<Record> = self.repairs.drain(..).collect();
         repairs.extend(self.tracker.close_all_bad());
         if self.done.is_none() {
@@ -285,6 +344,105 @@ impl<R: Read> StreamIn<R> {
             StreamEnd::Unclean { repaired_scopes: n }
         });
     }
+}
+
+/// `streamin`: decodes records from a byte source, tracking scope state
+/// and repairing it when the upstream dies.
+///
+/// This is a blocking [`Read`] loop around [`RecordAssembler`], which
+/// holds all the decode/scope/repair semantics. Two consumption styles
+/// are offered: the push-based [`pump`](Self::pump) (drain everything
+/// into a [`Sink`]) and the pull-based
+/// [`next_record`](Self::next_record), which is also exposed as a
+/// [`Source`] so a connection can feed
+/// [`Pipeline::run_streaming`](crate::pipeline::Pipeline::run_streaming)
+/// directly. The event-driven service layer ([`crate::serve`]) skips
+/// this wrapper and drives the assembler from socket readiness, one
+/// shared poll loop for the whole session fleet.
+pub struct StreamIn<R: Read> {
+    reader: R,
+    assembler: RecordAssembler,
+}
+
+impl<R: Read> StreamIn<R> {
+    /// Wraps a byte source.
+    pub fn new(reader: R) -> Self {
+        StreamIn {
+            reader,
+            assembler: RecordAssembler::new(),
+        }
+    }
+
+    /// The wire version of the most recently decoded frame, if any —
+    /// what this peer's sender negotiated, learned passively from the
+    /// bytes themselves.
+    pub fn wire_version(&self) -> Option<u8> {
+        self.assembler.wire_version()
+    }
+
+    /// Records received so far (synthesized repairs are not counted).
+    pub fn received(&self) -> u64 {
+        self.assembler.received()
+    }
+
+    /// Wire bytes consumed so far (frames, sentinels and any partial
+    /// trailing frame) — the session-traffic counter behind
+    /// [`crate::serve::SessionReport::wire_bytes`].
+    pub fn wire_bytes(&self) -> u64 {
+        self.assembler.wire_bytes()
+    }
+
+    /// Keepalive sentinels consumed so far (never delivered as records).
+    pub fn keepalives(&self) -> u64 {
+        self.assembler.keepalives()
+    }
+
+    /// How the stream ended, once [`next_record`](Self::next_record) has returned
+    /// `Ok(None)` (or the session was [aborted](Self::abort_repair)).
+    pub fn end(&self) -> Option<StreamEnd> {
+        self.assembler.end()
+    }
+
+    /// Pulls the next record: real records first, then — after the
+    /// upstream ends — any synthesized `BadCloseScope` repairs, then
+    /// `Ok(None)`. Once `None` is returned, [`end`](Self::end) reports
+    /// how the stream terminated. This is also the [`Source`]
+    /// implementation, so a connection can feed the streaming driver
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Codec`] on frame corruption and
+    /// [`PipelineError::Io`] on I/O failure; disconnects mid-frame are
+    /// treated as unclean ends rather than errors. After an error the
+    /// wire is untrustworthy — callers that want to keep their
+    /// downstream scope-consistent should invoke
+    /// [`abort_repair`](Self::abort_repair).
+    pub fn next_record(&mut self) -> Result<Option<Record>, PipelineError> {
+        loop {
+            match self.assembler.next_ready()? {
+                Some(record) => return Ok(Some(record)),
+                None => {
+                    if self.assembler.end().is_some() {
+                        return Ok(None);
+                    }
+                }
+            }
+            let mut chunk = [0u8; 8192];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => self.assembler.finish(),
+                Ok(n) => self.assembler.feed(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(PipelineError::Io(e)),
+            }
+        }
+    }
+
+    /// Ends the session administratively after an error — see
+    /// [`RecordAssembler::abort_repair`]. No further reads happen.
+    pub fn abort_repair(&mut self) -> Vec<Record> {
+        self.assembler.abort_repair()
+    }
 
     /// Pumps every record into `sink` until the stream ends, returning
     /// how it ended. On an unclean end, synthesized `BadCloseScope`
@@ -301,7 +459,8 @@ impl<R: Read> StreamIn<R> {
             sink.push(record)?;
         }
         Ok(self
-            .done
+            .assembler
+            .end()
             .expect("next() returned None, so the stream ended"))
     }
 }

@@ -1,48 +1,76 @@
-//! Multi-session pipeline service: many concurrent `streamin`
-//! connections into one analysis host.
+//! Event-driven pipeline service: many concurrent `streamin`
+//! connections multiplexed onto a small worker pool by one
+//! readiness-driven event loop.
 //!
 //! The paper's pipelines are explicitly distributed — "segments can
 //! receive and emit records using the `streamin` and `streamout`
 //! operators … enabling instantiation of segments and the construction
 //! of a pipeline across networked hosts" (§2) — and an archive-scale
-//! deployment has many independent sensors pushing clip streams at one
-//! analysis host concurrently. [`PipelineServer`] is that host's
-//! service loop:
+//! deployment has many *mostly idle* sensors pushing clip streams at
+//! one analysis host. [`PipelineServer`] is that host's service loop,
+//! built readiness-first (DESIGN.md §17) so a session costs a socket
+//! and a decode buffer rather than a parked thread:
 //!
-//! 1. **Acceptor** — accepts connections only while a session slot is
-//!    free ([`set_max_sessions`](PipelineServer::set_max_sessions)), so
-//!    backpressure is applied *at accept time*: excess clients wait in
-//!    the listener's backlog rather than being half-served.
-//! 2. **Session workers** — a bounded pool of `max_sessions` threads.
-//!    Each session decodes its own framed record stream
-//!    ([`StreamIn`]), drives it through its *own clone* of the operator
-//!    chain ([`Pipeline::clone_chain`], exactly the machinery the
-//!    sharded runtime uses per worker), and pushes output into a
-//!    per-session [`Sink`] produced by the caller's sink factory.
-//! 3. **Repair isolation** — a session that dies mid-scope (abrupt
+//! 1. **One event loop, N workers.** A single supervisor thread owns
+//!    every socket and waits for readability with `poll(2)` (via the
+//!    offline `polling` shim). Arriving bytes are pushed into the
+//!    session's incremental [`RecordAssembler`]; once whole records
+//!    are ready they are dispatched as a *batch* to a worker-pool
+//!    thread ([`set_workers`](PipelineServer::set_workers)) that runs
+//!    them through the session's own clone of the operator chain. `M`
+//!    sessions ([`set_max_sessions`](PipelineServer::set_max_sessions))
+//!    multiplex over `N` threads, with `M ≫ N` the intended shape.
+//! 2. **Accept-time backpressure.** The listener is only polled while
+//!    a session slot is free, so excess clients queue in the OS accept
+//!    backlog rather than being half-served. A second, decode-side
+//!    valve stops reading any socket whose chain has fallen behind
+//!    ([`RecordAssembler::backlog`]), moving backpressure into the
+//!    peer's TCP window.
+//! 3. **Repair isolation.** A session that dies mid-scope (abrupt
 //!    disconnect, truncation) gets `BadCloseScope` repairs injected
 //!    into *its* chain, exactly like single-connection `streamin`; a
 //!    session whose wire turns poisonous (CRC mismatch, bad magic) is
-//!    aborted with the same repair ([`StreamIn::abort_repair`]). Other
-//!    live sessions never notice.
-//! 4. **Shutdown** — [`ServerHandle::shutdown`] stops the acceptor,
-//!    lets every in-flight session run to its natural end, and returns
-//!    a [`ServerReport`]: one [`SessionReport`] per session (its
-//!    [`StreamEnd`], record/byte counts and per-stage [`StreamStats`])
-//!    plus the aggregate of all sessions via [`StreamStats::merge`].
-//! 5. **Telemetry** — with [`PipelineServer::set_telemetry`] enabled,
+//!    aborted with the same repair
+//!    ([`RecordAssembler::abort_repair`]). One session's chain
+//!    crashing, stalling or panicking never blocks its neighbours:
+//!    each session has at most one batch in flight, so a slow chain
+//!    occupies one worker while the loop keeps serving every other
+//!    socket.
+//! 4. **Idle policy.** With
+//!    [`set_idle_timeout`](PipelineServer::set_idle_timeout) armed, a
+//!    session whose wire stays silent past the limit is reaped: a
+//!    `session_timeout` event fires, its open scopes are repaired
+//!    through its chain and the session reports an `idle timeout`
+//!    error. Dormant-but-alive sensors stay connected by sending the
+//!    4-byte keepalive sentinel ([`crate::codec::write_keepalive`],
+//!    [`crate::net::StreamOut::keepalive`]) — any wire bytes, record
+//!    or keepalive, reset the clock.
+//! 5. **Shutdown.** [`ServerHandle::shutdown`] stops accepting, lets
+//!    every in-flight session drain to its natural end, joins the pool
+//!    and returns a [`ServerReport`]: one [`SessionReport`] per
+//!    session (its [`StreamEnd`], record/byte counts and per-stage
+//!    [`StreamStats`]) plus the aggregate via [`StreamStats::merge`].
+//! 6. **Telemetry.** With [`PipelineServer::set_telemetry`] enabled,
 //!    each session forks its own stage timers
 //!    ([`crate::telemetry::Telemetry::fork_stages`]) and shares one
-//!    event ring (lane = session id). Session summaries carry
-//!    wall-clock duration, wire-idle time and a per-session
-//!    [`crate::telemetry::Snapshot`]; the final report merges them, and
-//!    [`ServerHandle::telemetry_snapshot`] reads the live event stream
-//!    while the server runs.
+//!    event ring (lane = session id), now including per-session
+//!    keepalive and timeout events. Session summaries carry wall-clock
+//!    duration, wire-idle time and a per-session
+//!    [`crate::telemetry::Snapshot`]; the final report merges them,
+//!    and [`ServerHandle::telemetry_snapshot`] reads the live event
+//!    stream while the server runs.
 //!
-//! Sessions — not scope shards — are the unit of concurrency here: each
-//! connection is an independent record stream with its own scope state
-//! and its own operator state, so no splitter or ordered merge is
-//! needed; the network already partitioned the work.
+//! A session moves through five states, all owned by the loop:
+//! *accepting* → *reading* (bytes → assembler) → *executing* (a batch
+//! on a worker) → *draining* (final flush/repair batch dispatched) →
+//! *closed* (report recorded). Reading and executing overlap freely —
+//! the loop keeps decoding while the chain crunches the previous
+//! batch.
+//!
+//! Sessions — not scope shards — are the unit of concurrency here:
+//! each connection is an independent record stream with its own scope
+//! state and its own operator state, so no splitter or ordered merge
+//! is needed; the network already partitioned the work.
 //!
 //! # Example
 //!
@@ -58,7 +86,7 @@
 //!     v.iter_mut().for_each(|x| *x *= 2.0);
 //! }));
 //! let mut server = PipelineServer::from_pipeline(&chain).unwrap();
-//! server.set_max_sessions(2);
+//! server.set_max_sessions(8).set_workers(2);
 //!
 //! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
 //! let out = SharedSink::new();
@@ -78,6 +106,8 @@
 //! let report = handle.shutdown().unwrap();
 //! assert_eq!(report.sessions.len(), 1);
 //! assert_eq!(report.clean_sessions(), 1);
+//! assert_eq!(report.workers, 2);
+//! assert_eq!(report.session_capacity, 8);
 //! assert_eq!(out.take()[1].payload.as_f64().unwrap(), &[42.0]);
 //! ```
 
@@ -86,21 +116,43 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::error::PipelineError;
-use crate::net::{StreamEnd, StreamIn};
+use crate::net::{RecordAssembler, StreamEnd};
 use crate::operator::{Operator, Sink};
 use crate::pipeline::{
     emit_scope_event, feed_chain, flush_chain, Pipeline, SinkTotals, StageStats, StreamStats,
 };
-use crate::telemetry::{EventKind, Snapshot, Telemetry, TelemetryConfig};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use std::io;
+use crate::record::Record;
+use crate::telemetry::{EventKind, EventSink, Snapshot, Telemetry, TelemetryConfig};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use polling::PollFd;
+use std::collections::HashMap;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Completed-session counter shared between the worker pool and the
+/// Socket read buffer: one readiness wake drains the socket in chunks
+/// of this size.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Fairness bound: at most this many bytes are read from one socket
+/// per loop iteration, so a firehose client cannot starve its
+/// neighbours of the loop's attention.
+const READ_BURST: usize = 64 * 1024;
+
+/// Records per dispatched batch: large enough to amortize the
+/// loop↔worker handoff, small enough that completions (and therefore
+/// per-stage timing attribution) stay responsive.
+const BATCH_RECORDS: usize = 256;
+
+/// Decode-ahead bound per session: once this many decoded events are
+/// queued ahead of the chain, the loop stops reading that socket and
+/// lets backpressure move into the peer's TCP window.
+const BACKLOG_CAP: usize = 4096;
+
+/// Completed-session counter shared between the event loop and the
 /// [`ServerHandle`], so callers can wait for a known client fleet to be
 /// fully served before shutting down.
 #[derive(Debug, Default)]
@@ -111,8 +163,8 @@ struct Progress {
 
 impl Progress {
     fn bump(&self) {
-        // A panicked session thread poisons nothing observable here:
-        // the counter is a bare u64, so recover the guard and go on.
+        // A panicked session poisons nothing observable here: the
+        // counter is a bare u64, so recover the guard and go on.
         let mut n = self
             .completed
             .lock()
@@ -146,8 +198,10 @@ pub struct SessionReport {
     pub end: StreamEnd,
     /// Records received over the wire (synthesized repairs excluded).
     pub received: u64,
-    /// Wire bytes consumed (frames, sentinel, partial trailing frame).
+    /// Wire bytes consumed (frames, sentinels, partial trailing frame).
     pub wire_bytes: u64,
+    /// Keepalive sentinels the peer sent to hold its slot open.
+    pub keepalives: u64,
     /// Per-stage statistics of the session's cloned chain.
     pub stats: StreamStats,
     /// Wire format version the peer sent (`None` if no frame decoded) —
@@ -157,12 +211,12 @@ pub struct SessionReport {
     /// The codec/chain/sink error that ended the session, if any. Scope
     /// repair has already been applied when this is set.
     pub error: Option<String>,
-    /// Wall-clock time from the session worker picking the job up to
-    /// the report being written.
+    /// Wall-clock time from accept to the report being written.
     pub duration: Duration,
-    /// Portion of [`duration`](Self::duration) spent waiting on the
-    /// wire for the next record — time the chain sat idle because the
-    /// peer (or the network) had nothing ready.
+    /// Portion of [`duration`](Self::duration) the session spent *not*
+    /// executing on a worker — waiting for wire bytes, or for a worker
+    /// slot. Under the event loop an idle session holds no thread, so
+    /// this is bookkeeping, not a parked resource.
     pub idle: Duration,
     /// The session's telemetry [`Snapshot`]: its own per-stage latency
     /// histograms (each session forks fresh timers,
@@ -190,6 +244,17 @@ pub struct ServerReport {
     /// record/byte totals add, `peak_burst` is the worst session's
     /// burst.
     pub aggregate: StreamStats,
+    /// The configured concurrent-session capacity `M` — how many
+    /// sockets the loop will multiplex at once
+    /// ([`PipelineServer::set_max_sessions`]). Distinct from
+    /// [`workers`](Self::workers) now that sessions are not threads.
+    pub session_capacity: usize,
+    /// The worker-pool width `N` — how many chains can execute
+    /// simultaneously ([`PipelineServer::set_workers`]).
+    pub workers: usize,
+    /// High-water mark of concurrently open sessions observed during
+    /// the run — evidence of how much multiplexing actually happened.
+    pub peak_sessions: usize,
     /// Set when the accept loop stopped early on a non-transient error
     /// (chain construction failure, fatal listener error). Completed
     /// sessions are still fully reported.
@@ -214,29 +279,21 @@ impl ServerReport {
     }
 }
 
-/// Boxed per-session output sink (must be `Send`: it moves onto the
-/// session worker's thread).
+/// Boxed per-session output sink (must be `Send`: it travels to
+/// worker-pool threads inside execution batches).
 pub type SessionSink = Box<dyn Sink + Send>;
 
-/// One job handed from the acceptor to a session worker.
-struct SessionJob {
-    stream: TcpStream,
-    info: SessionInfo,
-    chain: Pipeline,
-    sink: SessionSink,
-    /// Per-session telemetry fork: shares the server's config and event
-    /// ring, carries fresh stage timers so one session's latency never
-    /// pollutes another's histogram.
-    telemetry: Telemetry,
-}
-
-/// A multi-session pipeline server: accepts up to
-/// [`max_sessions`](Self::set_max_sessions) concurrent `streamin`
-/// connections and runs each through its own clone of an operator
-/// chain. See the [module docs](self) for the full lifecycle.
+/// A multi-session pipeline server: one readiness-driven event loop
+/// multiplexing up to [`max_sessions`](Self::set_max_sessions)
+/// concurrent `streamin` connections across a pool of
+/// [`workers`](Self::set_workers) execution threads, each session
+/// running its own clone of an operator chain. See the
+/// [module docs](self) for the full lifecycle.
 pub struct PipelineServer {
     build: Box<dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send>,
     max_sessions: usize,
+    workers: usize,
+    idle_timeout: Option<Duration>,
     telemetry: Telemetry,
 }
 
@@ -244,12 +301,16 @@ impl std::fmt::Debug for PipelineServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelineServer")
             .field("max_sessions", &self.max_sessions)
+            .field("workers", &self.workers)
+            .field("idle_timeout", &self.idle_timeout)
             .finish_non_exhaustive()
     }
 }
 
-/// Default concurrent-session limit: the host's available parallelism.
-fn default_max_sessions() -> usize {
+/// Default for both the session capacity and the worker-pool width:
+/// the host's available parallelism. Capacity can be raised far above
+/// this — sessions are sockets, not threads.
+fn default_parallelism() -> usize {
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
@@ -273,7 +334,9 @@ impl PipelineServer {
             // `clone_op` is non-deterministic — propagated as this
             // session's build error rather than trusted away.
             build: Box::new(move |_session| prototype.clone_chain()),
-            max_sessions: default_max_sessions(),
+            max_sessions: default_parallelism(),
+            workers: default_parallelism(),
+            idle_timeout: None,
             // Inherit the pipeline's telemetry *config* but not its
             // registry: server sessions fork their own timers, and
             // sharing the source pipeline's histograms would mix any
@@ -294,7 +357,9 @@ impl PipelineServer {
                 chain.preflight(false)?;
                 Ok(chain)
             }),
-            max_sessions: default_max_sessions(),
+            max_sessions: default_parallelism(),
+            workers: default_parallelism(),
+            idle_timeout: None,
             telemetry: Telemetry::off(),
         }
     }
@@ -316,9 +381,13 @@ impl PipelineServer {
         self.telemetry.clone()
     }
 
-    /// Sets the concurrent-session limit (the worker-pool size). The
-    /// acceptor only accepts while a session slot is free, so this is
-    /// also the accept-time backpressure bound.
+    /// Sets the concurrent-session capacity `M`: how many connections
+    /// the event loop will multiplex at once. The listener is only
+    /// polled while a slot is free, so this is the accept-time
+    /// backpressure bound. A session is a socket plus decode state —
+    /// not a thread — so `M` far above
+    /// [`set_workers`](Self::set_workers) is the intended shape for
+    /// fleets of mostly-idle sensors.
     ///
     /// # Panics
     ///
@@ -329,20 +398,55 @@ impl PipelineServer {
         self
     }
 
-    /// The concurrent-session limit in effect.
+    /// The concurrent-session capacity in effect.
     pub fn max_sessions(&self) -> usize {
         self.max_sessions
     }
 
-    /// Starts serving on `listener`: spawns the session worker pool and
-    /// the acceptor, then returns immediately with a [`ServerHandle`].
-    /// `make_sink` is invoked once per accepted session (on the
-    /// acceptor thread) to produce that session's output sink.
+    /// Sets the worker-pool width `N`: how many session chains can
+    /// execute simultaneously. Defaults to the host's available
+    /// parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn set_workers(&mut self, workers: usize) -> &mut Self {
+        assert!(workers > 0, "workers must be non-zero");
+        self.workers = workers;
+        self
+    }
+
+    /// The worker-pool width in effect.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Arms the idle-session reaper: a session whose wire produces no
+    /// bytes for `timeout` is ended with scope repair and an
+    /// `idle timeout` error (a `session_timeout` telemetry event marks
+    /// the reap). Any bytes reset the clock, including the keepalive
+    /// sentinel ([`crate::net::StreamOut::keepalive`]) that carries no
+    /// records. Defaults to off: sessions may idle forever.
+    pub fn set_idle_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// The idle-session timeout in effect (`None` = never reap).
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        self.idle_timeout
+    }
+
+    /// Starts serving on `listener`: spawns the event loop (which owns
+    /// the listener and every session socket) and its worker pool,
+    /// then returns immediately with a [`ServerHandle`]. `make_sink`
+    /// is invoked once per accepted session (on the loop thread) to
+    /// produce that session's output sink.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::Io`] if the listener's local address
-    /// cannot be resolved.
+    /// cannot be resolved or the loop thread cannot be spawned.
     pub fn start<F>(
         self,
         listener: TcpListener,
@@ -356,18 +460,22 @@ impl PipelineServer {
         let flag = Arc::clone(&shutdown);
         let progress = Arc::new(Progress::default());
         let worker_progress = Arc::clone(&progress);
-        let max_sessions = self.max_sessions;
+        let cfg = LoopCfg {
+            capacity: self.max_sessions,
+            workers: self.workers,
+            idle_timeout: self.idle_timeout,
+        };
         let mut build = self.build;
         let telemetry = self.telemetry;
         let supervisor_telemetry = telemetry.clone();
         let supervisor = thread::Builder::new()
             .name("pipeline-server".into())
             .spawn(move || {
-                supervise(
+                event_loop(
                     &listener,
                     &mut build,
                     make_sink,
-                    max_sessions,
+                    &cfg,
                     &flag,
                     &worker_progress,
                     &supervisor_telemetry,
@@ -413,7 +521,7 @@ impl ServerHandle {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panicked while holding the counter.
+    /// Panics if a service thread panicked while holding the counter.
     pub fn sessions_completed(&self) -> u64 {
         *self
             .progress
@@ -427,7 +535,6 @@ impl ServerHandle {
     /// whole stream and exit while the connection still sits in the
     /// accept backlog), so a caller that knows its client fleet size
     /// waits here before [`shutdown`](Self::shutdown).
-    ///
     pub fn wait_for_completed(&self, n: u64) {
         let mut completed = self
             .progress
@@ -458,28 +565,119 @@ impl ServerHandle {
     ///
     /// # Panics
     ///
-    /// Panics if the server's supervisor thread panicked.
+    /// Panics if the server's event-loop thread panicked.
     pub fn shutdown(self) -> Result<ServerReport, PipelineError> {
         self.shutdown.store(true, Ordering::Release);
-        // Wake a blocking accept() with a throwaway connection; if the
-        // acceptor is waiting on a session slot instead, the next freed
-        // slot re-checks the flag.
+        // Wake a poll that is blocked with the listener in its set via
+        // a throwaway connection; a loop busy with sessions re-checks
+        // the flag on every completion instead.
         let _ = TcpStream::connect(self.addr);
         match self.supervisor.join() {
             Ok(report) => report,
-            // The supervisor only panics on a bug; re-raise it intact.
+            // The loop only panics on a bug; re-raise it intact.
             Err(panic) => std::panic::resume_unwind(panic),
         }
     }
 }
 
-/// The supervisor: spawns the worker pool, runs the accept loop with
-/// slot-based backpressure, then drains and aggregates.
-fn supervise<F>(
+/// Static configuration of one event-loop run.
+struct LoopCfg {
+    capacity: usize,
+    workers: usize,
+    idle_timeout: Option<Duration>,
+}
+
+/// The per-session execution state that shuttles between the loop and
+/// the worker pool: the session's cloned chain, its stage stats, its
+/// sink and its event sink. At most one of these is in flight per
+/// session, which is what serializes a session's records while
+/// different sessions execute truly in parallel.
+struct ExecState {
+    ops: Vec<Box<dyn Operator>>,
+    stats: Vec<StageStats>,
+    totals: SinkTotals,
+    sink: SessionSink,
+    events: EventSink,
+}
+
+/// One unit of chain work: records to feed, plus end-of-session
+/// semantics. `finish` flushes operator state after the records;
+/// `repair` marks a scope-repair drain (synthesized `BadCloseScope`
+/// records after a wire fault or idle reap), which is fed
+/// error-tolerantly and always flushed — exactly the blocking
+/// `streamin` driver's three termination paths.
+struct Batch {
+    records: Vec<Record>,
+    finish: bool,
+    repair: bool,
+}
+
+/// A batch dispatched to the pool, carrying the session's chain.
+struct Job {
+    sid: u64,
+    exec: ExecState,
+    batch: Batch,
+}
+
+/// A worker's completion notice: the chain comes back (unless the
+/// batch panicked), with any chain/sink error and the execution time.
+struct BatchDone {
+    sid: u64,
+    exec: Option<ExecState>,
+    error: Option<String>,
+    finished: bool,
+    busy: Duration,
+}
+
+/// One live session, owned entirely by the event loop.
+struct Session {
+    info: SessionInfo,
+    stream: TcpStream,
+    fd: polling::OsFd,
+    assembler: RecordAssembler,
+    /// The session's chain when resident; `None` while a batch is out
+    /// on a worker.
+    exec: Option<ExecState>,
+    /// Final (flush or repair) batch waiting for the chain to return.
+    pending_finish: Option<Batch>,
+    /// Loop-side event sink (same ring and lane as the chain's).
+    events: EventSink,
+    /// Per-session telemetry fork, for the closing snapshot.
+    telemetry: Telemetry,
+    started: Instant,
+    last_activity: Instant,
+    busy: Duration,
+    /// No more socket reads: EOF, read error, wire fault or reap.
+    read_done: bool,
+    /// The final batch has been dispatched; nothing more may follow.
+    finishing: bool,
+    error: Option<String>,
+    keepalives_seen: u64,
+}
+
+impl Session {
+    /// Whether the loop should poll this session's socket: the wire is
+    /// still live and the decode-ahead backlog has room.
+    fn wants_read(&self) -> bool {
+        !self.read_done && self.assembler.end().is_none() && self.assembler.backlog() <= BACKLOG_CAP
+    }
+}
+
+/// What each slot in the poll set refers to.
+enum PollTag {
+    Waker,
+    Listener,
+    Session(u64),
+}
+
+/// The event loop: accepts, polls, decodes, dispatches and reaps.
+/// Returns the final report once shutdown (or a fatal accept error)
+/// has been observed and every accepted session has drained.
+fn event_loop<F>(
     listener: &TcpListener,
     build: &mut (dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send),
     mut make_sink: F,
-    max_sessions: usize,
+    cfg: &LoopCfg,
     shutdown: &AtomicBool,
     progress: &Arc<Progress>,
     telemetry: &Telemetry,
@@ -487,121 +685,221 @@ fn supervise<F>(
 where
     F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
 {
-    // Rendezvous job channel: a send only completes when an idle worker
-    // is already waiting. `ready` counts idle workers — the acceptor
-    // takes a token *before* accepting, so at most `max_sessions`
-    // connections are ever in flight and the rest queue in the OS
-    // backlog (accept-time backpressure).
-    let (job_tx, job_rx) = bounded::<SessionJob>(0);
-    let (ready_tx, ready_rx) = unbounded::<()>();
-    let (report_tx, report_rx) = unbounded::<SessionReport>();
-    let mut workers = Vec::with_capacity(max_sessions);
-    for w in 0..max_sessions {
-        let job_rx: Receiver<SessionJob> = job_rx.clone();
-        let ready_tx: Sender<()> = ready_tx.clone();
-        let report_tx: Sender<SessionReport> = report_tx.clone();
-        let progress = Arc::clone(progress);
+    listener.set_nonblocking(true)?;
+    let (waker, wake_rx) = polling::wake_pair()?;
+    let waker = Arc::new(waker);
+    let (job_tx, job_rx) = unbounded::<Job>();
+    let (done_tx, done_rx) = unbounded::<BatchDone>();
+    let mut pool = Vec::with_capacity(cfg.workers);
+    for w in 0..cfg.workers {
+        let job_rx: Receiver<Job> = job_rx.clone();
+        let done_tx: Sender<BatchDone> = done_tx.clone();
+        let waker = Arc::clone(&waker);
         let worker = thread::Builder::new()
             .name(format!("session-worker-{w}"))
-            .spawn(move || loop {
-                if ready_tx.send(()).is_err() {
-                    return; // supervisor gone
-                }
-                match job_rx.recv() {
-                    Ok(job) => {
-                        // A panicking operator or user-supplied sink must
-                        // not lose the session's slot in the report (or
-                        // deadlock `wait_for_completed`): catch it and
-                        // report the session as failed.
-                        let fallback = SessionReport {
-                            id: job.info.id,
-                            peer: job.info.peer.clone(),
-                            end: StreamEnd::Unclean { repaired_scopes: 0 },
-                            received: 0,
-                            wire_bytes: 0,
-                            stats: StreamStats::default(),
-                            wire_version: None,
-                            error: None,
-                            duration: Duration::ZERO,
-                            idle: Duration::ZERO,
-                            telemetry: Snapshot::default(),
-                        };
-                        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            run_session(job)
-                        }))
-                        .unwrap_or_else(|panic| SessionReport {
-                            error: Some(format!("session panicked: {}", panic_message(&panic))),
-                            ..fallback
-                        });
-                        let delivered = report_tx.send(report).is_ok();
-                        progress.bump();
-                        if !delivered {
-                            return;
-                        }
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let done = run_batch(job);
+                    let delivered = done_tx.send(done).is_ok();
+                    waker.wake();
+                    if !delivered {
+                        return; // loop gone
                     }
-                    Err(_) => return, // job channel closed: shutdown
                 }
             })
             .map_err(PipelineError::Io)?;
-        workers.push(worker);
+        pool.push(worker);
     }
     drop(job_rx);
-    drop(ready_tx);
-    drop(report_tx);
+    drop(done_tx);
 
+    let listener_fd = polling::fd_of(listener);
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut reports: Vec<SessionReport> = Vec::new();
     let mut accept_error: Option<String> = None;
+    let mut accepting = true;
     let mut next_id = 0u64;
-    // `true` while the acceptor holds an idle-worker token it has not
-    // yet spent on a dispatched session (a transiently failed accept
-    // must not leak the slot, or a one-slot server would deadlock).
-    let mut have_slot = false;
+    let mut peak = 0usize;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tags: Vec<PollTag> = Vec::new();
+
     loop {
-        if !have_slot {
-            // Wait for a free session slot first; recv fails only if
-            // every worker died, which ends the run.
-            if ready_rx.recv().is_err() {
-                break;
-            }
-            have_slot = true;
+        // Worker completions first: chains return to their sessions,
+        // finished sessions close, capacity frees for the accept step.
+        while let Ok(done) = done_rx.try_recv() {
+            handle_done(done, &mut sessions, &mut reports, progress);
         }
         if shutdown.load(Ordering::Acquire) {
+            accepting = false;
+        }
+        if !accepting && sessions.is_empty() {
             break;
         }
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                if shutdown.load(Ordering::Acquire) {
-                    // The shutdown wake-up connection (or a client that
-                    // raced it): stop accepting.
-                    break;
+        let now = Instant::now();
+        if let Some(limit) = cfg.idle_timeout {
+            reap_idle(&mut sessions, now, limit);
+        }
+        // Dispatch: any session holding its chain and ready records
+        // (or its end-of-session batch) goes to the pool.
+        for (&sid, s) in &mut sessions {
+            try_dispatch(sid, s, &job_tx);
+        }
+        // Sessions that failed dispatch fatally were closed in place.
+        close_undispatchable(&mut sessions, &mut reports, progress);
+
+        // Build the poll set: the waker always; the listener only
+        // while a session slot is free (accept-time backpressure);
+        // each live session socket with decode-ahead room.
+        fds.clear();
+        tags.clear();
+        fds.push(PollFd::readable(wake_rx.fd()));
+        tags.push(PollTag::Waker);
+        if accepting && sessions.len() < cfg.capacity {
+            fds.push(PollFd::readable(listener_fd));
+            tags.push(PollTag::Listener);
+        }
+        for (&sid, s) in &sessions {
+            if s.wants_read() {
+                fds.push(PollFd::readable(s.fd));
+                tags.push(PollTag::Session(sid));
+            }
+        }
+        let timeout = cfg.idle_timeout.and_then(|limit| {
+            sessions
+                .values()
+                .filter(|s| !s.read_done && s.assembler.end().is_none())
+                .map(|s| (s.last_activity + limit).saturating_duration_since(now))
+                .min()
+        });
+        if let Err(e) = polling::wait(&mut fds, timeout) {
+            // poll(2) itself failing is unrecoverable for the loop.
+            accept_error.get_or_insert(PipelineError::Io(e).to_string());
+            break;
+        }
+
+        let now = Instant::now();
+        for (fd, tag) in fds.iter().zip(&tags) {
+            if !fd.ready {
+                continue;
+            }
+            match tag {
+                PollTag::Waker => wake_rx.drain(),
+                PollTag::Listener => {
+                    accept_burst(&mut AcceptCtx {
+                        listener,
+                        build,
+                        make_sink: &mut make_sink,
+                        cfg,
+                        shutdown,
+                        telemetry,
+                        sessions: &mut sessions,
+                        accepting: &mut accepting,
+                        accept_error: &mut accept_error,
+                        next_id: &mut next_id,
+                        now,
+                    });
+                    peak = peak.max(sessions.len());
                 }
-                next_id += 1;
-                let info = SessionInfo {
-                    id: next_id,
-                    peer: peer.to_string(),
-                };
-                let sink = make_sink(&info);
-                match build(next_id) {
-                    Ok(chain) => {
-                        if job_tx
-                            .send(SessionJob {
-                                stream,
-                                info,
-                                chain,
-                                sink,
-                                telemetry: telemetry.fork_stages(),
-                            })
-                            .is_err()
-                        {
-                            break; // all workers gone
-                        }
-                        have_slot = false;
-                    }
-                    Err(e) => {
-                        accept_error = Some(e.to_string());
-                        break;
+                PollTag::Session(sid) => {
+                    if let Some(s) = sessions.get_mut(sid) {
+                        read_session(s, now);
                     }
                 }
             }
+        }
+    }
+
+    // Shutdown: close the job channel, let workers finish their
+    // in-flight batches and exit. The loop only breaks once every
+    // session has closed, so nothing is pending here on the normal
+    // path (a poll failure is the exception — its sessions are lost).
+    drop(job_tx);
+    for worker in pool {
+        let _ = worker.join();
+    }
+    reports.sort_by_key(|s| s.id);
+    let mut aggregate = StreamStats::default();
+    // Events come once from the shared ring (already interleaved across
+    // sessions); only the per-session stage histograms need folding.
+    let mut merged_telemetry = telemetry.snapshot();
+    for s in &reports {
+        aggregate.merge(&s.stats);
+        merged_telemetry.merge_stages(&s.telemetry);
+    }
+    Ok(ServerReport {
+        sessions: reports,
+        aggregate,
+        session_capacity: cfg.capacity,
+        workers: cfg.workers,
+        peak_sessions: peak,
+        accept_error,
+        telemetry: merged_telemetry,
+    })
+}
+
+/// Everything the accept step needs, bundled to keep the call site
+/// readable.
+struct AcceptCtx<'a, F> {
+    listener: &'a TcpListener,
+    build: &'a mut (dyn FnMut(u64) -> Result<Pipeline, PipelineError> + Send),
+    make_sink: &'a mut F,
+    cfg: &'a LoopCfg,
+    shutdown: &'a AtomicBool,
+    telemetry: &'a Telemetry,
+    sessions: &'a mut HashMap<u64, Session>,
+    accepting: &'a mut bool,
+    accept_error: &'a mut Option<String>,
+    next_id: &'a mut u64,
+    now: Instant,
+}
+
+/// Accepts as many queued connections as capacity allows. Transient
+/// per-connection failures keep the loop serving; chain-construction
+/// and fatal listener errors stop the acceptor (existing sessions
+/// still drain).
+fn accept_burst<F>(ctx: &mut AcceptCtx<'_, F>)
+where
+    F: FnMut(&SessionInfo) -> SessionSink + Send + 'static,
+{
+    loop {
+        if ctx.sessions.len() >= ctx.cfg.capacity {
+            return;
+        }
+        // Re-check the flag right before accepting so the shutdown
+        // wake-up connection (or a client racing it) is not served.
+        if ctx.shutdown.load(Ordering::Acquire) {
+            *ctx.accepting = false;
+            return;
+        }
+        match ctx.listener.accept() {
+            Ok((stream, peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    // A socket we cannot poll is useless; treat it like
+                    // a client that died during accept.
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                *ctx.next_id += 1;
+                let id = *ctx.next_id;
+                let info = SessionInfo {
+                    id,
+                    peer: peer.to_string(),
+                };
+                let sink = (ctx.make_sink)(&info);
+                match (ctx.build)(id) {
+                    Ok(chain) => {
+                        let session =
+                            open_session(info, stream, chain, sink, ctx.telemetry, ctx.now);
+                        ctx.sessions.insert(id, session);
+                    }
+                    Err(e) => {
+                        *ctx.accept_error = Some(e.to_string());
+                        *ctx.accepting = false;
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
             // Per-connection failures (a backlogged client resetting
             // before it was accepted, an interrupted syscall) are the
             // client's problem, not the fleet's: keep serving.
@@ -611,41 +909,397 @@ where
                     io::ErrorKind::ConnectionAborted
                         | io::ErrorKind::ConnectionReset
                         | io::ErrorKind::Interrupted
-                        | io::ErrorKind::WouldBlock
                         | io::ErrorKind::TimedOut
                 ) => {}
             Err(e) => {
-                if shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                accept_error = Some(PipelineError::Io(e).to_string());
-                break;
+                *ctx.accept_error = Some(PipelineError::Io(e).to_string());
+                *ctx.accepting = false;
+                return;
             }
         }
     }
-    // Close the job channel: workers finish their in-flight session,
-    // then exit. In-flight sessions drain to their natural end — even
-    // when the acceptor died, completed sessions keep their reports.
-    drop(job_tx);
-    for worker in workers {
-        let _ = worker.join();
+}
+
+/// Builds the resident state for a freshly accepted session: chain
+/// instantiated, telemetry forked, accept event emitted.
+fn open_session(
+    info: SessionInfo,
+    stream: TcpStream,
+    chain: Pipeline,
+    sink: SessionSink,
+    telemetry: &Telemetry,
+    now: Instant,
+) -> Session {
+    let fork = telemetry.fork_stages();
+    let mut ops = chain.into_ops();
+    let names: Vec<String> = ops.iter().map(|op| op.name().to_string()).collect();
+    let timers = fork.stage_timers(&names);
+    let chain_events = fork.event_sink(info.id);
+    if chain_events.enabled() {
+        for op in &mut ops {
+            op.attach_events(&chain_events);
+        }
     }
-    let mut sessions: Vec<SessionReport> = report_rx.iter().collect();
-    sessions.sort_by_key(|s| s.id);
-    let mut aggregate = StreamStats::default();
-    // Events come once from the shared ring (already interleaved across
-    // sessions); only the per-session stage histograms need folding.
-    let mut merged_telemetry = telemetry.snapshot();
-    for s in &sessions {
-        aggregate.merge(&s.stats);
-        merged_telemetry.merge_stages(&s.telemetry);
+    let stats: Vec<StageStats> = ops
+        .iter()
+        .zip(timers)
+        .map(|(op, timer)| StageStats::with_timer(op.name(), timer))
+        .collect();
+    let events = fork.event_sink(info.id);
+    events.emit(EventKind::SessionAccept, info.id);
+    let fd = polling::fd_of(&stream);
+    Session {
+        info,
+        stream,
+        fd,
+        assembler: RecordAssembler::new(),
+        exec: Some(ExecState {
+            ops,
+            stats,
+            totals: SinkTotals::default(),
+            sink,
+            events: chain_events,
+        }),
+        pending_finish: None,
+        events,
+        telemetry: fork,
+        started: now,
+        last_activity: now,
+        busy: Duration::ZERO,
+        read_done: false,
+        finishing: false,
+        error: None,
+        keepalives_seen: 0,
     }
-    Ok(ServerReport {
-        sessions,
-        aggregate,
-        accept_error,
-        telemetry: merged_telemetry,
+}
+
+/// Drains one readable socket into its session's assembler, bounded by
+/// [`READ_BURST`] (loop fairness) and [`BACKLOG_CAP`] (decode-ahead
+/// backpressure). EOF and read errors end the wire; the records
+/// already decoded still flow.
+fn read_session(s: &mut Session, now: Instant) {
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut total = 0usize;
+    while s.wants_read() && total < READ_BURST {
+        match s.stream.read(&mut chunk) {
+            Ok(0) => {
+                s.assembler.finish();
+                s.read_done = true;
+                return;
+            }
+            Ok(n) => {
+                s.last_activity = now;
+                total += n;
+                s.assembler.feed(&chunk[..n]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                s.assembler.fail(PipelineError::Io(e));
+                s.read_done = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches the session's next batch to the pool if its chain is
+/// resident and work is ready. Wire faults discovered here (a corrupt
+/// frame surfacing from the assembler) convert into a trailing repair
+/// batch, after the cleanly decoded prefix has been dispatched.
+fn try_dispatch(sid: u64, s: &mut Session, job_tx: &Sender<Job>) {
+    if s.finishing || s.exec.is_none() {
+        return;
+    }
+    let Some(batch) = next_batch(s) else {
+        note_keepalives(s);
+        return;
+    };
+    note_keepalives(s);
+    let Some(exec) = s.exec.take() else {
+        return; // unreachable: checked resident above
+    };
+    if batch.finish {
+        s.finishing = true;
+    }
+    if let Err(send_failed) = job_tx.send(Job { sid, exec, batch }) {
+        // Only possible if the whole pool died (a bug, not a load
+        // condition): fail the session rather than wedging it open.
+        let job = send_failed.0;
+        s.exec = Some(job.exec);
+        s.error
+            .get_or_insert_with(|| "worker pool unavailable".to_string());
+        s.read_done = true;
+        s.finishing = true;
+    }
+}
+
+/// Emits one `session_keepalive` event per keepalive sentinel newly
+/// consumed by the assembler (they are decoded during batch building).
+fn note_keepalives(s: &mut Session) {
+    let seen = s.assembler.keepalives();
+    while s.keepalives_seen < seen {
+        s.keepalives_seen += 1;
+        s.events
+            .emit(EventKind::SessionKeepalive, s.keepalives_seen);
+    }
+}
+
+/// Pulls the session's next batch out of its assembler: up to
+/// [`BATCH_RECORDS`] ready records, a finish marker once the stream
+/// has ended, or the pending repair batch after a fault. `None` means
+/// nothing to do until more bytes (or the chain) arrive.
+fn next_batch(s: &mut Session) -> Option<Batch> {
+    if let Some(batch) = s.pending_finish.take() {
+        return Some(batch);
+    }
+    let mut records = Vec::new();
+    let mut finish = false;
+    loop {
+        if records.len() >= BATCH_RECORDS {
+            break;
+        }
+        match s.assembler.next_ready() {
+            Ok(Some(record)) => records.push(record),
+            Ok(None) => {
+                finish = s.assembler.end().is_some();
+                break;
+            }
+            Err(e) => {
+                // Poisoned wire (CRC mismatch, bad magic, read error):
+                // the decoded prefix still flows through the chain,
+                // then the synthesized repairs drain it — matching the
+                // blocking driver's error ordering exactly.
+                s.error.get_or_insert_with(|| e.to_string());
+                s.read_done = true;
+                let repair = Batch {
+                    records: s.assembler.abort_repair(),
+                    finish: true,
+                    repair: true,
+                };
+                if records.is_empty() {
+                    return Some(repair);
+                }
+                s.pending_finish = Some(repair);
+                return Some(Batch {
+                    records,
+                    finish: false,
+                    repair: false,
+                });
+            }
+        }
+    }
+    if records.is_empty() && !finish {
+        return None;
+    }
+    Some(Batch {
+        records,
+        finish,
+        repair: false,
     })
+}
+
+/// Ends every session whose wire has been silent past `limit`:
+/// `session_timeout` event, scope repair through its chain, and an
+/// `idle timeout` session error. Sessions that already ended (or
+/// stopped reading for any reason) are exempt.
+fn reap_idle(sessions: &mut HashMap<u64, Session>, now: Instant, limit: Duration) {
+    for (&sid, s) in sessions.iter_mut() {
+        if s.read_done || s.assembler.end().is_some() || s.finishing {
+            continue;
+        }
+        if now.saturating_duration_since(s.last_activity) < limit {
+            continue;
+        }
+        s.events.emit(EventKind::SessionTimeout, sid);
+        s.error
+            .get_or_insert_with(|| format!("idle timeout: no wire activity for {limit:?}"));
+        s.read_done = true;
+        s.pending_finish = Some(Batch {
+            records: s.assembler.abort_repair(),
+            finish: true,
+            repair: true,
+        });
+    }
+}
+
+/// Processes one worker completion: the chain returns to its session,
+/// errors and finishes close it, otherwise it goes back to the poll
+/// set for more records.
+fn handle_done(
+    done: BatchDone,
+    sessions: &mut HashMap<u64, Session>,
+    reports: &mut Vec<SessionReport>,
+    progress: &Progress,
+) {
+    let Some(mut s) = sessions.remove(&done.sid) else {
+        return; // unreachable: sessions only close through here
+    };
+    s.busy += done.busy;
+    match done.exec {
+        // The batch panicked: the chain and sink are gone; report the
+        // session as failed with whatever the assembler knew.
+        None => {
+            s.error = done.error.or(s.error);
+            s.read_done = true;
+            reports.push(close_session(s, None));
+            progress.bump();
+        }
+        Some(exec) => {
+            if let Some(e) = done.error {
+                // The session's own chain or sink failed: it is no
+                // longer trustworthy, so end without pushing repairs
+                // through it (counting them in the report's end state,
+                // like the blocking driver).
+                s.error = Some(e);
+                s.read_done = true;
+                let _ = s.assembler.abort_repair();
+                reports.push(close_session(s, Some(exec)));
+                progress.bump();
+            } else if done.finished {
+                reports.push(close_session(s, Some(exec)));
+                progress.bump();
+            } else {
+                s.exec = Some(exec);
+                sessions.insert(done.sid, s);
+            }
+        }
+    }
+}
+
+/// Closes sessions that a failed dispatch marked dead while their
+/// chain is still resident (worker pool gone — a bug path, kept
+/// non-wedging).
+fn close_undispatchable(
+    sessions: &mut HashMap<u64, Session>,
+    reports: &mut Vec<SessionReport>,
+    progress: &Progress,
+) {
+    let dead: Vec<u64> = sessions
+        .iter()
+        .filter(|(_, s)| s.finishing && s.error.is_some() && s.exec.is_some())
+        .map(|(&sid, _)| sid)
+        .collect();
+    for sid in dead {
+        if let Some(mut s) = sessions.remove(&sid) {
+            let exec = s.exec.take();
+            let _ = s.assembler.abort_repair();
+            reports.push(close_session(s, exec));
+            progress.bump();
+        }
+    }
+}
+
+/// Builds the session's final report and emits its closing event.
+fn close_session(s: Session, exec: Option<ExecState>) -> SessionReport {
+    let received = s.assembler.received();
+    let end = s
+        .assembler
+        .end()
+        .unwrap_or(StreamEnd::Unclean { repaired_scopes: 0 });
+    if s.error.is_some() {
+        s.events.emit(EventKind::SessionError, s.info.id);
+    } else {
+        s.events.emit(EventKind::SessionDrain, received);
+    }
+    let stats = exec.map_or_else(StreamStats::default, |exec| StreamStats {
+        stages: exec.stats,
+        source_records: received,
+        sink_records: exec.totals.records,
+        sink_bytes: exec.totals.bytes,
+    });
+    let duration = s.started.elapsed();
+    SessionReport {
+        id: s.info.id,
+        peer: s.info.peer,
+        end,
+        received,
+        wire_bytes: s.assembler.wire_bytes(),
+        keepalives: s.assembler.keepalives(),
+        stats,
+        wire_version: s.assembler.wire_version(),
+        error: s.error,
+        duration,
+        idle: duration.saturating_sub(s.busy),
+        telemetry: s.telemetry.snapshot_for_lane(s.info.id),
+    }
+}
+
+/// Executes one batch on a worker thread: scope events and
+/// `feed_chain` per record, then `flush_chain` on finish — the same
+/// fused step as the streaming driver and the sharded runtime. Repair
+/// batches feed error-tolerantly and always flush; a panicking
+/// operator or sink is caught so the pool thread (and the session's
+/// report) survive.
+fn run_batch(job: Job) -> BatchDone {
+    let Job {
+        sid,
+        mut exec,
+        batch,
+    } = job;
+    let started = Instant::now();
+    let repair = batch.repair;
+    let finish = batch.finish;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut error: Option<String> = None;
+        let mut broken = false;
+        for record in batch.records {
+            if exec.events.enabled() {
+                emit_scope_event(&exec.events, &record);
+            }
+            if let Err(e) = feed_chain(
+                &mut exec.ops,
+                &mut exec.stats,
+                record,
+                &mut exec.totals,
+                exec.sink.as_mut(),
+            ) {
+                // Chain/sink failure: fatal for the session on the
+                // normal path, tolerated on the repair drain.
+                if !repair {
+                    error = Some(e.to_string());
+                }
+                broken = true;
+                break;
+            }
+        }
+        if finish && (!broken || repair) {
+            if let Err(e) = flush_chain(
+                &mut exec.ops,
+                &mut exec.stats,
+                &mut exec.totals,
+                exec.sink.as_mut(),
+            ) {
+                if !repair && error.is_none() {
+                    error = Some(e.to_string());
+                }
+            }
+        }
+        error
+    }));
+    let busy = started.elapsed();
+    match outcome {
+        Ok(error) => BatchDone {
+            sid,
+            exec: Some(exec),
+            error,
+            finished: finish,
+            busy,
+        },
+        Err(panic) => {
+            let message = format!("session panicked: {}", panic_message(&panic));
+            // The chain may be mid-unwind-poisoned; dropping it can
+            // itself panic, which must not take the worker down.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(exec)));
+            BatchDone {
+                sid,
+                exec: None,
+                error: Some(message),
+                finished: true,
+                busy,
+            }
+        }
+    }
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -656,114 +1310,6 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
         .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
         .unwrap_or("non-string panic payload")
 }
-
-/// Drives one session: decode → cloned chain → session sink, with the
-/// same scope-repair semantics as single-connection `streamin` and the
-/// same fused `feed_chain`/`flush_chain` step as the streaming driver
-/// and the sharded runtime's workers.
-fn run_session(job: SessionJob) -> SessionReport {
-    let SessionJob {
-        stream,
-        info,
-        chain,
-        mut sink,
-        telemetry,
-    } = job;
-    let _ = stream.set_nodelay(true);
-    let started = Instant::now();
-    let mut idle = Duration::ZERO;
-    let mut ops = chain.into_ops();
-    let names: Vec<String> = ops.iter().map(|op| op.name().to_string()).collect();
-    let timers = telemetry.stage_timers(&names);
-    let events = telemetry.event_sink(info.id);
-    if events.enabled() {
-        for op in &mut ops {
-            op.attach_events(&events);
-        }
-    }
-    events.emit(EventKind::SessionAccept, info.id);
-    let mut stats: Vec<StageStats> = ops
-        .iter()
-        .zip(timers)
-        .map(|(op, timer)| StageStats::with_timer(op.name(), timer))
-        .collect();
-    let mut totals = SinkTotals::default();
-    let mut streamin = StreamIn::new(stream);
-    let mut error: Option<String> = None;
-    loop {
-        // Time spent blocked on the wire is the session's idle time —
-        // the chain is waiting for the peer, not working.
-        let waited = Instant::now();
-        let next = streamin.next_record();
-        idle += waited.elapsed();
-        match next {
-            Ok(Some(record)) => {
-                if events.enabled() {
-                    emit_scope_event(&events, &record);
-                }
-                if let Err(e) = feed_chain(&mut ops, &mut stats, record, &mut totals, sink.as_mut())
-                {
-                    // The session's own chain or sink failed: the chain
-                    // is no longer trustworthy, so end the session
-                    // without pushing repairs through it.
-                    error = Some(e.to_string());
-                    streamin.abort_repair();
-                    break;
-                }
-            }
-            Ok(None) => {
-                // Natural end (clean or disconnect-repaired): the
-                // repairs already flowed through the chain via next();
-                // flush operator state exactly like end-of-stream.
-                if let Err(e) = flush_chain(&mut ops, &mut stats, &mut totals, sink.as_mut()) {
-                    error = Some(e.to_string());
-                }
-                break;
-            }
-            Err(e) => {
-                // Poisoned wire (CRC mismatch, bad magic, I/O failure):
-                // repair this session's scopes through its chain and
-                // flush, leaving the downstream scope-consistent.
-                error = Some(e.to_string());
-                for repair in streamin.abort_repair() {
-                    if feed_chain(&mut ops, &mut stats, repair, &mut totals, sink.as_mut()).is_err()
-                    {
-                        break;
-                    }
-                }
-                let _ = flush_chain(&mut ops, &mut stats, &mut totals, sink.as_mut());
-                break;
-            }
-        }
-    }
-    let end = streamin
-        .end()
-        .unwrap_or(StreamEnd::Unclean { repaired_scopes: 0 });
-    if error.is_some() {
-        events.emit(EventKind::SessionError, info.id);
-    } else {
-        events.emit(EventKind::SessionDrain, streamin.received());
-    }
-    SessionReport {
-        id: info.id,
-        peer: info.peer,
-        end,
-        received: streamin.received(),
-        wire_bytes: streamin.wire_bytes(),
-        stats: StreamStats {
-            stages: stats,
-            source_records: streamin.received(),
-            sink_records: totals.records,
-            sink_bytes: totals.bytes,
-        },
-        wire_version: streamin.wire_version(),
-        error,
-        duration: started.elapsed(),
-        idle,
-        telemetry: telemetry.snapshot_for_lane(info.id),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]

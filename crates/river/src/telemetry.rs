@@ -21,6 +21,28 @@
 //! Everything is gated on [`TelemetryConfig`]: `Off` keeps the hot path
 //! at a single `Option` branch per stage, `Counters` turns on the
 //! histograms, `Full` adds event tracing.
+//!
+//! ```
+//! use dynamic_river::prelude::*;
+//!
+//! let mut pipeline = Pipeline::new();
+//! pipeline.add(MapPayload::new("gain", |v: &mut [f64]| {
+//!     v.iter_mut().for_each(|x| *x *= 0.5);
+//! }));
+//! pipeline.set_telemetry(TelemetryConfig::Counters);
+//!
+//! let records = vec![
+//!     Record::data(0, Payload::f64(vec![2.0, 4.0])),
+//!     Record::data(0, Payload::f64(vec![6.0, 8.0])),
+//! ];
+//! let mut out = Vec::new();
+//! pipeline.run_streaming(records.into_iter(), &mut out).unwrap();
+//!
+//! let snapshot = pipeline.telemetry_snapshot();
+//! let gain = snapshot.stages.iter().find(|s| s.name == "gain").unwrap();
+//! assert_eq!(gain.latency.count, 2); // one observation per record
+//! assert!(snapshot.to_json().starts_with("{\"stages\": ["));
+//! ```
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -127,6 +149,12 @@ pub enum EventKind {
     /// A session drained to a clean or repaired end (subject: records
     /// received).
     SessionDrain,
+    /// A session's peer sent a keepalive sentinel — dormant, not dead
+    /// (subject: session id).
+    SessionKeepalive,
+    /// A session went silent past the server's idle timeout and was
+    /// reaped with scope repair (subject: session id).
+    SessionTimeout,
     /// A session ended with an error (subject: session id).
     SessionError,
     /// Static chain analysis refused a pipeline (subject: number of
@@ -141,12 +169,15 @@ impl EventKind {
             EventKind::ScopeOpen
             | EventKind::ScopeClose
             | EventKind::ShardUnitDispatched
-            | EventKind::ShardUnitMerged => EventSeverity::Debug,
+            | EventKind::ShardUnitMerged
+            | EventKind::SessionKeepalive => EventSeverity::Debug,
             EventKind::TriggerFire
             | EventKind::CutterRun
             | EventKind::SessionAccept
             | EventKind::SessionDrain => EventSeverity::Info,
-            EventKind::StallEnter | EventKind::StallExit => EventSeverity::Warn,
+            EventKind::StallEnter | EventKind::StallExit | EventKind::SessionTimeout => {
+                EventSeverity::Warn
+            }
             EventKind::SessionError | EventKind::AnalysisReject => EventSeverity::Error,
         }
     }
@@ -164,6 +195,8 @@ impl EventKind {
             EventKind::StallExit => "stall_exit",
             EventKind::SessionAccept => "session_accept",
             EventKind::SessionDrain => "session_drain",
+            EventKind::SessionKeepalive => "session_keepalive",
+            EventKind::SessionTimeout => "session_timeout",
             EventKind::SessionError => "session_error",
             EventKind::AnalysisReject => "analysis_reject",
         }

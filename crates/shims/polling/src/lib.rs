@@ -1,0 +1,312 @@
+//! Offline stand-in for the `polling` ecosystem crate: the readiness
+//! subset the event-driven service layer needs, implemented from
+//! scratch with no registry dependencies (see DESIGN.md § Shims).
+//!
+//! Three pieces:
+//!
+//! 1. [`PollFd`] + [`wait`] — level-triggered *read* readiness over a
+//!    set of sockets. On unix this is a direct FFI binding to
+//!    `poll(2)` (libc is already linked into every Rust binary, so the
+//!    `extern "C"` declaration costs nothing); elsewhere it degrades
+//!    to a bounded sleep that reports every descriptor ready, which is
+//!    correct (sockets are non-blocking, spurious readiness is
+//!    re-checked by the read) just not efficient.
+//! 2. [`Waker`]/[`WakeReceiver`] — a self-pipe built from a loopback
+//!    TCP pair, so worker threads can interrupt a blocked [`wait`]
+//!    call. `std` exposes no `pipe(2)`, but a connected socket pair is
+//!    exactly as good for a one-byte doorbell.
+//! 3. [`fd_of`] — extracts the OS descriptor from any socket type, so
+//!    callers never `cfg` on the platform themselves.
+//!
+//! The API is deliberately smaller than the real crate's
+//! `Poller`/`Events` model: the service layer rebuilds its interest
+//! set every iteration anyway (sessions come and go constantly), so a
+//! stateless `wait(&mut [PollFd], timeout)` is both simpler and no
+//! slower than re-registering with an epoll instance would be at these
+//! session counts.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// An OS socket descriptor as the poller sees it.
+pub type OsFd = i32;
+
+/// One descriptor in a [`wait`] interest set: read interest in, read
+/// readiness out. Hangups and errors also report as ready — the
+/// subsequent non-blocking read is what classifies them.
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: OsFd,
+    /// Output: readable (or hung up / errored) after [`wait`] returns.
+    pub ready: bool,
+}
+
+impl PollFd {
+    /// Read-interest entry for `fd`, initially not ready.
+    pub fn readable(fd: OsFd) -> Self {
+        PollFd { fd, ready: false }
+    }
+}
+
+/// The OS descriptor of a socket, for building a [`PollFd`] set.
+#[cfg(unix)]
+pub fn fd_of<T: std::os::unix::io::AsRawFd>(socket: &T) -> OsFd {
+    socket.as_raw_fd()
+}
+
+/// Fallback for non-unix targets: descriptors are opaque (and unused —
+/// [`wait`] reports everything ready there), so any value serves.
+#[cfg(not(unix))]
+pub fn fd_of<T>(_socket: &T) -> OsFd {
+    -1
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{OsFd, PollFd};
+    use std::io;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct RawPollFd {
+        fd: OsFd,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        // poll(2): nfds_t is c_ulong on every unix libc Rust targets.
+        fn poll(fds: *mut RawPollFd, nfds: std::ffi::c_ulong, timeout: i32) -> i32;
+    }
+
+    pub fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let mut raw: Vec<RawPollFd> = fds
+            .iter()
+            .map(|p| RawPollFd {
+                fd: p.fd,
+                events: POLLIN,
+                revents: 0,
+            })
+            .collect();
+        let timeout_ms: i32 = match timeout {
+            // poll(2) takes whole milliseconds; round up so a 100µs
+            // deadline never busy-spins at timeout 0.
+            Some(d) => i32::try_from(d.as_millis().max(1)).unwrap_or(i32::MAX),
+            None => -1,
+        };
+        // SAFETY: `raw` is a live, correctly sized array of repr(C)
+        // pollfd structs for the duration of the call.
+        let n = unsafe { poll(raw.as_mut_ptr(), raw.len() as std::ffi::c_ulong, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                // Spurious wake: callers re-check their world and poll
+                // again, exactly as they would after a timeout.
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let mut ready = 0usize;
+        for (out, r) in fds.iter_mut().zip(&raw) {
+            out.ready = r.revents & (POLLIN | POLLERR | POLLHUP) != 0;
+            ready += usize::from(out.ready);
+        }
+        Ok(ready)
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollFd;
+    use std::io;
+    use std::time::Duration;
+
+    /// Degraded mode: sleep briefly, then report everything ready.
+    /// Non-blocking reads turn the spurious readiness into WouldBlock,
+    /// so callers stay correct at the cost of a 1ms poll granularity.
+    pub fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let nap = timeout
+            .unwrap_or(Duration::from_millis(1))
+            .min(Duration::from_millis(1));
+        std::thread::sleep(nap);
+        for f in fds.iter_mut() {
+            f.ready = true;
+        }
+        Ok(fds.len())
+    }
+}
+
+/// Blocks until at least one descriptor in `fds` is readable, the
+/// timeout elapses, or a signal interrupts the call (reported as
+/// `Ok(0)`, like a timeout). `None` blocks indefinitely. Readiness is
+/// written back into each [`PollFd::ready`]; the return value is the
+/// number of ready descriptors.
+///
+/// # Errors
+///
+/// Propagates the OS error from `poll(2)` (never `EINTR`, which is
+/// normalized to `Ok(0)`).
+pub fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    if fds.is_empty() {
+        // poll(2) with no fds is just a sleep; honor the timeout so
+        // callers with an empty interest set still pace themselves.
+        if let Some(d) = timeout {
+            std::thread::sleep(d);
+            return Ok(0);
+        }
+    }
+    sys::wait(fds, timeout)
+}
+
+/// The writing half of a wake pipe: any thread holding (a reference
+/// to) one can interrupt the poller. Cheap, non-blocking, and safe to
+/// fire redundantly — coalesced bytes still wake exactly once.
+#[derive(Debug)]
+pub struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    /// Makes the paired [`WakeReceiver`] readable. Never blocks: the
+    /// send buffer being full means a wake is already pending, which
+    /// is all a doorbell needs.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// The readable half of a wake pipe: include [`fd`](Self::fd) in a
+/// [`wait`] set, and [`drain`](Self::drain) it when it reports ready.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: TcpStream,
+}
+
+impl WakeReceiver {
+    /// The descriptor to include in the poll set.
+    pub fn fd(&self) -> OsFd {
+        fd_of(&self.rx)
+    }
+
+    /// Consumes every pending wake byte (the receiver is non-blocking,
+    /// so this never stalls).
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.rx).read(&mut sink) {
+                Ok(0) => return, // peer gone: nothing to drain
+                Ok(_) => {}      // keep draining
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return, // WouldBlock: drained
+            }
+        }
+    }
+}
+
+/// Builds a connected wake pipe from a loopback TCP pair — the
+/// portable self-pipe trick, since `std` has no `pipe(2)`.
+///
+/// # Errors
+///
+/// Propagates loopback bind/connect failures.
+pub fn wake_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wait_times_out_on_silent_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let mut fds = [PollFd::readable(fd_of(&server))];
+        let started = Instant::now();
+        let n = wait(&mut fds, Some(Duration::from_millis(20))).unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(1));
+        // Unix: nothing ready on a silent socket. Fallback: spuriously
+        // ready is permitted by contract.
+        if cfg!(unix) {
+            assert_eq!(n, 0);
+            assert!(!fds[0].ready);
+        }
+    }
+
+    #[test]
+    fn wait_reports_readable_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (&client).write_all(b"hi").unwrap();
+        let mut fds = [PollFd::readable(fd_of(&server))];
+        let n = wait(&mut fds, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready);
+    }
+
+    #[test]
+    fn hangup_counts_as_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        drop(client);
+        let mut fds = [PollFd::readable(fd_of(&server))];
+        let n = wait(&mut fds, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1); // read will now observe EOF
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let (waker, rx) = wake_pair().unwrap();
+        let poller = std::thread::spawn(move || {
+            let mut fds = [PollFd::readable(rx.fd())];
+            let n = wait(&mut fds, Some(Duration::from_secs(5))).unwrap();
+            rx.drain();
+            n
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        waker.wake();
+        assert_eq!(poller.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn redundant_wakes_never_block() {
+        let (waker, rx) = wake_pair().unwrap();
+        for _ in 0..100_000 {
+            waker.wake(); // fills the buffer; later wakes are dropped
+        }
+        rx.drain();
+        let mut fds = [PollFd::readable(rx.fd())];
+        if cfg!(unix) {
+            assert_eq!(wait(&mut fds, Some(Duration::from_millis(5))).unwrap(), 0);
+        }
+        waker.wake();
+        assert_eq!(wait(&mut fds, Some(Duration::from_secs(2))).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_interest_set_sleeps_for_the_timeout() {
+        let started = Instant::now();
+        let n = wait(&mut [], Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() >= Duration::from_millis(9));
+    }
+}
